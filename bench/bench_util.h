@@ -1,0 +1,51 @@
+// Shared helpers for the table/figure harnesses: fixed-width table
+// printing, wall-clock timing, and simple flag parsing. Each bench binary
+// regenerates one table or figure of the paper (see DESIGN.md §2); output
+// is plain text shaped like the paper's rows so runs can be diffed against
+// EXPERIMENTS.md.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace generic::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// True when `--flag` appears in argv.
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
+
+/// Value of `--key=value`, or `fallback` when absent.
+inline std::string flag_value(int argc, char** argv, std::string_view key,
+                              std::string_view fallback) {
+  const std::string prefix = std::string(key) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return std::string(arg.substr(prefix.size()));
+  }
+  return std::string(fallback);
+}
+
+inline void print_rule(std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace generic::bench

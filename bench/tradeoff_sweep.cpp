@@ -1,0 +1,81 @@
+// Accuracy / energy / latency trade-off sweep — the §4.1 claim that
+// GENERIC's flexible dimensionality "trades off the accuracy and
+// energy/performance on-demand", shown as the full Pareto curve per
+// application rather than Figure 5's two accuracy-only probes.
+//
+// For each application, inference runs at every 512-multiple of the
+// hypervector dimensionality with Updated sub-norms; the ASIC energy and
+// latency come from the behavioural model.
+//
+// Flags: --quick, --datasets=NAME1,NAME2
+#include <cstdio>
+#include <sstream>
+
+#include "arch/generic_asic.h"
+#include "bench/bench_util.h"
+#include "data/benchmarks.h"
+
+using namespace generic;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const std::size_t full_dims = 4096;
+  const std::size_t epochs = quick ? 5 : 15;
+  std::vector<std::string> datasets{"ISOLET", "EMG", "PAGE"};
+  const std::string csv = bench::flag_value(argc, argv, "--datasets", "");
+  if (!csv.empty()) {
+    datasets.clear();
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) datasets.push_back(item);
+  }
+
+  for (const auto& name : datasets) {
+    const auto ds = data::make_benchmark(name);
+    arch::AppSpec spec;
+    spec.dims = full_dims;
+    spec.features = ds.num_features();
+    spec.classes = ds.num_classes;
+    const auto g = data::generic_config_for(name);
+    spec.window = g.window;
+    spec.use_ids = g.use_ids;
+    arch::GenericAsic asic(spec);
+    asic.train(ds.train_x, ds.train_y, epochs);
+    const auto trained = asic.snapshot_model();
+
+    auto measure = [&](std::size_t dims, double& acc, double& e, double& t) {
+      asic.restore_model(trained);
+      asic.set_active_dims(dims);
+      asic.reset_counts();
+      std::size_t hits = 0;
+      for (std::size_t i = 0; i < ds.test_x.size(); ++i)
+        hits += asic.infer(ds.test_x[i]) == ds.test_y[i];
+      const auto n = static_cast<double>(ds.test_size());
+      acc = 100.0 * static_cast<double>(hits) / n;
+      e = asic.energy_j() / n;
+      t = asic.elapsed_seconds() / n;
+    };
+
+    double full_acc, full_e, full_t;
+    measure(full_dims, full_acc, full_e, full_t);
+
+    std::printf("\n%s: dimensionality trade-off (on-demand, §4.3.3)\n",
+                name.c_str());
+    std::printf("%-8s %10s %14s %14s %12s %10s\n", "dims", "accuracy",
+                "energy/inf", "latency", "energy gain", "acc cost");
+    bench::print_rule(74);
+    for (std::size_t dims = 512; dims <= full_dims; dims += 512) {
+      double acc, e, t;
+      if (dims == full_dims) {
+        acc = full_acc;
+        e = full_e;
+        t = full_t;
+      } else {
+        measure(dims, acc, e, t);
+      }
+      std::printf("%-8zu %9.1f%% %11.4f uJ %11.1f us %10.1fx %+9.1f\n", dims,
+                  acc, e * 1e6, t * 1e6, full_e / e, acc - full_acc);
+    }
+  }
+  return 0;
+}

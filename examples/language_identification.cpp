@@ -1,0 +1,61 @@
+// Encoder choice case study: language identification (the paper's LANG
+// benchmark, §3.2). Text is an order-free task — what matters is which
+// character subsequences occur, not where — so positional encoders fail
+// while subsequence encoders hit ~100%. GENERIC covers both regimes with
+// one knob: setting the window ids to zero (Eq. 1 with id = {0}).
+//
+//   $ ./build/examples/language_identification
+#include <cstdio>
+
+#include "data/benchmarks.h"
+#include "encoding/encoders.h"
+#include "model/pipeline.h"
+
+using namespace generic;
+
+namespace {
+
+double run(enc::EncoderKind kind, bool use_ids, const data::Dataset& ds) {
+  enc::EncoderConfig cfg;
+  cfg.dims = 4096;
+  cfg.window = 3;
+  cfg.use_ids = use_ids;
+  auto encoder = enc::make_encoder(kind, cfg);
+  return 100.0 * model::run_hdc_classification(*encoder, ds, 20).test_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  // 21 languages, each a Markov chain over a 26-letter alphabet with a
+  // language-specific letter and transition profile; sequences start at
+  // random offsets so absolute position is meaningless.
+  const data::Dataset ds = data::make_benchmark("LANG");
+  std::printf("LANG: %zu languages, %zu chars/sample, %zu train samples\n\n",
+              ds.num_classes, ds.num_features(), ds.train_size());
+
+  std::printf("positional encoders (bind absolute position):\n");
+  std::printf("  %-22s %5.1f%%\n", "permutation",
+              run(enc::EncoderKind::kPermutation, true, ds));
+  std::printf("  %-22s %5.1f%%\n", "level-id",
+              run(enc::EncoderKind::kLevelId, true, ds));
+
+  std::printf("subsequence encoders (order-free statistics):\n");
+  std::printf("  %-22s %5.1f%%\n", "ngram",
+              run(enc::EncoderKind::kNgram, true, ds));
+  std::printf("  %-22s %5.1f%%   <- categorical items (extension)\n",
+              "sym-ngram",
+              run(enc::EncoderKind::kSymbolNgram, true, ds));
+  std::printf("  %-22s %5.1f%%   <- ids set to {0}, paper §3.1\n",
+              "GENERIC (ids off)",
+              run(enc::EncoderKind::kGeneric, false, ds));
+
+  std::printf("GENERIC with ids on (wrong config for this task):\n");
+  std::printf("  %-22s %5.1f%%\n", "GENERIC (ids on)",
+              run(enc::EncoderKind::kGeneric, true, ds));
+
+  std::printf(
+      "\nOne flexible encoder + per-application spec = no custom silicon\n"
+      "per domain; that is the architectural thesis of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "arch/energy_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace generic::arch {
+namespace {
+
+// ---- Calibration constants -------------------------------------------
+// Per-access dynamic energies (joules). One "class read/write" moves a
+// 16-bit row in each of the m=16 distributed class memories; level reads
+// fetch an m-bit slice of one level row; see cycle_model.h for what each
+// counter means. Values are chosen so the reference workload mix lands on
+// the paper's anchors (≈1.8 mW dynamic, class memories ≈80%, level <10%).
+constexpr double kE_class_row = 25e-12;
+constexpr double kE_feature_read = 0.15e-12;
+constexpr double kE_level_read = 0.25e-12;
+constexpr double kE_id_read = 0.3e-12;
+constexpr double kE_score = 0.6e-12;
+constexpr double kE_norm = 0.6e-12;
+constexpr double kE_mac = 0.12e-12;
+constexpr double kE_divider = 2.0e-12;
+constexpr double kE_control_cycle = 0.03e-12;
+constexpr double kE_encoder_cycle = 0.22e-12;  // window XOR/shift datapath
+
+// Area shares of the 0.30 mm^2 die (Figure 7(a); level memory < 10%).
+constexpr double kAreaTotal = 0.30;
+constexpr double kAreaShare_control = 0.050;
+constexpr double kAreaShare_datapath = 0.096;
+constexpr double kAreaShare_base = 0.025;
+constexpr double kAreaShare_feature = 0.015;
+constexpr double kAreaShare_level = 0.094;
+constexpr double kAreaShare_class = 0.720;
+
+// Static power shares of the worst-case 0.25 mW (Figure 7(b)).
+constexpr double kStaticTotal = 0.25;  // mW, all banks on
+constexpr double kStaticShare_control = 0.015;
+constexpr double kStaticShare_datapath = 0.025;
+constexpr double kStaticShare_base = 0.016;
+constexpr double kStaticShare_feature = 0.010;
+constexpr double kStaticShare_level = 0.050;
+constexpr double kStaticShare_class = 0.884;
+
+// [20]-style SRAM voltage-scaling curve: bit error rate vs power reduction
+// factors (log-linear interpolation between points). Nominal voltage at
+// ber = 0; the most aggressive point trades ~10% flips for ~7x static /
+// ~3x dynamic savings (Figure 6 right axis).
+struct VosPoint {
+  double ber;
+  double stat;
+  double dyn;
+};
+constexpr VosPoint kVosCurve[] = {
+    {1e-5, 1.15, 1.05}, {1e-4, 1.8, 1.3}, {1e-3, 2.6, 1.6},
+    {3e-3, 3.4, 1.9},   {1e-2, 4.5, 2.2}, {3e-2, 5.6, 2.5},
+    {5e-2, 6.2, 2.7},   {1e-1, 7.0, 3.0}};
+
+}  // namespace
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) {
+  control += o.control;
+  datapath += o.datapath;
+  base_mem += o.base_mem;
+  feature_mem += o.feature_mem;
+  level_mem += o.level_mem;
+  class_mem += o.class_mem;
+  return *this;
+}
+
+VosSetting vos_for_error_rate(double ber) {
+  VosSetting out;
+  out.bit_error_rate = ber;
+  if (ber <= 0.0) return out;
+  const auto* first = std::begin(kVosCurve);
+  const auto* last = std::end(kVosCurve) - 1;
+  if (ber <= first->ber) {
+    out.static_reduction = first->stat;
+    out.dynamic_reduction = first->dyn;
+    return out;
+  }
+  if (ber >= last->ber) {
+    out.static_reduction = last->stat;
+    out.dynamic_reduction = last->dyn;
+    return out;
+  }
+  for (const auto* p = first; p < last; ++p) {
+    if (ber <= p[1].ber) {
+      const double t =
+          (std::log10(ber) - std::log10(p->ber)) /
+          (std::log10(p[1].ber) - std::log10(p->ber));
+      out.static_reduction = p->stat + t * (p[1].stat - p->stat);
+      out.dynamic_reduction = p->dyn + t * (p[1].dyn - p->dyn);
+      return out;
+    }
+  }
+  return out;
+}
+
+EnergyModel::EnergyModel(const ArchConstants& hw) : hw_(hw), cycles_(hw) {}
+
+Breakdown EnergyModel::area_mm2() const {
+  Breakdown b;
+  b.control = kAreaTotal * kAreaShare_control;
+  b.datapath = kAreaTotal * kAreaShare_datapath;
+  b.base_mem = kAreaTotal * kAreaShare_base;
+  b.feature_mem = kAreaTotal * kAreaShare_feature;
+  b.level_mem = kAreaTotal * kAreaShare_level;
+  b.class_mem = kAreaTotal * kAreaShare_class;
+  return b;
+}
+
+double EnergyModel::banking_area_overhead(std::size_t banks) const {
+  // Overheads from §4.3.2 (sense amps / decoders duplicated per bank);
+  // interpolate geometrically for other bank counts.
+  switch (banks) {
+    case 1: return 1.00;
+    case 2: return 1.10;
+    case 4: return 1.20;
+    case 8: return 1.55;
+    default:
+      throw std::invalid_argument("banking_area_overhead: banks in {1,2,4,8}");
+  }
+}
+
+double EnergyModel::active_bank_fraction(const AppSpec& spec,
+                                         std::size_t banks) const {
+  const double usage =
+      static_cast<double>(spec.classes * spec.dims) /
+      static_cast<double>(hw_.max_classes * hw_.max_dims);
+  const double quantized =
+      std::ceil(usage * static_cast<double>(banks)) / static_cast<double>(banks);
+  return std::clamp(quantized, 1.0 / static_cast<double>(banks), 1.0);
+}
+
+Breakdown EnergyModel::static_power_full_mw() const {
+  Breakdown b;
+  b.control = kStaticTotal * kStaticShare_control;
+  b.datapath = kStaticTotal * kStaticShare_datapath;
+  b.base_mem = kStaticTotal * kStaticShare_base;
+  b.feature_mem = kStaticTotal * kStaticShare_feature;
+  b.level_mem = kStaticTotal * kStaticShare_level;
+  b.class_mem = kStaticTotal * kStaticShare_class;
+  return b;
+}
+
+Breakdown EnergyModel::static_power_mw(const AppSpec& spec,
+                                       const VosSetting& vos) const {
+  Breakdown b = static_power_full_mw();
+  // Power gating is static/permanent per application (§4.3.2): only the
+  // class-memory banks holding live rows leak.
+  b.class_mem *= active_bank_fraction(spec);
+  // Voltage over-scaling targets the class SRAM (the dominant consumer).
+  b.class_mem /= vos.static_reduction;
+  return b;
+}
+
+Breakdown EnergyModel::dynamic_energy_j(const AppSpec& spec,
+                                        const AccessCounts& counts,
+                                        const VosSetting& vos) const {
+  Breakdown b;
+  // Narrower class elements mask out bit lines and multiplier partial
+  // products (§4.3.4): class-array and MAC energy scale with bw/16.
+  const double bw_scale = static_cast<double>(spec.bit_width) / 16.0;
+  b.class_mem = static_cast<double>(counts.class_reads + counts.class_writes) *
+                kE_class_row * bw_scale / vos.dynamic_reduction;
+  b.feature_mem = static_cast<double>(counts.feature_reads) * kE_feature_read;
+  b.level_mem = static_cast<double>(counts.level_reads) * kE_level_read;
+  b.base_mem = static_cast<double>(counts.id_reads) * kE_id_read +
+               static_cast<double>(counts.score_accesses) * kE_score +
+               static_cast<double>(counts.norm_accesses) * kE_norm;
+  b.datapath = static_cast<double>(counts.mac_ops) * kE_mac * bw_scale +
+               static_cast<double>(counts.divider_ops) * kE_divider +
+               static_cast<double>(counts.feature_reads) * kE_encoder_cycle;
+  b.control = static_cast<double>(counts.cycles) * kE_control_cycle;
+  return b;
+}
+
+Breakdown EnergyModel::dynamic_power_mw(const AppSpec& spec,
+                                        const AccessCounts& counts,
+                                        const VosSetting& vos) const {
+  Breakdown b = dynamic_energy_j(spec, counts, vos);
+  const double seconds = cycles_.seconds(counts);
+  if (seconds <= 0.0) return Breakdown{};
+  const double to_mw = 1e3 / seconds;
+  b.control *= to_mw;
+  b.datapath *= to_mw;
+  b.base_mem *= to_mw;
+  b.feature_mem *= to_mw;
+  b.level_mem *= to_mw;
+  b.class_mem *= to_mw;
+  return b;
+}
+
+double EnergyModel::energy_j(const AppSpec& spec, const AccessCounts& counts,
+                             const VosSetting& vos) const {
+  const double dynamic = dynamic_energy_j(spec, counts, vos).total();
+  const double static_w = static_power_mw(spec, vos).total() * 1e-3;
+  return dynamic + static_w * cycles_.seconds(counts);
+}
+
+}  // namespace generic::arch

@@ -1,0 +1,93 @@
+// Area / power / energy model of the GENERIC ASIC, calibrated to the
+// paper's published numbers (§5.1, Figure 7):
+//   * 14 nm, 500 MHz, total area 0.30 mm^2
+//   * worst-case static power 0.25 mW (all class-memory banks on),
+//     ~0.09-0.12 mW with application-opportunistic power gating
+//   * average dynamic power ~1.8 mW while processing
+//   * class memories dominate (~80-90% of power), level memory < 10%
+//
+// Dynamic energy is computed bottom-up from the CycleModel access counts
+// with per-access energies chosen to land on those anchors; static energy
+// integrates leakage over elapsed time. The three §4.3 energy features are
+// modelled explicitly:
+//   power gating     — class-memory static power scales with active banks
+//   dimension demand — fewer passes, fewer accesses (falls out of counts)
+//   voltage scaling  — a [20]-style curve maps a class-memory bit-error
+//                      rate to static/dynamic power reduction factors
+#pragma once
+
+#include "arch/cycle_model.h"
+#include "arch/spec.h"
+
+namespace generic::arch {
+
+struct Breakdown {
+  double control = 0.0;
+  double datapath = 0.0;
+  double base_mem = 0.0;     ///< score + norm2 + id seed
+  double feature_mem = 0.0;  ///< input memory
+  double level_mem = 0.0;
+  double class_mem = 0.0;
+
+  double total() const {
+    return control + datapath + base_mem + feature_mem + level_mem + class_mem;
+  }
+  Breakdown& operator+=(const Breakdown& o);
+};
+
+/// Voltage over-scaling operating point (§4.3.4). `bit_error_rate` is the
+/// per-bit flip probability in the class SRAM at the scaled voltage;
+/// the reductions divide the class-memory power.
+struct VosSetting {
+  double bit_error_rate = 0.0;
+  double static_reduction = 1.0;
+  double dynamic_reduction = 1.0;
+};
+
+/// Interpolated [20]-style operating point for a target bit error rate
+/// (monotone: more errors <=> lower voltage <=> bigger savings).
+VosSetting vos_for_error_rate(double bit_error_rate);
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const ArchConstants& hw = {});
+
+  /// Silicon area (mm^2) by component; totals 0.30.
+  Breakdown area_mm2() const;
+
+  /// Area multiplier of banking the class memories (§4.3.2: 4 banks cost
+  /// ~20% class-memory area, 8 banks ~55%).
+  double banking_area_overhead(std::size_t banks) const;
+
+  /// Fraction of class-memory banks powered for an application (§4.3.2).
+  /// Usage = classes*dims / (32*4K); banks round up to the bank grid.
+  double active_bank_fraction(const AppSpec& spec, std::size_t banks) const;
+  double active_bank_fraction(const AppSpec& spec) const {
+    return active_bank_fraction(spec, hw_.class_banks);
+  }
+
+  /// Static power (mW). Worst case (no gating): 0.25 total.
+  Breakdown static_power_full_mw() const;
+  Breakdown static_power_mw(const AppSpec& spec,
+                            const VosSetting& vos = {}) const;
+
+  /// Dynamic energy (joules) of an access-count bundle.
+  Breakdown dynamic_energy_j(const AppSpec& spec, const AccessCounts& counts,
+                             const VosSetting& vos = {}) const;
+
+  /// Average dynamic power (mW) over the counts' duration.
+  Breakdown dynamic_power_mw(const AppSpec& spec, const AccessCounts& counts,
+                             const VosSetting& vos = {}) const;
+
+  /// Total energy (joules): dynamic + static integrated over elapsed time.
+  double energy_j(const AppSpec& spec, const AccessCounts& counts,
+                  const VosSetting& vos = {}) const;
+
+  const ArchConstants& hw() const { return hw_; }
+
+ private:
+  ArchConstants hw_;
+  CycleModel cycles_;
+};
+
+}  // namespace generic::arch

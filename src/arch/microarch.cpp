@@ -1,0 +1,379 @@
+#include "arch/microarch.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/mitchell.h"
+
+namespace generic::arch {
+namespace {
+
+/// Saturate a trained class element into the 16-bit row the silicon keeps.
+std::uint64_t to_row16(std::int32_t v) {
+  const std::int32_t sat = std::clamp(v, -32768, 32767);
+  return static_cast<std::uint64_t>(static_cast<std::uint16_t>(sat));
+}
+
+std::int32_t from_row16(std::uint64_t word) {
+  return static_cast<std::int32_t>(static_cast<std::int16_t>(
+      static_cast<std::uint16_t>(word & 0xFFFFULL)));
+}
+
+}  // namespace
+
+MicroArchSim::MicroArchSim(const AppSpec& spec,
+                           const enc::GenericEncoder& encoder,
+                           const model::HdcClassifier& classifier,
+                           const ArchConstants& hw)
+    : spec_(spec),
+      hw_(hw),
+      active_dims_(spec.dims),
+      encoder_(encoder),
+      feature_mem_("feature", hw.max_features, 8),
+      level_mem_("level", hw.levels, spec.dims),
+      id_seed_("id-seed", 1, spec.dims),
+      score_mem_("score", hw.max_classes, 64),
+      norm_mem_("norm2", hw.max_classes * (hw.max_dims / hw.chunk), 48) {
+  spec_.validate(hw_);
+  if (classifier.dims() != spec_.dims ||
+      classifier.num_classes() != spec_.classes)
+    throw std::invalid_argument("MicroArchSim: model/spec mismatch");
+  if (encoder.config().dims != spec_.dims ||
+      encoder.config().window != spec_.window ||
+      encoder.config().use_ids != spec_.use_ids)
+    throw std::invalid_argument("MicroArchSim: encoder/spec mismatch");
+  if (!encoder.quantizer().fitted())
+    throw std::invalid_argument("MicroArchSim: encoder not fitted");
+
+  // Level memory image: one row per quantization level.
+  for (std::size_t l = 0; l < hw_.levels; ++l) {
+    const auto& hv = encoder_.level_memory().level(l);
+    level_mem_.write_row(l, {hv.words().begin(), hv.words().end()});
+  }
+  // The single id seed row (§4.3.1).
+  const auto& seed = encoder_.id_memory().seed_id();
+  id_seed_.write_row(0, {seed.words().begin(), seed.words().end()});
+
+  // Class memories, striped per §4.3.2: dim 16p+k of class c is row
+  // p*nC + c of CM k.
+  const std::size_t m = hw_.m;
+  const std::size_t passes = spec_.dims / m;
+  class_mems_.reserve(m);
+  for (std::size_t k = 0; k < m; ++k)
+    class_mems_.emplace_back("class" + std::to_string(k),
+                             hw_.max_dims / m * hw_.max_classes, 16);
+  for (std::size_t p = 0; p < passes; ++p)
+    for (std::size_t c = 0; c < spec_.classes; ++c)
+      for (std::size_t k = 0; k < m; ++k)
+        class_mems_[k].write_word(
+            p * spec_.classes + c,
+            to_row16(classifier.class_vector(c)[p * m + k]));
+
+  // Norm2 memory: one row per (class, 128-dim chunk).
+  const std::size_t chunks = spec_.dims / hw_.chunk;
+  for (std::size_t c = 0; c < spec_.classes; ++c)
+    for (std::size_t j = 0; j < chunks; ++j)
+      norm_mem_.write_word(c * chunks + j,
+                           static_cast<std::uint64_t>(
+                               classifier.chunk_norm(c, j)) &
+                               ((1ULL << 48) - 1));
+}
+
+void MicroArchSim::set_active_dims(std::size_t dims) {
+  if (dims == 0 || dims > spec_.dims || dims % hw_.m != 0)
+    throw std::invalid_argument("MicroArchSim: active dims must be m-multiple");
+  active_dims_ = dims;
+}
+
+std::size_t MicroArchSim::stash_base() const {
+  return (spec_.dims / hw_.m) * spec_.classes;
+}
+
+std::size_t MicroArchSim::copy_base() const {
+  return stash_base() + spec_.dims / hw_.m;
+}
+
+void MicroArchSim::require_temp_rows() const {
+  const std::size_t need =
+      copy_base() + (spec_.dims / hw_.m) * spec_.classes;
+  if (need > class_mems_.front().depth())
+    throw std::logic_error(
+        "MicroArchSim: not enough free class-memory rows for temporary "
+        "regions (reduce classes or dims)");
+}
+
+std::uint64_t MicroArchSim::run_frontend(std::span<const float> sample) {
+  if (sample.size() != spec_.features)
+    throw std::invalid_argument("MicroArchSim: feature count mismatch");
+  const std::size_t m = hw_.m;
+  const std::size_t n = spec_.window;
+  const std::size_t d = spec_.features;
+  const std::size_t nc = spec_.classes;
+  const std::size_t dims = spec_.dims;
+  const std::size_t passes = active_dims_ / m;
+
+  std::uint64_t cycles = 0;
+
+  // Load the input through the input port: quantize and store the bins.
+  const auto bins = encoder_.quantizer().transform(sample);
+  for (std::size_t e = 0; e < d; ++e) feature_mem_.write_word(e, bins[e]);
+
+  // Clear score accumulators.
+  for (std::size_t c = 0; c < nc; ++c) score_mem_.write_word(c, 0);
+  scores_.assign(nc, 0);
+  encoding_.assign(active_dims_, 0);
+
+  const std::size_t slice_bits = m + n - 1;
+  for (std::size_t p = 0; p < passes; ++p) {
+    // Base dimension of this pass; slices start n-1 bits below so the
+    // register stack can serve every window offset.
+    const std::size_t base = p * m;
+    const std::size_t slice_start = (base + dims - (n - 1)) % dims;
+
+    std::vector<std::int32_t> partial(m, 0);
+    std::vector<std::uint64_t> regs;  // level slices of the last n elements
+    std::uint64_t id_bits = 0;        // tmp register contents (§4.3.1)
+
+    for (std::size_t e = 0; e < d; ++e) {
+      // One cycle: fetch the feature bin and the level slice.
+      const auto bin = static_cast<std::size_t>(feature_mem_.read_word(e));
+      const std::uint64_t slice = level_mem_.read_bits(
+          bin % hw_.levels, slice_start, slice_bits);
+      regs.push_back(slice);
+      if (regs.size() > n) regs.erase(regs.begin());
+      cycles += 1;
+
+      if (e + 1 < n) continue;
+      const std::size_t w = e + 1 - n;  // completed window index
+
+      if (spec_.use_ids && w % m == 0) {
+        // Refill the tmp register: 2m-1 seed bits cover the next m
+        // windows' shifts.
+        const std::size_t id_start = (base + dims - (w + m - 1) % dims) % dims;
+        id_bits = id_seed_.read_bits(0, id_start, 2 * m - 1);
+      }
+
+      for (std::size_t k = 0; k < m; ++k) {
+        // Window bit for dimension base+k: XOR over the n register slices,
+        // each tapped at offset (k - j) relative to the slice base.
+        unsigned bit = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t tap = k + (n - 1) - j;
+          bit ^= static_cast<unsigned>((regs[j] >> tap) & 1ULL);
+        }
+        if (spec_.use_ids) {
+          // Seed bit for dim base+k of window w: seed[(base+k-w) mod D];
+          // the tap walks down within each m-window block.
+          const std::size_t w0 = w - (w % m);
+          const std::size_t tap = (m - 1) - (w - w0) + k;
+          bit ^= static_cast<unsigned>((id_bits >> tap) & 1ULL);
+        }
+        partial[k] += bit ? 1 : -1;
+      }
+    }
+
+    for (std::size_t k = 0; k < m; ++k) encoding_[base + k] = partial[k];
+
+    // Pipelined search: one row from every class memory per class.
+    for (std::size_t c = 0; c < nc; ++c) {
+      std::int64_t dot = 0;
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::int32_t cv =
+            from_row16(class_mems_[k].read_word(p * nc + c));
+        dot += static_cast<std::int64_t>(partial[k]) * cv;
+      }
+      const auto prev = static_cast<std::int64_t>(score_mem_.read_word(c));
+      scores_[c] = prev + dot;
+      score_mem_.write_word(c, static_cast<std::uint64_t>(scores_[c]));
+      cycles += 1;
+    }
+  }
+  return cycles;
+}
+
+int MicroArchSim::finalize(std::uint64_t& cycles) {
+  const std::size_t chunks_total = spec_.dims / hw_.chunk;
+  const std::size_t chunks_active = std::max<std::size_t>(
+      1, std::min(chunks_total, active_dims_ / hw_.chunk));
+  int best = 0;
+  int best_sign = -2;
+  std::int64_t best_log = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t c = 0; c < spec_.classes; ++c) {
+    std::int64_t norm = 0;
+    for (std::size_t j = 0; j < chunks_active; ++j)
+      norm += static_cast<std::int64_t>(
+          norm_mem_.read_bits(c * chunks_total + j, 0, 48));
+    const std::int64_t dot = scores_[c];
+    int sign;
+    std::int64_t log_score;
+    if (dot == 0 || norm == 0) {
+      sign = 0;
+      log_score = 0;
+    } else {
+      sign = dot > 0 ? 1 : -1;
+      const auto mag = static_cast<std::uint64_t>(dot > 0 ? dot : -dot);
+      log_score = 2 * mitchell_log2_corrected(mag) -
+                  mitchell_log2_corrected(static_cast<std::uint64_t>(norm));
+    }
+    const std::int64_t keyed = sign >= 0 ? log_score : -log_score;
+    if (sign > best_sign || (sign == best_sign && keyed > best_log)) {
+      best_sign = sign;
+      best_log = keyed;
+      best = static_cast<int>(c);
+    }
+    cycles += 1;
+  }
+  cycles += 4;  // divider latency tail (matches CycleModel)
+  return best;
+}
+
+MicroArchSim::Result MicroArchSim::infer(std::span<const float> sample) {
+  Result res;
+  res.cycles = run_frontend(sample);
+  res.label = finalize(res.cycles);
+  return res;
+}
+
+std::uint64_t MicroArchSim::apply_update(std::size_t cls, int sign) {
+  // Read-add-write over all passes of one class (3 x D/m cycles, §4.2.2):
+  // class row + stashed encoding row in, updated class row out, with the
+  // squared-norm accumulation riding the multiplier path.
+  const std::size_t m = hw_.m;
+  const std::size_t passes = spec_.dims / m;
+  const std::size_t nc = spec_.classes;
+  std::uint64_t cycles = 0;
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::int32_t cur =
+          from_row16(class_mems_[k].read_word(p * nc + cls));
+      const std::int32_t enc_v =
+          from_row16(class_mems_[k].read_word(stash_base() + p));
+      class_mems_[k].write_word(p * nc + cls, to_row16(cur + sign * enc_v));
+    }
+    cycles += 3;
+  }
+  // Refresh the class's norm2 rows from the (saturated) stored values.
+  const std::size_t chunks = spec_.dims / hw_.chunk;
+  const std::size_t rows_per_chunk = hw_.chunk / m;
+  for (std::size_t j = 0; j < chunks; ++j) {
+    std::int64_t acc = 0;
+    for (std::size_t r = 0; r < rows_per_chunk; ++r) {
+      const std::size_t p = j * rows_per_chunk + r;
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::int64_t v =
+            from_row16(class_mems_[k].read_word(p * nc + cls));
+        acc += v * v;
+      }
+    }
+    norm_mem_.write_word(cls * chunks + j,
+                         static_cast<std::uint64_t>(acc) & ((1ULL << 48) - 1));
+  }
+  return cycles;
+}
+
+MicroArchSim::Result MicroArchSim::train_step(std::span<const float> sample,
+                                              int label) {
+  if (label < 0 || static_cast<std::size_t>(label) >= spec_.classes)
+    throw std::invalid_argument("MicroArchSim::train_step: label");
+  require_temp_rows();
+  if (active_dims_ != spec_.dims)
+    throw std::logic_error("MicroArchSim: training runs at full dimensions");
+
+  Result res;
+  res.cycles = run_frontend(sample);
+  // Stash the encoding in the temporary rows while scoring (§4.2.2); the
+  // writes overlap the search pipeline, so no extra cycles.
+  const std::size_t m = hw_.m;
+  for (std::size_t p = 0; p < spec_.dims / m; ++p)
+    for (std::size_t k = 0; k < m; ++k)
+      class_mems_[k].write_word(stash_base() + p,
+                                to_row16(encoding_[p * m + k]));
+  res.label = finalize(res.cycles);
+
+  if (res.label != label) {
+    res.cycles += apply_update(static_cast<std::size_t>(res.label), -1);
+    res.cycles += apply_update(static_cast<std::size_t>(label), +1);
+  }
+  return res;
+}
+
+MicroArchSim::Result MicroArchSim::cluster_step(std::span<const float> sample) {
+  require_temp_rows();
+  if (active_dims_ != spec_.dims)
+    throw std::logic_error("MicroArchSim: clustering runs at full dimensions");
+
+  Result res;
+  res.cycles = run_frontend(sample);
+  const std::size_t m = hw_.m;
+  const std::size_t nc = spec_.classes;
+  const std::size_t passes = spec_.dims / m;
+  // Stash the encoding (one temporary-row write per pass).
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (std::size_t k = 0; k < m; ++k)
+      class_mems_[k].write_word(stash_base() + p,
+                                to_row16(encoding_[p * m + k]));
+    res.cycles += 1;
+  }
+  res.label = finalize(res.cycles);
+
+  // Accumulate into the winning copy centroid: read copy + stash, write
+  // copy back (2 cycles per pass).
+  const auto cls = static_cast<std::size_t>(res.label);
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::int32_t cur =
+          from_row16(class_mems_[k].read_word(copy_base() + p * nc + cls));
+      const std::int32_t enc_v =
+          from_row16(class_mems_[k].read_word(stash_base() + p));
+      class_mems_[k].write_word(copy_base() + p * nc + cls,
+                                to_row16(cur + enc_v));
+    }
+    res.cycles += 2;
+  }
+  return res;
+}
+
+void MicroArchSim::swap_copies() {
+  require_temp_rows();
+  // The copy region becomes the live model for the next epoch (a region
+  // swap in the controller's base registers — no data movement cycles);
+  // empty copies keep the previous centroid. Norm2 rows refresh from the
+  // new contents. Copies are then cleared for the next epoch.
+  const std::size_t m = hw_.m;
+  const std::size_t nc = spec_.classes;
+  const std::size_t passes = spec_.dims / m;
+  for (std::size_t c = 0; c < nc; ++c) {
+    bool any = false;
+    for (std::size_t p = 0; p < passes && !any; ++p)
+      for (std::size_t k = 0; k < m && !any; ++k)
+        any = class_mems_[k].read_word(copy_base() + p * nc + c) != 0;
+    if (!any) continue;  // empty cluster: keep the old centroid
+    for (std::size_t p = 0; p < passes; ++p)
+      for (std::size_t k = 0; k < m; ++k) {
+        const auto v = class_mems_[k].read_word(copy_base() + p * nc + c);
+        class_mems_[k].write_word(p * nc + c, v);
+        class_mems_[k].write_word(copy_base() + p * nc + c, 0);
+      }
+  }
+  // Norm refresh for all centroids.
+  const std::size_t chunks = spec_.dims / hw_.chunk;
+  const std::size_t rows_per_chunk = hw_.chunk / m;
+  for (std::size_t c = 0; c < nc; ++c)
+    for (std::size_t j = 0; j < chunks; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t r = 0; r < rows_per_chunk; ++r) {
+        const std::size_t p = j * rows_per_chunk + r;
+        for (std::size_t k = 0; k < m; ++k) {
+          const std::int64_t v =
+              from_row16(class_mems_[k].read_word(p * nc + c));
+          acc += v * v;
+        }
+      }
+      norm_mem_.write_word(c * chunks + j,
+                           static_cast<std::uint64_t>(acc) &
+                               ((1ULL << 48) - 1));
+    }
+}
+
+}  // namespace generic::arch

@@ -1,0 +1,116 @@
+// Cycle-level micro-architectural simulator of the GENERIC inference
+// datapath (paper §4, Figure 4) — the reproduction's stand-in for the
+// RTL model the authors verified in Modelsim (§5.1).
+//
+// Unlike GenericAsic (behavioural algorithms + analytic cycle counts),
+// MicroArchSim actually executes the dataflow against bit-accurate SRAM
+// banks:
+//   * feature memory (1024 x 8b) holds the quantized input bins;
+//   * level memory (64 x D) serves m-bit slices, widened by n-1 bits so
+//     the sliding register stack can permute by window offset;
+//   * the id *seed* row (1 x D) is read once per m windows and shifted in
+//     the tmp register (§4.3.1's 1024x compression);
+//   * 16 distributed class memories (8K x 16b each) striped per §4.3.2:
+//     dimensions [16p, 16p+16) of class c live at row p*nC + c;
+//   * score and norm2 memories accumulate the pipelined dot products and
+//     serve the per-128-dim sub-norms;
+//   * scores are compared through the corrected Mitchell log (§4.2.1).
+//
+// The simulator is verified three ways (tests/arch/microarch_test.cpp):
+// predictions match GenericAsic exactly, the per-pass encoding equals the
+// software GenericEncoder output bit-for-bit, and cycle/access counts
+// match the analytic CycleModel formulae.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arch/cycle_model.h"
+#include "arch/spec.h"
+#include "arch/sram.h"
+#include "encoding/encoders.h"
+#include "model/hdc_classifier.h"
+
+namespace generic::arch {
+
+class MicroArchSim {
+ public:
+  /// Build the memory image from a fitted encoder and a trained model.
+  /// The encoder supplies the level table, the id seed and the quantizer;
+  /// the classifier supplies class vectors (saturated to 16-bit rows, as
+  /// the silicon stores them) and the norm2 sub-norms.
+  MicroArchSim(const AppSpec& spec, const enc::GenericEncoder& encoder,
+               const model::HdcClassifier& classifier,
+               const ArchConstants& hw = {});
+
+  struct Result {
+    int label = -1;
+    std::uint64_t cycles = 0;
+  };
+
+  /// Run one inference at cycle granularity.
+  Result infer(std::span<const float> sample);
+
+  /// Training-mode step (§4.2.2): score the labelled input and, on a
+  /// misprediction, execute the read-add-write update of both touched
+  /// classes (3 x D/m cycles each) plus the norm2 refresh. Returns the
+  /// pre-update prediction; cycles include the update when it fired.
+  Result train_step(std::span<const float> sample, int label);
+
+  /// Clustering-mode step (§4.2.3): score the input against the k
+  /// centroids in rows [0, k), stash the encoding, and accumulate it into
+  /// the *copy* centroid held in the temporary row region. swap_copies()
+  /// promotes the copies at the end of an epoch.
+  Result cluster_step(std::span<const float> sample);
+  void swap_copies();
+
+  /// Encoded partial dimensions of the last inference (for bit-exactness
+  /// checks against the software encoder).
+  const std::vector<std::int32_t>& last_encoding() const { return encoding_; }
+
+  /// Use only the first `dims` dimensions (multiple of m; sub-norm rows
+  /// cover chunk multiples — pass a 128-multiple for exact norms).
+  void set_active_dims(std::size_t dims);
+
+  // Fault-injection access to every array.
+  Sram& feature_memory() { return feature_mem_; }
+  Sram& level_memory() { return level_mem_; }
+  Sram& id_seed() { return id_seed_; }
+  Sram& class_memory(std::size_t k) { return class_mems_.at(k); }
+  Sram& score_memory() { return score_mem_; }
+  Sram& norm_memory() { return norm_mem_; }
+  std::size_t num_class_memories() const { return class_mems_.size(); }
+
+ private:
+  /// Shared encode+search frontend; fills encoding_ and scores_, returns
+  /// the cycle count of the passes (load/score), excluding finalize.
+  std::uint64_t run_frontend(std::span<const float> sample);
+  /// Finalize: norm fetch + corrected-Mitchell compare; adds to cycles.
+  int finalize(std::uint64_t& cycles);
+  /// Read-add-write the stashed encoding into class row region `cls` with
+  /// `sign`, refreshing its norm2 rows; returns cycles consumed.
+  std::uint64_t apply_update(std::size_t cls, int sign);
+  /// Row layout of the temporary regions (train stash / cluster copies).
+  std::size_t stash_base() const;
+  std::size_t copy_base() const;
+  void require_temp_rows() const;
+
+  AppSpec spec_;
+  ArchConstants hw_;
+  std::size_t active_dims_;
+  const enc::GenericEncoder& encoder_;
+
+  Sram feature_mem_;
+  Sram level_mem_;
+  Sram id_seed_;
+  std::vector<Sram> class_mems_;
+  Sram score_mem_;
+  Sram norm_mem_;
+
+  std::vector<std::int32_t> encoding_;
+  std::vector<std::int64_t> scores_;
+};
+
+}  // namespace generic::arch

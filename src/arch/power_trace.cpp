@@ -1,0 +1,44 @@
+#include "arch/power_trace.h"
+
+#include <sstream>
+
+namespace generic::arch {
+
+void PowerTrace::record(std::string label, const AppSpec& spec,
+                        const AccessCounts& delta, const VosSetting& vos) {
+  PhaseSample s;
+  s.label = std::move(label);
+  s.seconds = cycles_.seconds(delta);
+  s.energy_j = energy_.dynamic_energy_j(spec, delta, vos);
+  s.static_energy_j =
+      energy_.static_power_mw(spec, vos).total() * 1e-3 * s.seconds;
+  samples_.push_back(std::move(s));
+}
+
+double PowerTrace::total_energy_j() const {
+  double acc = 0.0;
+  for (const auto& s : samples_) acc += s.total_j();
+  return acc;
+}
+
+double PowerTrace::total_seconds() const {
+  double acc = 0.0;
+  for (const auto& s : samples_) acc += s.seconds;
+  return acc;
+}
+
+std::string PowerTrace::to_csv() const {
+  std::ostringstream out;
+  out << "phase,seconds,control_j,datapath_j,base_mem_j,feature_mem_j,"
+         "level_mem_j,class_mem_j,static_j,total_j,avg_power_w\n";
+  for (const auto& s : samples_) {
+    out << s.label << ',' << s.seconds << ',' << s.energy_j.control << ','
+        << s.energy_j.datapath << ',' << s.energy_j.base_mem << ','
+        << s.energy_j.feature_mem << ',' << s.energy_j.level_mem << ','
+        << s.energy_j.class_mem << ',' << s.static_energy_j << ','
+        << s.total_j() << ',' << s.average_power_w() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace generic::arch

@@ -1,0 +1,50 @@
+// Phase-level power/energy tracing: the waveform-style view a power
+// sign-off flow produces, at the granularity this model supports (phases,
+// not clock edges). Callers bracket workload phases (load / train /
+// inference burst / low-power inference ...) by recording the ASIC's
+// access-count deltas; the trace prices each phase through the EnergyModel
+// and can render a text table or CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cycle_model.h"
+#include "arch/energy_model.h"
+#include "arch/spec.h"
+
+namespace generic::arch {
+
+struct PhaseSample {
+  std::string label;
+  double seconds = 0.0;
+  Breakdown energy_j;        ///< dynamic energy by component
+  double static_energy_j = 0.0;
+  double total_j() const { return energy_j.total() + static_energy_j; }
+  double average_power_w() const {
+    return seconds > 0.0 ? total_j() / seconds : 0.0;
+  }
+};
+
+class PowerTrace {
+ public:
+  explicit PowerTrace(const ArchConstants& hw = {}) : cycles_(hw), energy_(hw) {}
+
+  /// Price the access-count *delta* of one phase and append it.
+  void record(std::string label, const AppSpec& spec,
+              const AccessCounts& delta, const VosSetting& vos = {});
+
+  const std::vector<PhaseSample>& samples() const { return samples_; }
+  double total_energy_j() const;
+  double total_seconds() const;
+
+  /// Render as CSV (header + one row per phase) for external plotting.
+  std::string to_csv() const;
+
+ private:
+  CycleModel cycles_;
+  EnergyModel energy_;
+  std::vector<PhaseSample> samples_;
+};
+
+}  // namespace generic::arch

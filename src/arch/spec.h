@@ -1,0 +1,57 @@
+// Application spec of the GENERIC accelerator (paper §4.1, the `spec` port).
+//
+// The controller is programmed per application with: hypervector
+// dimensionality D_hv, number of input elements d, window length n, number
+// of classes/centroids nC, effective bit-width bw and the operating mode.
+// These few parameters are what give GENERIC its flexibility without an
+// instruction set (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace generic::arch {
+
+enum class Mode { kTraining, kInference, kClustering };
+
+/// Architectural constants fixed at design time (paper §4/§5.1).
+struct ArchConstants {
+  std::size_t m = 16;              ///< dimensions generated per pass
+  std::size_t max_dims = 4096;     ///< class memory rows cover 4K dims...
+  std::size_t max_classes = 32;    ///< ...for up to 32 classes (trade-off ok)
+  std::size_t max_features = 1024; ///< input memory depth
+  std::size_t levels = 64;         ///< level memory rows
+  std::size_t chunk = 128;         ///< sub-norm granularity (norm2 memory)
+  std::size_t class_banks = 4;     ///< power-gating banks per class memory
+  double clock_hz = 500e6;         ///< synthesis target (14 nm)
+};
+
+struct AppSpec {
+  std::size_t dims = 4096;      ///< D_hv in use (multiple of chunk)
+  std::size_t features = 64;    ///< d, elements per input
+  std::size_t window = 3;       ///< n
+  std::size_t classes = 2;      ///< nC (classes or centroids)
+  int bit_width = 16;           ///< bw of class elements
+  bool use_ids = true;          ///< bind window ids (Eq. 1) or skip
+  Mode mode = Mode::kInference;
+
+  /// Validate against the architectural envelope; throws on violation.
+  /// The class-memory layout allows trading dims for classes:
+  /// classes * dims must fit 32 * 4K rows (§4.1).
+  void validate(const ArchConstants& hw = {}) const {
+    if (dims == 0 || dims % hw.chunk != 0)
+      throw std::invalid_argument("AppSpec: dims must be a nonzero multiple of 128");
+    if (classes == 0 || classes > hw.max_classes)
+      throw std::invalid_argument("AppSpec: classes out of range");
+    if (classes * dims > hw.max_classes * hw.max_dims)
+      throw std::invalid_argument("AppSpec: classes*dims exceeds class memory");
+    if (features == 0 || features > hw.max_features)
+      throw std::invalid_argument("AppSpec: features out of range");
+    if (window == 0 || window > features)
+      throw std::invalid_argument("AppSpec: window out of range");
+    if (bit_width < 1 || bit_width > 16)
+      throw std::invalid_argument("AppSpec: bit_width out of range");
+  }
+};
+
+}  // namespace generic::arch

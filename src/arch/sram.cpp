@@ -1,0 +1,86 @@
+#include "arch/sram.h"
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+
+namespace generic::arch {
+
+Sram::Sram(std::string name, std::size_t depth, std::size_t width_bits)
+    : name_(std::move(name)),
+      depth_(depth),
+      width_bits_(width_bits),
+      words_per_row_(words_for_bits(width_bits)) {
+  if (depth == 0 || width_bits == 0)
+    throw std::invalid_argument("Sram: zero-sized array");
+  data_.assign(depth * words_per_row_, 0ULL);
+}
+
+void Sram::write_row(std::size_t row, const std::vector<std::uint64_t>& bits) {
+  if (row >= depth_) throw std::out_of_range("Sram::write_row: " + name_);
+  if (bits.size() != words_per_row_)
+    throw std::invalid_argument("Sram::write_row: word count");
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    std::uint64_t v = bits[w];
+    // Mask the last word to the row width.
+    if (w + 1 == words_per_row_ && width_bits_ % kWordBits != 0)
+      v &= low_mask(width_bits_ % kWordBits);
+    data_[row * words_per_row_ + w] = v;
+  }
+  ++writes_;
+}
+
+std::uint64_t Sram::maybe_upset(std::uint64_t word, std::size_t bits) {
+  if (upset_rate_ <= 0.0) return word;
+  for (std::size_t b = 0; b < bits; ++b)
+    if (fault_rng_.bernoulli(upset_rate_)) word ^= (1ULL << b);
+  return word;
+}
+
+std::vector<std::uint64_t> Sram::read_row(std::size_t row) {
+  if (row >= depth_) throw std::out_of_range("Sram::read_row: " + name_);
+  ++reads_;
+  std::vector<std::uint64_t> out(words_per_row_);
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    const std::size_t bits = (w + 1 == words_per_row_ &&
+                              width_bits_ % kWordBits != 0)
+                                 ? width_bits_ % kWordBits
+                                 : kWordBits;
+    out[w] = maybe_upset(data_[row * words_per_row_ + w], bits);
+  }
+  return out;
+}
+
+std::uint64_t Sram::read_bits(std::size_t row, std::size_t start,
+                              std::size_t count) {
+  if (row >= depth_) throw std::out_of_range("Sram::read_bits: " + name_);
+  if (count == 0 || count > 64)
+    throw std::invalid_argument("Sram::read_bits: count in [1, 64]");
+  ++reads_;
+  const std::uint64_t* rowp = &data_[row * words_per_row_];
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t bit = (start + i) % width_bits_;
+    if (get_bit(rowp, bit)) out |= (1ULL << i);
+  }
+  return maybe_upset(out, count);
+}
+
+std::uint64_t Sram::read_word(std::size_t row) {
+  if (width_bits_ > 64)
+    throw std::logic_error("Sram::read_word on wide row: " + name_);
+  return read_bits(row, 0, width_bits_);
+}
+
+void Sram::write_word(std::size_t row, std::uint64_t value) {
+  if (width_bits_ > 64)
+    throw std::logic_error("Sram::write_word on wide row: " + name_);
+  write_row(row, {value});
+}
+
+void Sram::set_read_upset_rate(double rate, std::uint64_t seed) {
+  upset_rate_ = rate;
+  fault_rng_ = Rng(seed);
+}
+
+}  // namespace generic::arch

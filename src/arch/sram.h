@@ -1,0 +1,66 @@
+// Bit-accurate SRAM bank model used by the micro-architectural simulator
+// (microarch.h). Each bank stores `depth` rows of `width_bits`, counts
+// accesses, and can inject per-bit read upsets to model operation below
+// the nominal supply — not just in the class memories (§4.3.4) but in any
+// array, enabling the failure-injection studies DESIGN.md §6 calls for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace generic::arch {
+
+class Sram {
+ public:
+  Sram(std::string name, std::size_t depth, std::size_t width_bits);
+
+  const std::string& name() const { return name_; }
+  std::size_t depth() const { return depth_; }
+  std::size_t width_bits() const { return width_bits_; }
+
+  /// Write a row (low `width_bits` of each word used, row-major u64 words).
+  void write_row(std::size_t row, const std::vector<std::uint64_t>& bits);
+
+  /// Read a full row; counts one access and applies fault injection.
+  std::vector<std::uint64_t> read_row(std::size_t row);
+
+  /// Read `count` bits starting at bit `start` of `row` (wraps around the
+  /// row, modelling the sliding-window fetch of the encoder register
+  /// stack). One access.
+  std::uint64_t read_bits(std::size_t row, std::size_t start,
+                          std::size_t count);
+
+  /// Convenience for narrow rows (<= 64 bits).
+  std::uint64_t read_word(std::size_t row);
+  void write_word(std::size_t row, std::uint64_t value);
+
+  /// Enable per-bit read-upset injection at `rate` using `seed`.
+  /// Upsets are transient (the stored value is not modified) — the model
+  /// of read-path failures under voltage over-scaling.
+  void set_read_upset_rate(double rate, std::uint64_t seed);
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  void reset_counters() {
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  std::uint64_t maybe_upset(std::uint64_t word, std::size_t bits);
+
+  std::string name_;
+  std::size_t depth_;
+  std::size_t width_bits_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> data_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  double upset_rate_ = 0.0;
+  Rng fault_rng_{0};
+};
+
+}  // namespace generic::arch

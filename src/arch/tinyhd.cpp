@@ -1,0 +1,40 @@
+#include "arch/tinyhd.h"
+
+namespace generic::arch {
+
+TinyHdModel::TinyHdModel(const ArchConstants& hw)
+    : hw_(hw), cycles_(hw), energy_(hw) {}
+
+AccessCounts TinyHdModel::infer_counts(const AppSpec& spec) const {
+  AccessCounts c = cycles_.infer_input(spec);
+  // No cosine normalization: drop the norm fetches and the divider tail
+  // (the comparator is a running max over popcount scores).
+  c.cycles -= c.divider_ops + 4;
+  c.norm_accesses = 0;
+  c.divider_ops = 0;
+  return c;
+}
+
+double TinyHdModel::static_power_mw(const AppSpec& spec) const {
+  Breakdown b = energy_.static_power_full_mw();
+  // 1-bit class arrays leak ~16x less; same opportunistic gating applies.
+  b.class_mem *= energy_.active_bank_fraction(spec) / 16.0;
+  // No norm2 memory (the dominant part of the base-memory group).
+  b.base_mem *= 0.5;
+  return b.total();
+}
+
+double TinyHdModel::energy_per_input_j(const AppSpec& spec) const {
+  AppSpec binary = spec;
+  binary.bit_width = 1;  // scales class-array and MAC dynamic energy
+  const auto counts = infer_counts(spec);
+  const double dynamic = energy_.dynamic_energy_j(binary, counts).total();
+  const double leak = static_power_mw(spec) * 1e-3 * cycles_.seconds(counts);
+  return dynamic + leak;
+}
+
+double TinyHdModel::seconds_per_input(const AppSpec& spec) const {
+  return cycles_.seconds(infer_counts(spec));
+}
+
+}  // namespace generic::arch

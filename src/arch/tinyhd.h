@@ -1,0 +1,45 @@
+// First-principles model of a tiny-HD-style inference-only HDC engine
+// (Khaleghi et al., DATE'21 [8]) built from the same component library as
+// the GENERIC model, for an apples-to-apples architectural comparison in
+// Figure 9 alongside the published (technology-scaled) anchor:
+//   * binary (1-bit) class vectors — the class arrays shrink 16x and the
+//     dot product degenerates to XOR+popcount;
+//   * no training support: no temporary rows, no norm2 memory, and a
+//     running-max comparator instead of the Mitchell divider (all binary
+//     class vectors share the same norm);
+//   * the same m=16-dims-per-pass encoding frontend.
+// What this model quantifies: how much of GENERIC's energy premium over an
+// inference-only engine is architectural (trainability: 16-bit arrays,
+// norms, divider) versus implementation/technology.
+#pragma once
+
+#include "arch/cycle_model.h"
+#include "arch/energy_model.h"
+#include "arch/spec.h"
+
+namespace generic::arch {
+
+class TinyHdModel {
+ public:
+  explicit TinyHdModel(const ArchConstants& hw = {});
+
+  /// Access counts of one inference: the GENERIC frontend without the
+  /// norm fetch / divider tail.
+  AccessCounts infer_counts(const AppSpec& spec) const;
+
+  /// Static power: GENERIC's floor with 1-bit class arrays (16x smaller)
+  /// and no norm2 memory.
+  double static_power_mw(const AppSpec& spec) const;
+
+  /// Total energy per inference (dynamic + leakage over the run).
+  double energy_per_input_j(const AppSpec& spec) const;
+
+  double seconds_per_input(const AppSpec& spec) const;
+
+ private:
+  ArchConstants hw_;
+  CycleModel cycles_;
+  EnergyModel energy_;
+};
+
+}  // namespace generic::arch

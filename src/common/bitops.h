@@ -1,0 +1,44 @@
+// Small helpers for packed-bit manipulation used by the hypervector layer.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace generic {
+
+inline constexpr std::size_t kWordBits = 64;
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+/// Population count of one word.
+inline int popcount64(std::uint64_t w) { return std::popcount(w); }
+
+/// Mask keeping the low `n` bits of a word (n in [0, 64]).
+constexpr std::uint64_t low_mask(std::size_t n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1ULL);
+}
+
+/// Extract bit `i` from a packed word array.
+inline bool get_bit(const std::uint64_t* words, std::size_t i) {
+  return (words[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+/// Set bit `i` in a packed word array to `value`.
+inline void set_bit(std::uint64_t* words, std::size_t i, bool value) {
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (value)
+    words[i / kWordBits] |= mask;
+  else
+    words[i / kWordBits] &= ~mask;
+}
+
+/// Flip bit `i` in a packed word array.
+inline void flip_bit(std::uint64_t* words, std::size_t i) {
+  words[i / kWordBits] ^= 1ULL << (i % kWordBits);
+}
+
+}  // namespace generic

@@ -1,0 +1,57 @@
+#include "common/mitchell.h"
+
+#include <bit>
+#include <limits>
+
+namespace generic {
+
+std::int64_t mitchell_log2(std::uint64_t x) {
+  if (x == 0) return std::numeric_limits<std::int64_t>::min();
+  const int k = 63 - std::countl_zero(x);  // floor(log2 x)
+  // Mantissa m = (x - 2^k) / 2^k in [0,1), kept to kMitchellFracBits bits.
+  std::uint64_t mantissa = x - (1ULL << k);
+  std::int64_t frac;
+  if (k >= kMitchellFracBits)
+    frac = static_cast<std::int64_t>(mantissa >> (k - kMitchellFracBits));
+  else
+    frac = static_cast<std::int64_t>(mantissa << (kMitchellFracBits - k));
+  return (static_cast<std::int64_t>(k) << kMitchellFracBits) + frac;
+}
+
+std::int64_t mitchell_log2_corrected(std::uint64_t x) {
+  if (x == 0) return std::numeric_limits<std::int64_t>::min();
+  const std::int64_t raw = mitchell_log2(x);
+  // raw = (k << F) + m_fixed with m in [0, 1); add c*m*(1-m), c = 0.343
+  // in the same fixed point (c ~= 22479 / 2^16).
+  const std::int64_t m = raw & ((1LL << kMitchellFracBits) - 1);
+  const std::int64_t one = 1LL << kMitchellFracBits;
+  const std::int64_t c = 22479;  // round(0.343 * 2^16)
+  const std::int64_t correction =
+      (((c * m) >> kMitchellFracBits) * (one - m)) >> kMitchellFracBits;
+  return raw + correction;
+}
+
+std::uint64_t mitchell_divide(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return 0;
+  const std::int64_t diff = mitchell_log2(a) - mitchell_log2(b);
+  // 2^diff with Mitchell's inverse approximation: 2^(k + f) ~= 2^k (1 + f).
+  const std::int64_t k = diff >> kMitchellFracBits;  // arithmetic shift: floor
+  const std::int64_t f = diff - (k << kMitchellFracBits);
+  if (k <= -kMitchellFracBits) return 0;
+  // value = (1 + f/2^F) * 2^k  computed in fixed point.
+  const std::uint64_t one_plus_f =
+      (1ULL << kMitchellFracBits) + static_cast<std::uint64_t>(f);
+  const std::uint64_t half = 1ULL << (kMitchellFracBits - 1);
+  if (k >= 0) {
+    const std::uint64_t scaled = one_plus_f << k;
+    return (scaled + half) >> kMitchellFracBits;  // round to nearest
+  }
+  return ((one_plus_f >> static_cast<int>(-k)) + half) >> kMitchellFracBits;
+}
+
+std::int64_t mitchell_log_ratio(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return std::numeric_limits<std::int64_t>::min();
+  return mitchell_log2(a) - mitchell_log2(b);
+}
+
+}  // namespace generic

@@ -1,0 +1,42 @@
+// Mitchell's logarithm-based approximate arithmetic (IRE Trans. 1962),
+// used by the GENERIC ASIC's score divider (paper §4.2.1, ref [18]).
+//
+// The similarity metric delta_i = (H·C_i)^2 / ||C_i||^2 needs one division
+// per class. A full divider is large; the ASIC instead computes
+// log2(a) - log2(b) with Mitchell's piecewise-linear log approximation and
+// compares classes in the log domain. The worst-case relative error of a
+// Mitchell division is ~11.1%, which HDC's wide score margins absorb.
+#pragma once
+
+#include <cstdint>
+
+namespace generic {
+
+/// Fixed-point format of the Mitchell log: 6 integer bits (enough for
+/// 64-bit operands) and 16 fractional bits.
+inline constexpr int kMitchellFracBits = 16;
+
+/// Mitchell piecewise-linear log2 of a positive integer, returned in fixed
+/// point with kMitchellFracBits fractional bits. log2(x) ~= k + m where
+/// x = 2^k (1 + m), m in [0,1) read directly from the mantissa bits.
+/// Worst-case error ~0.086 bits (underestimate).
+std::int64_t mitchell_log2(std::uint64_t x);
+
+/// Mitchell log2 with the standard quadratic mantissa correction
+///   log2(1+m) ~= m + c*m*(1-m),  c = 0.343
+/// — one extra narrow multiply in hardware, worst-case error ~0.008 bits.
+/// The GENERIC score comparator uses this variant: class-score margins on
+/// quantized models are tighter than raw Mitchell's error band, and the
+/// retraining loop would otherwise chase phantom mispredictions.
+std::int64_t mitchell_log2_corrected(std::uint64_t x);
+
+/// Approximate a/b (b > 0) via 2^(log2 a - log2 b), Mitchell in both
+/// directions. Returns 0 when a == 0.
+std::uint64_t mitchell_divide(std::uint64_t a, std::uint64_t b);
+
+/// Score comparison in the log domain as the ASIC does it: returns the
+/// fixed-point value log2(a) - log2(b), usable to rank a/b across classes
+/// without ever leaving the log domain. Returns INT64_MIN for a == 0.
+std::int64_t mitchell_log_ratio(std::uint64_t a, std::uint64_t b);
+
+}  // namespace generic

@@ -1,0 +1,50 @@
+#include "common/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace generic {
+
+Quantizer::Quantizer(std::size_t bins) : bins_(bins) {
+  if (bins_ == 0) throw std::invalid_argument("Quantizer needs >= 1 bin");
+}
+
+void Quantizer::fit(std::span<const std::vector<float>> samples) {
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
+  for (const auto& s : samples)
+    for (float v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  if (!(lo <= hi)) throw std::invalid_argument("Quantizer::fit: empty input");
+  fit_range(lo, hi);
+}
+
+void Quantizer::fit_range(float lo, float hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("Quantizer: lo must be <= hi");
+  lo_ = lo;
+  hi_ = hi;
+  fitted_ = true;
+}
+
+std::size_t Quantizer::bin(float value) const {
+  if (!fitted_) throw std::logic_error("Quantizer used before fit");
+  if (hi_ == lo_) return 0;
+  const float t = (value - lo_) / (hi_ - lo_);
+  const auto idx = static_cast<std::ptrdiff_t>(
+      std::floor(static_cast<double>(t) * static_cast<double>(bins_)));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins_) - 1));
+}
+
+std::vector<std::uint16_t> Quantizer::transform(
+    std::span<const float> sample) const {
+  std::vector<std::uint16_t> out(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i)
+    out[i] = static_cast<std::uint16_t>(bin(sample[i]));
+  return out;
+}
+
+}  // namespace generic

@@ -1,0 +1,7 @@
+// rng.h is header-only; this TU exists so the library has a stable archive
+// member for the component and to catch ODR issues early.
+#include "common/rng.h"
+
+namespace generic {
+static_assert(sizeof(Rng) > 0, "Rng must be a complete type");
+}  // namespace generic

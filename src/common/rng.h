@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic component of this reproduction (item memories, synthetic
+// dataset generators, ML initialisation, bit-flip fault injection) draws
+// from a seeded Rng so that runs, tests and benchmark tables are exactly
+// reproducible. The generator is xoshiro256** seeded via splitmix64, which
+// is fast, has a 2^256-1 period and passes BigCrush — more than adequate for
+// hypervector generation where we mainly need unbiased independent bits.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+
+namespace generic {
+
+/// Single-step splitmix64; used to expand a 64-bit seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E2Fu) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64 random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli(p) — true with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Derive an independent child generator; `stream` tags the purpose so
+  /// two different consumers of the same parent seed never collide.
+  Rng fork(std::uint64_t stream) {
+    std::uint64_t sm = next_u64() ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  template <typename Container>
+  void shuffle(Container& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      auto tmp = v[i - 1];
+      v[i - 1] = v[j];
+      v[j] = tmp;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace generic

@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace generic {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double min_of(std::span<const double> xs) {
+  double best = std::numeric_limits<double>::infinity();
+  for (double x : xs) best = std::min(best, x);
+  return best;
+}
+
+double max_of(std::span<const double> xs) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (double x : xs) best = std::max(best, x);
+  return best;
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) return static_cast<std::size_t>(-1);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i)
+    if (xs[i] > xs[best]) best = i;
+  return best;
+}
+
+}  // namespace generic

@@ -1,0 +1,24 @@
+// Descriptive statistics shared by the evaluation harness (Table 1 mean and
+// standard deviation rows, geometric means of Figures 3/8/9/10).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace generic {
+
+double mean(std::span<const double> xs);
+/// Population standard deviation (the paper's STDV row aggregates a full,
+/// fixed set of benchmarks, not a sample).
+double stddev(std::span<const double> xs);
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+double median(std::vector<double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Index of the maximum element; first index wins ties. Empty => npos.
+std::size_t argmax(std::span<const double> xs);
+
+}  // namespace generic

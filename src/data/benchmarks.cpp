@@ -1,0 +1,303 @@
+#include "data/benchmarks.h"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "data/generators.h"
+
+namespace generic::data {
+namespace {
+
+// Sample-count policy: roughly 120 train / 40 test per class, matching the
+// order of magnitude the evaluation needs while keeping single-core
+// benchmark runtimes tractable.
+struct Counts {
+  std::size_t train_per_class = 120;
+  std::size_t test_per_class = 40;
+};
+
+using SampleFn = std::function<std::vector<float>(std::size_t cls, Rng&)>;
+
+Dataset assemble(std::string name, std::size_t classes, const Counts& counts,
+                 const SampleFn& sample, Rng& rng) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.num_classes = classes;
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < counts.train_per_class; ++i) {
+      ds.train_x.push_back(sample(c, rng));
+      ds.train_y.push_back(static_cast<int>(c));
+    }
+    for (std::size_t i = 0; i < counts.test_per_class; ++i) {
+      ds.test_x.push_back(sample(c, rng));
+      ds.test_y.push_back(static_cast<int>(c));
+    }
+  }
+  shuffle_xy(ds.train_x, ds.train_y, rng);
+  shuffle_xy(ds.test_x, ds.test_y, rng);
+  return ds;
+}
+
+Dataset make_cardio(Rng& rng) {
+  TemplateSpec spec;
+  spec.classes = 10;
+  spec.features = 21;
+  spec.smoothness = 0.3;  // tabular with mild feature correlation
+  spec.amplitude = 1.0;
+  spec.noise = 0.50;
+  const auto tmpls = make_templates(spec, rng);
+  return assemble("CARDIO", spec.classes, {}, [&](std::size_t c, Rng& r) {
+    return sample_template(tmpls[c], spec.noise, r);
+  }, rng);
+}
+
+Dataset make_page(Rng& rng) {
+  TemplateSpec spec;
+  spec.classes = 5;
+  spec.features = 10;
+  spec.smoothness = 0.3;
+  spec.amplitude = 1.0;
+  spec.noise = 0.50;
+  const auto tmpls = make_templates(spec, rng);
+  return assemble("PAGE", spec.classes, {}, [&](std::size_t c, Rng& r) {
+    return sample_template(tmpls[c], spec.noise, r);
+  }, rng);
+}
+
+Dataset make_dna(Rng& rng) {
+  // Splice junctions: class-specific base composition everywhere plus a
+  // conserved consensus block around the junction (the centre), the way
+  // real splice sites carry a positional consensus. The block is what lets
+  // even a linear projection reach the high 90s, as in the paper.
+  MarkovSpec spec;
+  spec.classes = 3;
+  spec.features = 180;
+  spec.alphabet = 4;
+  spec.concentration = 0.15;
+  spec.unigram_bias = 0.80;
+  const auto bank = make_markov_bank(spec, rng);
+  const std::size_t block_lo = spec.features / 2 - 10;
+  const std::size_t block_hi = spec.features / 2 + 10;
+  std::vector<std::vector<float>> consensus(spec.classes);
+  for (auto& row : consensus) {
+    row.resize(block_hi - block_lo);
+    for (auto& v : row)
+      v = static_cast<float>(rng.below(spec.alphabet)) + 0.5f;
+  }
+  return assemble("DNA", spec.classes, {}, [&](std::size_t c, Rng& r) {
+    auto x = sample_markov(spec, bank, c, r);
+    for (std::size_t i = block_lo; i < block_hi; ++i)
+      if (r.bernoulli(0.8)) x[i] = consensus[c][i - block_lo];
+    return x;
+  }, rng);
+}
+
+Dataset make_lang(Rng& rng) {
+  MarkovSpec spec;
+  spec.classes = 21;
+  spec.features = 128;
+  spec.alphabet = 26;
+  spec.concentration = 0.22;
+  spec.unigram_bias = 0.75;  // unigram skew: level-id gets partial credit
+  const auto bank = make_markov_bank(spec, rng);
+  Counts counts;
+  counts.train_per_class = 60;
+  counts.test_per_class = 25;
+  return assemble("LANG", spec.classes, counts, [&](std::size_t c, Rng& r) {
+    return sample_markov(spec, bank, c, r);
+  }, rng);
+}
+
+Dataset make_eeg(Rng& rng) {
+  // Zero-mean signals; class identity lives in short waveform shapes plus a
+  // weak variance envelope — linear projections see nothing.
+  MotifSpec motif;
+  motif.classes = 2;
+  motif.features = 64;
+  motif.motif_len = 6;
+  motif.motifs_per_class = 2;
+  motif.insertions = 2;
+  motif.motif_amplitude = 1.1;
+  motif.background_noise = 0.6;
+  const auto bank = make_motif_bank(motif, rng);
+  VarianceSpec var;
+  var.classes = 2;
+  var.features = 64;
+  var.min_sigma = 0.25;
+  var.max_sigma = 0.55;
+  const auto envs = make_envelopes(var, rng);
+  return assemble("EEG", motif.classes, {}, [&](std::size_t c, Rng& r) {
+    auto x = sample_motifs(motif, bank, c, r);
+    mix_into(x, sample_envelope(envs[c], r), 1.0f);
+    return x;
+  }, rng);
+}
+
+Dataset make_emg(Rng& rng) {
+  // Gesture EMG: class-specific muscle-burst waveforms at arbitrary offsets
+  // plus a moderate mean activation profile. Every non-linear method works;
+  // the linear projection (RP) only sees the weak mean profile.
+  MotifSpec motif;
+  motif.classes = 5;
+  motif.features = 64;
+  motif.motif_len = 6;
+  motif.motifs_per_class = 2;
+  motif.insertions = 3;
+  motif.motif_amplitude = 1.0;
+  motif.background_noise = 0.40;
+  const auto bank = make_motif_bank(motif, rng);
+  TemplateSpec weak;
+  weak.classes = 5;
+  weak.features = 64;
+  weak.smoothness = 0.9;
+  weak.amplitude = 0.55;  // mean signal: RP and classical ML stay useful
+  weak.noise = 0.0;
+  const auto tmpls = make_templates(weak, rng);
+  return assemble("EMG", motif.classes, {}, [&](std::size_t c, Rng& r) {
+    auto x = sample_motifs(motif, bank, c, r);
+    mix_into(x, tmpls[c], 1.0f);
+    return x;
+  }, rng);
+}
+
+Dataset make_face(Rng& rng) {
+  TemplateSpec spec;
+  spec.classes = 2;
+  spec.features = 128;
+  spec.smoothness = 0.96;  // very smooth: local windows shared across classes
+  spec.amplitude = 1.0;
+  spec.noise = 1.00;
+  const auto tmpls = make_templates(spec, rng);
+  return assemble("FACE", spec.classes, {}, [&](std::size_t c, Rng& r) {
+    return sample_template(tmpls[c], spec.noise, r);
+  }, rng);
+}
+
+Dataset make_isolet(Rng& rng) {
+  TemplateSpec spec;
+  spec.classes = 26;
+  spec.features = 128;
+  spec.smoothness = 0.93;
+  spec.amplitude = 1.0;
+  spec.noise = 0.70;
+  const auto tmpls = make_templates(spec, rng);
+  Counts counts;
+  counts.train_per_class = 80;
+  counts.test_per_class = 30;
+  return assemble("ISOLET", spec.classes, counts, [&](std::size_t c, Rng& r) {
+    return sample_template(tmpls[c], spec.noise, r);
+  }, rng);
+}
+
+Dataset make_mnist(Rng& rng) {
+  TemplateSpec spec;
+  spec.classes = 10;
+  spec.features = 196;  // 14x14 flattened
+  spec.smoothness = 0.85;
+  spec.amplitude = 1.0;
+  spec.noise = 1.10;
+  const auto tmpls = make_templates(spec, rng);
+  return assemble("MNIST", spec.classes, {}, [&](std::size_t c, Rng& r) {
+    return sample_template(tmpls[c], spec.noise, r);
+  }, rng);
+}
+
+Dataset make_pamap2(Rng& rng) {
+  // IMU activity windows: class-specific motion bursts whose *location*
+  // along the body-sensor layout matters, plus a weak mean posture signal.
+  MotifSpec motif;
+  motif.classes = 12;
+  motif.features = 96;
+  motif.motif_len = 8;
+  motif.motifs_per_class = 2;
+  motif.insertions = 2;
+  motif.motif_amplitude = 1.2;
+  motif.background_noise = 0.50;
+  motif.positional = true;
+  const auto bank = make_motif_bank(motif, rng);
+  TemplateSpec weak;
+  weak.classes = 12;
+  weak.features = 96;
+  weak.smoothness = 0.9;
+  weak.amplitude = 0.60;
+  weak.noise = 0.0;
+  const auto tmpls = make_templates(weak, rng);
+  Counts counts;
+  counts.train_per_class = 100;
+  counts.test_per_class = 35;
+  return assemble("PAMAP2", motif.classes, counts, [&](std::size_t c, Rng& r) {
+    auto x = sample_motifs(motif, bank, c, r);
+    mix_into(x, tmpls[c], 1.0f);
+    return x;
+  }, rng);
+}
+
+Dataset make_ucihar(Rng& rng) {
+  TemplateSpec spec;
+  spec.classes = 6;
+  spec.features = 128;
+  spec.smoothness = 0.9;
+  spec.amplitude = 1.0;
+  spec.noise = 0.85;
+  const auto tmpls = make_templates(spec, rng);
+  MotifSpec motif;
+  motif.classes = 6;
+  motif.features = 128;
+  motif.motif_len = 8;
+  motif.motifs_per_class = 2;
+  motif.insertions = 2;
+  motif.motif_amplitude = 0.7;
+  motif.background_noise = 0.0;
+  motif.positional = true;
+  const auto bank = make_motif_bank(motif, rng);
+  return assemble("UCIHAR", spec.classes, {}, [&](std::size_t c, Rng& r) {
+    auto x = sample_template(tmpls[c], spec.noise, r);
+    mix_into(x, sample_motifs(motif, bank, c, r), 1.0f);
+    return x;
+  }, rng);
+}
+
+}  // namespace
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names{
+      "CARDIO", "DNA",  "EEG",  "EMG",    "FACE",  "ISOLET",
+      "LANG",   "MNIST", "PAGE", "PAMAP2", "UCIHAR"};
+  return names;
+}
+
+Dataset make_benchmark(std::string_view name, std::uint64_t seed) {
+  // Each benchmark gets an independent RNG stream derived from (seed, name
+  // index) so regenerating one does not shift another.
+  const auto& names = benchmark_names();
+  std::size_t index = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) index = i;
+  if (index == names.size())
+    throw std::invalid_argument("unknown benchmark: " + std::string(name));
+  Rng rng(seed ^ (0xBEAC0ULL + index * 0x9E3779B97F4A7C15ULL));
+  switch (index) {
+    case 0: return make_cardio(rng);
+    case 1: return make_dna(rng);
+    case 2: return make_eeg(rng);
+    case 3: return make_emg(rng);
+    case 4: return make_face(rng);
+    case 5: return make_isolet(rng);
+    case 6: return make_lang(rng);
+    case 7: return make_mnist(rng);
+    case 8: return make_page(rng);
+    case 9: return make_pamap2(rng);
+    default: return make_ucihar(rng);
+  }
+}
+
+GenericDatasetConfig generic_config_for(std::string_view name) {
+  GenericDatasetConfig cfg;
+  // Order-free tasks (symbol statistics, bursts at arbitrary offsets):
+  // skip global id binding (ids = {0}, §3.1).
+  if (name == "LANG" || name == "DNA" || name == "EEG") cfg.use_ids = false;
+  return cfg;
+}
+
+}  // namespace generic::data

@@ -1,0 +1,46 @@
+// The eleven classification benchmark clones of Table 1.
+//
+// Each entry names the real dataset it stands in for and composes the
+// generator primitives so that the clone exhibits the same discriminative
+// structure (and therefore the same encoder win/loss pattern) as the
+// original — see generators.h for the primitive-to-failure-mode mapping and
+// DESIGN.md §3 for the substitution argument.
+//
+//   CARDIO  cardiotocography: plain tabular, 21 features, 10 classes
+//   DNA     splice junctions: symbol composition + motifs, 3 classes
+//   EEG     seizure detection: zero-mean local waveforms, 2 classes
+//   EMG     gesture EMG: per-position variance envelopes, 5 classes
+//   FACE    face vs non-face: global templates, 2 classes
+//   ISOLET  spoken letters: smooth spectral templates, 26 classes
+//   LANG    language id: order-free symbol transition statistics, 21 classes
+//   MNIST   digits: positional templates, 10 classes
+//   PAGE    page blocks: plain tabular, 10 features, 5 classes
+//   PAMAP2  activity (IMU): positional motifs + weak templates, 12 classes
+//   UCIHAR  activity (phones): templates + motifs, 6 classes
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace generic::data {
+
+/// Names of the Table 1 benchmarks, in the paper's row order.
+const std::vector<std::string>& benchmark_names();
+
+/// Generate a benchmark clone by name (case-sensitive, as listed above).
+/// The same (name, seed) pair always produces the identical dataset.
+Dataset make_benchmark(std::string_view name, std::uint64_t seed = 2022);
+
+/// Per-benchmark GENERIC encoder settings, mirroring the paper: window
+/// n = 3 everywhere, ids skipped on the order-free sequence tasks
+/// (LANG, DNA) where global position carries no information (§3.1).
+struct GenericDatasetConfig {
+  std::size_t window = 3;
+  bool use_ids = true;
+};
+GenericDatasetConfig generic_config_for(std::string_view name);
+
+}  // namespace generic::data

@@ -1,0 +1,135 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace generic::data {
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    // Trim surrounding whitespace.
+    const auto first = field.find_first_not_of(" \t\r");
+    const auto last = field.find_last_not_of(" \t\r");
+    out.push_back(first == std::string::npos
+                      ? std::string()
+                      : field.substr(first, last - first + 1));
+  }
+  return out;
+}
+
+bool parse_float(const std::string& s, float& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  out = static_cast<float>(v);
+  return true;
+}
+
+std::vector<std::vector<std::string>> read_rows(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open CSV: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    rows.push_back(split_fields(line));
+  }
+  if (rows.empty()) throw std::invalid_argument("empty CSV: " + path);
+  // Header detection: skip the first row when its first cell is not
+  // numeric.
+  float probe;
+  if (!parse_float(rows.front().front(), probe))
+    rows.erase(rows.begin());
+  if (rows.empty()) throw std::invalid_argument("CSV has only a header: " + path);
+  return rows;
+}
+
+}  // namespace
+
+LabeledSamples load_labeled_csv(const std::string& path, int label_column) {
+  const auto rows = read_rows(path);
+  const std::size_t cols = rows.front().size();
+  if (cols < 2)
+    throw std::invalid_argument("labelled CSV needs >= 2 columns: " + path);
+  const std::size_t label_idx =
+      label_column < 0 ? cols - 1 : static_cast<std::size_t>(label_column);
+  if (label_idx >= cols)
+    throw std::invalid_argument("label column out of range: " + path);
+
+  LabeledSamples out;
+  int max_label = -1;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols)
+      throw std::invalid_argument("ragged CSV row " + std::to_string(r));
+    std::vector<float> x;
+    x.reserve(cols - 1);
+    int label = -1;
+    for (std::size_t c = 0; c < cols; ++c) {
+      float v;
+      if (!parse_float(rows[r][c], v))
+        throw std::invalid_argument("non-numeric cell at row " +
+                                    std::to_string(r));
+      if (c == label_idx) {
+        label = static_cast<int>(v);
+        if (label < 0 || static_cast<float>(label) != v)
+          throw std::invalid_argument("labels must be non-negative integers");
+      } else {
+        x.push_back(v);
+      }
+    }
+    out.x.push_back(std::move(x));
+    out.y.push_back(label);
+    max_label = std::max(max_label, label);
+  }
+  out.num_classes = static_cast<std::size_t>(max_label + 1);
+  return out;
+}
+
+std::vector<std::vector<float>> load_unlabeled_csv(const std::string& path) {
+  const auto rows = read_rows(path);
+  const std::size_t cols = rows.front().size();
+  std::vector<std::vector<float>> out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols)
+      throw std::invalid_argument("ragged CSV row " + std::to_string(r));
+    std::vector<float> x(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+      if (!parse_float(rows[r][c], x[c]))
+        throw std::invalid_argument("non-numeric cell at row " +
+                                    std::to_string(r));
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+void save_labeled_csv(const std::string& path,
+                      const std::vector<std::vector<float>>& x,
+                      const std::vector<int>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("save_labeled_csv: size mismatch");
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (float v : x[i]) f << v << ',';
+    f << y[i] << '\n';
+  }
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+Dataset to_dataset(std::string name, LabeledSamples samples, double frac_train,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  return split_train_test(std::move(name), samples.num_classes,
+                          std::move(samples.x), std::move(samples.y),
+                          frac_train, rng);
+}
+
+}  // namespace generic::data

@@ -1,0 +1,47 @@
+#include "data/dataset.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace generic::data {
+
+void shuffle_xy(std::vector<std::vector<float>>& xs, std::vector<int>& ys,
+                Rng& rng) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("shuffle_xy: size mismatch");
+  for (std::size_t i = xs.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(xs[i - 1], xs[j]);
+    std::swap(ys[i - 1], ys[j]);
+  }
+}
+
+Dataset split_train_test(std::string name, std::size_t num_classes,
+                         std::vector<std::vector<float>> xs,
+                         std::vector<int> ys, double frac_train, Rng& rng) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("split_train_test: size mismatch");
+  shuffle_xy(xs, ys, rng);
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.num_classes = num_classes;
+  // Per-class counters keep the split stratified.
+  std::vector<std::size_t> total(num_classes, 0), taken(num_classes, 0);
+  for (int y : ys) total.at(static_cast<std::size_t>(y))++;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto c = static_cast<std::size_t>(ys[i]);
+    const auto want = static_cast<std::size_t>(
+        frac_train * static_cast<double>(total[c]) + 0.5);
+    if (taken[c] < want) {
+      ds.train_x.push_back(std::move(xs[i]));
+      ds.train_y.push_back(ys[i]);
+      taken[c]++;
+    } else {
+      ds.test_x.push_back(std::move(xs[i]));
+      ds.test_y.push_back(ys[i]);
+    }
+  }
+  return ds;
+}
+
+}  // namespace generic::data

@@ -1,0 +1,59 @@
+// Dataset container and the synthetic benchmark registry.
+//
+// The paper evaluates on eleven real datasets (Table 1) plus the FCPS
+// clustering suite and Iris (Table 2). Those datasets are not shipped here;
+// instead each is replaced by a deterministic synthetic generator that
+// reproduces the *structural property* the dataset exercises — positional
+// templates, local temporal motifs, variance envelopes, order-free symbol
+// statistics — because the paper's accuracy comparison (which encodings
+// capture which structure) is driven entirely by that structure. See
+// DESIGN.md §3 for the substitution rationale, and benchmarks.h for the
+// per-dataset recipes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace generic::data {
+
+struct Dataset {
+  std::string name;
+  std::size_t num_classes = 0;
+  std::vector<std::vector<float>> train_x;
+  std::vector<int> train_y;
+  std::vector<std::vector<float>> test_x;
+  std::vector<int> test_y;
+
+  std::size_t num_features() const {
+    return train_x.empty() ? 0 : train_x.front().size();
+  }
+  std::size_t train_size() const { return train_x.size(); }
+  std::size_t test_size() const { return test_x.size(); }
+};
+
+/// Unlabelled points + ground truth partition for clustering evaluation.
+struct ClusterDataset {
+  std::string name;
+  std::size_t num_clusters = 0;
+  std::vector<std::vector<float>> points;
+  std::vector<int> labels;  ///< ground truth, used only for scoring
+
+  std::size_t num_features() const {
+    return points.empty() ? 0 : points.front().size();
+  }
+};
+
+/// Shuffle a paired (X, y) sample set in place.
+void shuffle_xy(std::vector<std::vector<float>>& xs, std::vector<int>& ys,
+                Rng& rng);
+
+/// Split `frac_train` of the samples (per class, preserving balance) into
+/// the train side of a Dataset.
+Dataset split_train_test(std::string name, std::size_t num_classes,
+                         std::vector<std::vector<float>> xs,
+                         std::vector<int> ys, double frac_train, Rng& rng);
+
+}  // namespace generic::data

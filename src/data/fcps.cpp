@@ -1,0 +1,239 @@
+#include "data/fcps.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace generic::data {
+namespace {
+
+void add_gaussian_blob(ClusterDataset& ds, int label, std::size_t n,
+                       const std::vector<float>& center, double sigma,
+                       Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> p(center.size());
+    for (std::size_t d = 0; d < p.size(); ++d)
+      p[d] = center[d] + static_cast<float>(sigma * rng.normal());
+    ds.points.push_back(std::move(p));
+    ds.labels.push_back(label);
+  }
+}
+
+ClusterDataset make_hepta(Rng& rng) {
+  ClusterDataset ds;
+  ds.name = "Hepta";
+  ds.num_clusters = 7;
+  const std::vector<std::vector<float>> centers{
+      {0, 0, 0},  {3, 0, 0}, {-3, 0, 0}, {0, 3, 0},
+      {0, -3, 0}, {0, 0, 3}, {0, 0, -3}};
+  for (std::size_t c = 0; c < centers.size(); ++c)
+    add_gaussian_blob(ds, static_cast<int>(c), 30, centers[c], 0.45, rng);
+  return ds;
+}
+
+ClusterDataset make_tetra(Rng& rng) {
+  ClusterDataset ds;
+  ds.name = "Tetra";
+  ds.num_clusters = 4;
+  // Unit-edge tetrahedron vertices scaled so blobs almost touch.
+  const float s = 1.35f;
+  const std::vector<std::vector<float>> centers{
+      {s, s, s}, {s, -s, -s}, {-s, s, -s}, {-s, -s, s}};
+  for (std::size_t c = 0; c < centers.size(); ++c)
+    add_gaussian_blob(ds, static_cast<int>(c), 100, centers[c], 0.85, rng);
+  return ds;
+}
+
+ClusterDataset make_two_diamonds(Rng& rng) {
+  ClusterDataset ds;
+  ds.name = "TwoDiamonds";
+  ds.num_clusters = 2;
+  // Two uniform diamonds |x|+|y| <= 1 centred at (-1.1, 0) and (1.1, 0):
+  // they nearly touch at the origin, the suite's decision-boundary stressor.
+  for (int c = 0; c < 2; ++c) {
+    const float cx = c == 0 ? -1.1f : 1.1f;
+    for (int i = 0; i < 300; ++i) {
+      float x, y;
+      do {
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        y = static_cast<float>(rng.uniform(-1.0, 1.0));
+      } while (std::abs(x) + std::abs(y) > 1.0f);
+      ds.points.push_back({cx + x, y});
+      ds.labels.push_back(c);
+    }
+  }
+  return ds;
+}
+
+ClusterDataset make_wingnut(Rng& rng) {
+  ClusterDataset ds;
+  ds.name = "WingNut";
+  ds.num_clusters = 2;
+  // Two mirrored rectangular plates with a density gradient that pulls
+  // centroid methods towards the dense corners.
+  for (int c = 0; c < 2; ++c) {
+    const float sign = c == 0 ? 1.0f : -1.0f;
+    int placed = 0;
+    while (placed < 250) {
+      const float u = static_cast<float>(rng.uniform());
+      const float v = static_cast<float>(rng.uniform());
+      // Accept with probability proportional to position along x: denser
+      // towards the inner edge.
+      if (rng.uniform() > 0.25 + 0.75 * u) continue;
+      const float x = sign * (0.3f + 2.2f * u);
+      const float y = -1.0f + 2.0f * v;
+      ds.points.push_back({x, y});
+      ds.labels.push_back(c);
+      ++placed;
+    }
+  }
+  return ds;
+}
+
+ClusterDataset make_iris(Rng& rng) {
+  ClusterDataset ds;
+  ds.name = "Iris";
+  ds.num_clusters = 3;
+  // Gaussian fit of Fisher's iris (sepal length/width, petal length/width).
+  struct Species {
+    std::vector<float> mean;
+    std::vector<float> sd;
+  };
+  const std::vector<Species> species{
+      {{5.01f, 3.42f, 1.46f, 0.24f}, {0.35f, 0.38f, 0.17f, 0.11f}},
+      {{5.94f, 2.77f, 4.26f, 1.33f}, {0.52f, 0.31f, 0.47f, 0.20f}},
+      {{6.59f, 2.97f, 5.55f, 2.03f}, {0.64f, 0.32f, 0.55f, 0.27f}}};
+  for (std::size_t c = 0; c < species.size(); ++c) {
+    for (int i = 0; i < 50; ++i) {
+      std::vector<float> p(4);
+      for (int d = 0; d < 4; ++d)
+        p[static_cast<std::size_t>(d)] =
+            species[c].mean[static_cast<std::size_t>(d)] +
+            species[c].sd[static_cast<std::size_t>(d)] *
+                static_cast<float>(rng.normal());
+      ds.points.push_back(std::move(p));
+      ds.labels.push_back(static_cast<int>(c));
+    }
+  }
+  return ds;
+}
+
+ClusterDataset make_lsun(Rng& rng) {
+  // Three clusters shaped like the letters L, S (approximated by a dense
+  // blob), U: different shapes and inter-cluster distances.
+  ClusterDataset ds;
+  ds.name = "Lsun";
+  ds.num_clusters = 3;
+  // L: two perpendicular bars.
+  for (int i = 0; i < 100; ++i) {
+    const bool vertical = rng.bernoulli(0.5);
+    const float x = vertical ? static_cast<float>(rng.uniform(0.0, 0.4))
+                             : static_cast<float>(rng.uniform(0.0, 2.0));
+    const float y = vertical ? static_cast<float>(rng.uniform(0.0, 2.0))
+                             : static_cast<float>(rng.uniform(0.0, 0.4));
+    ds.points.push_back({x, y});
+    ds.labels.push_back(0);
+  }
+  // Dense blob offset to the upper right.
+  add_gaussian_blob(ds, 1, 100, {3.2f, 2.6f}, 0.25, rng);
+  // U: a flat-bottomed arc further right.
+  for (int i = 0; i < 100; ++i) {
+    const float t = static_cast<float>(rng.uniform(0.0, 3.14159265));
+    const float r = 0.8f + static_cast<float>(rng.uniform(-0.12, 0.12));
+    ds.points.push_back({5.5f + r * std::cos(t), 0.6f - r * std::sin(t)});
+    ds.labels.push_back(2);
+  }
+  return ds;
+}
+
+ClusterDataset make_chainlink(Rng& rng) {
+  // Two interlocked tori — the classic not-linearly-separable FCPS case.
+  ClusterDataset ds;
+  ds.name = "Chainlink";
+  ds.num_clusters = 2;
+  auto ring = [&](int label, bool rotated, float cx) {
+    for (int i = 0; i < 250; ++i) {
+      const float t = static_cast<float>(rng.uniform(0.0, 6.2831853));
+      const float noise = static_cast<float>(rng.normal() * 0.05);
+      const float r = 1.0f + noise;
+      float x = r * std::cos(t), y = r * std::sin(t), z =
+          static_cast<float>(rng.normal() * 0.05);
+      if (rotated) {  // rotate 90 degrees about x and thread through
+        const float tmp = y;
+        y = z;
+        z = tmp;
+        x += cx;
+      }
+      ds.points.push_back({x, y, z});
+      ds.labels.push_back(label);
+    }
+  };
+  ring(0, false, 0.0f);
+  ring(1, true, 1.0f);
+  return ds;
+}
+
+ClusterDataset make_atom(Rng& rng) {
+  // Dense nucleus inside a hollow electron shell: different variances and
+  // a containment relation no centroid method can express.
+  ClusterDataset ds;
+  ds.name = "Atom";
+  ds.num_clusters = 2;
+  add_gaussian_blob(ds, 0, 200, {0.0f, 0.0f, 0.0f}, 0.35, rng);
+  for (int i = 0; i < 200; ++i) {
+    // Uniform direction on the sphere, radius ~N(3, 0.15).
+    float x, y, z, n2;
+    do {
+      x = static_cast<float>(rng.normal());
+      y = static_cast<float>(rng.normal());
+      z = static_cast<float>(rng.normal());
+      n2 = x * x + y * y + z * z;
+    } while (n2 < 1e-6f);
+    const float r = 3.0f + static_cast<float>(rng.normal() * 0.15);
+    const float inv = r / std::sqrt(n2);
+    ds.points.push_back({x * inv, y * inv, z * inv});
+    ds.labels.push_back(1);
+  }
+  return ds;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fcps_names() {
+  static const std::vector<std::string> names{"Hepta", "Tetra", "TwoDiamonds",
+                                              "WingNut", "Iris"};
+  return names;
+}
+
+const std::vector<std::string>& fcps_extended_names() {
+  static const std::vector<std::string> names{
+      "Hepta", "Tetra",     "TwoDiamonds", "WingNut",
+      "Iris",  "Lsun",      "Chainlink",   "Atom"};
+  return names;
+}
+
+ClusterDataset make_fcps(std::string_view name, std::uint64_t seed) {
+  const auto& names = fcps_extended_names();
+  std::size_t index = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) index = i;
+  if (index == names.size())
+    throw std::invalid_argument("unknown FCPS dataset: " + std::string(name));
+  Rng rng(seed ^ (0xFC95ULL + index * 0x9E3779B97F4A7C15ULL));
+  ClusterDataset ds;
+  switch (index) {
+    case 0: ds = make_hepta(rng); break;
+    case 1: ds = make_tetra(rng); break;
+    case 2: ds = make_two_diamonds(rng); break;
+    case 3: ds = make_wingnut(rng); break;
+    case 4: ds = make_iris(rng); break;
+    case 5: ds = make_lsun(rng); break;
+    case 6: ds = make_chainlink(rng); break;
+    default: ds = make_atom(rng); break;
+  }
+  // Shuffle so "first k points" centroid seeding (the GENERIC clustering
+  // initialisation, §2.1) is not handed one cluster per contiguous block.
+  shuffle_xy(ds.points, ds.labels, rng);
+  return ds;
+}
+
+}  // namespace generic::data

@@ -1,0 +1,30 @@
+// Clustering benchmarks of Table 2: synthetic reconstructions of four FCPS
+// suite datasets (Ultsch, "Fundamental Clustering Problem Suite") plus a
+// Gaussian approximation of Fisher's Iris. Geometry follows the published
+// descriptions: Hepta (7 well-separated 3-D blobs), Tetra (4 almost-touching
+// blobs on a tetrahedron), TwoDiamonds (two touching 2-D diamonds), WingNut
+// (two density-graded plates), Iris (one separated + two overlapping
+// species).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace generic::data {
+
+/// Names in Table 2 order: Hepta, Tetra, TwoDiamonds, WingNut, Iris.
+const std::vector<std::string>& fcps_names();
+
+/// Table 2's five plus three more FCPS reconstructions (Lsun: three
+/// differently-shaped 2-D clusters; Chainlink: two interlocked 3-D rings,
+/// not linearly separable; Atom: a dense core inside a hollow shell) for
+/// wider clustering coverage beyond the paper's table.
+const std::vector<std::string>& fcps_extended_names();
+
+/// Build a clustering dataset by name; deterministic in (name, seed).
+ClusterDataset make_fcps(std::string_view name, std::uint64_t seed = 2022);
+
+}  // namespace generic::data

@@ -1,0 +1,185 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace generic::data {
+
+std::vector<float> smooth_curve(std::size_t d, double smoothness, Rng& rng) {
+  std::vector<float> out(d);
+  double x = rng.normal();
+  double max_abs = 1e-9;
+  const double innov = std::sqrt(std::max(1e-9, 1.0 - smoothness * smoothness));
+  for (std::size_t i = 0; i < d; ++i) {
+    out[i] = static_cast<float>(x);
+    x = smoothness * x + innov * rng.normal();
+  }
+  double mean = 0.0;
+  for (float v : out) mean += v;
+  mean /= static_cast<double>(d);
+  for (float& v : out) {
+    v -= static_cast<float>(mean);
+    max_abs = std::max(max_abs, static_cast<double>(std::abs(v)));
+  }
+  for (float& v : out) v /= static_cast<float>(max_abs);
+  return out;
+}
+
+std::vector<std::vector<float>> make_templates(const TemplateSpec& spec,
+                                               Rng& rng) {
+  std::vector<std::vector<float>> tmpls(spec.classes);
+  for (auto& t : tmpls) {
+    t = smooth_curve(spec.features, spec.smoothness, rng);
+    for (float& v : t) v *= static_cast<float>(spec.amplitude);
+  }
+  return tmpls;
+}
+
+std::vector<float> sample_template(const std::vector<float>& tmpl,
+                                   double noise, Rng& rng) {
+  std::vector<float> out(tmpl.size());
+  for (std::size_t i = 0; i < tmpl.size(); ++i)
+    out[i] = tmpl[i] + static_cast<float>(noise * rng.normal());
+  return out;
+}
+
+std::vector<std::vector<float>> make_envelopes(const VarianceSpec& spec,
+                                               Rng& rng) {
+  std::vector<std::vector<float>> envs(spec.classes);
+  for (auto& env : envs) {
+    env = smooth_curve(spec.features, spec.smoothness, rng);
+    // Map [-1, 1] onto [min_sigma, max_sigma].
+    for (float& v : env)
+      v = static_cast<float>(spec.min_sigma +
+                             (spec.max_sigma - spec.min_sigma) *
+                                 (0.5 * (static_cast<double>(v) + 1.0)));
+  }
+  return envs;
+}
+
+std::vector<float> sample_envelope(const std::vector<float>& env, Rng& rng) {
+  std::vector<float> out(env.size());
+  for (std::size_t i = 0; i < env.size(); ++i)
+    out[i] = static_cast<float>(env[i] * rng.normal());
+  return out;
+}
+
+MotifBank make_motif_bank(const MotifSpec& spec, Rng& rng) {
+  if (spec.motif_len >= spec.features)
+    throw std::invalid_argument("motif longer than feature vector");
+  MotifBank bank;
+  bank.motifs.resize(spec.classes);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    bank.motifs[c].resize(spec.motifs_per_class);
+    for (auto& m : bank.motifs[c]) {
+      m.resize(spec.motif_len);
+      for (float& v : m)
+        v = static_cast<float>(spec.motif_amplitude * rng.normal());
+    }
+  }
+  bank.home_lo.assign(spec.classes, 0);
+  bank.home_hi.assign(spec.classes, spec.features - spec.motif_len);
+  if (spec.positional) {
+    // Slice the index range into per-class overlapping home regions so that
+    // *where* a motif occurs also carries class information.
+    const std::size_t span = spec.features - spec.motif_len;
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+      const std::size_t lo = span * c / spec.classes;
+      const std::size_t hi =
+          std::min(span, span * (c + 2) / spec.classes);  // overlap one slot
+      bank.home_lo[c] = lo;
+      bank.home_hi[c] = std::max(hi, lo + 1);
+    }
+  }
+  return bank;
+}
+
+std::vector<float> sample_motifs(const MotifSpec& spec, const MotifBank& bank,
+                                 std::size_t cls, Rng& rng) {
+  std::vector<float> out(spec.features);
+  for (float& v : out)
+    v = static_cast<float>(spec.background_noise * rng.normal());
+  const auto& motifs = bank.motifs.at(cls);
+  for (std::size_t k = 0; k < spec.insertions; ++k) {
+    const auto& m = motifs[rng.below(motifs.size())];
+    const std::size_t lo = bank.home_lo[cls];
+    const std::size_t hi = bank.home_hi[cls];
+    const std::size_t pos = lo + rng.below(hi - lo + 1);
+    for (std::size_t i = 0; i < m.size(); ++i) out[pos + i] += m[i];
+  }
+  return out;
+}
+
+MarkovBank make_markov_bank(const MarkovSpec& spec, Rng& rng) {
+  MarkovBank bank;
+  bank.alphabet = spec.alphabet;
+  bank.transition_cdf.resize(spec.classes);
+  // Stride for rotating the Zipf ranking per class: coprime with the
+  // alphabet so every class gets a provably distinct unigram profile
+  // (random permutations can collide for small alphabets).
+  std::size_t stride = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.38 * static_cast<double>(spec.alphabet)));
+  while (std::gcd(stride, spec.alphabet) != 1) ++stride;
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    // Class-specific unigram skew: a Zipf-like ranking rotated by the
+    // class index.
+    std::vector<double> unigram(spec.alphabet);
+    for (std::size_t r = 0; r < spec.alphabet; ++r)
+      unigram[(r + c * stride) % spec.alphabet] =
+          1.0 / static_cast<double>(r + 1);
+    double uni_sum = 0.0;
+    for (double u : unigram) uni_sum += u;
+    for (double& u : unigram) u /= uni_sum;
+
+    bank.transition_cdf[c].resize(spec.alphabet);
+    for (std::size_t s = 0; s < spec.alphabet; ++s) {
+      std::vector<double> p(spec.alphabet);
+      // Class-specific preferred successors: a sparse random profile.
+      double total = 0.0;
+      for (std::size_t t = 0; t < spec.alphabet; ++t) {
+        const double base = 1.0 / static_cast<double>(spec.alphabet);
+        const double pref = rng.uniform() < 3.0 / static_cast<double>(spec.alphabet)
+                                ? rng.uniform(0.5, 1.0)
+                                : 0.0;
+        p[t] = (1.0 - spec.concentration - spec.unigram_bias) * base +
+               spec.concentration * pref +
+               spec.unigram_bias * unigram[t];
+        total += p[t];
+      }
+      auto& cdf = bank.transition_cdf[c][s];
+      cdf.resize(spec.alphabet);
+      double acc = 0.0;
+      for (std::size_t t = 0; t < spec.alphabet; ++t) {
+        acc += p[t] / total;
+        cdf[t] = acc;
+      }
+      cdf.back() = 1.0;  // guard against rounding
+    }
+  }
+  return bank;
+}
+
+std::vector<float> sample_markov(const MarkovSpec& spec,
+                                 const MarkovBank& bank, std::size_t cls,
+                                 Rng& rng) {
+  std::vector<float> out(spec.features);
+  std::size_t state = rng.below(spec.alphabet);
+  for (std::size_t i = 0; i < spec.features; ++i) {
+    out[i] = static_cast<float>(state) + 0.5f;
+    const auto& cdf = bank.transition_cdf.at(cls)[state];
+    const double u = rng.uniform();
+    state = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (state >= spec.alphabet) state = spec.alphabet - 1;
+  }
+  return out;
+}
+
+void mix_into(std::vector<float>& a, const std::vector<float>& b, float w) {
+  if (a.size() != b.size()) throw std::invalid_argument("mix_into: size");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += w * b[i];
+}
+
+}  // namespace generic::data

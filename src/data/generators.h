@@ -1,0 +1,109 @@
+// Primitive synthetic-data generators. Each primitive isolates one kind of
+// discriminative structure; the benchmark clones in benchmarks.h mix them
+// with per-dataset weights to mimic the real datasets of Table 1.
+//
+// The primitives are chosen to probe exactly the encoder failure modes the
+// paper discusses in §3.2:
+//  * templates        — distinct per-class means at fixed positions. Linear
+//                       methods (RP, SVM) and positional encoders shine;
+//                       order-free ngram statistics collapse.
+//  * variance profile — zero mean everywhere, class-specific per-position
+//                       variance. Invisible to any linear map (RP), visible
+//                       to level-quantizing encoders.
+//  * local motifs     — short class-specific waveforms at random offsets.
+//                       Only window/subsequence encoders capture the shape;
+//                       per-position marginals carry almost nothing.
+//  * markov symbols   — class-specific symbol-transition statistics at
+//                       arbitrary global offsets (language identification).
+//                       Subsequence methods reach ~100%; positional binding
+//                       actively hurts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace generic::data {
+
+/// Smooth standard-ish random curve of length d: an AR(1) walk, then
+/// rescaled to zero mean / unit max-abs. Building block for templates and
+/// envelopes.
+std::vector<float> smooth_curve(std::size_t d, double smoothness, Rng& rng);
+
+struct TemplateSpec {
+  std::size_t classes = 10;
+  std::size_t features = 64;
+  double smoothness = 0.9;   ///< AR(1) coefficient of the class templates
+  double amplitude = 1.0;    ///< template scale
+  double noise = 0.3;        ///< iid Gaussian noise per feature
+};
+
+/// One sample: class template + noise.
+std::vector<float> sample_template(const std::vector<float>& tmpl,
+                                   double noise, Rng& rng);
+
+/// Generate per-class templates.
+std::vector<std::vector<float>> make_templates(const TemplateSpec& spec,
+                                               Rng& rng);
+
+struct VarianceSpec {
+  std::size_t classes = 5;
+  std::size_t features = 64;
+  double smoothness = 0.8;
+  double min_sigma = 0.25;  ///< envelope floor
+  double max_sigma = 1.6;   ///< envelope ceiling
+};
+
+/// Per-class positive envelopes; samples are N(0, env[i]^2) per feature.
+std::vector<std::vector<float>> make_envelopes(const VarianceSpec& spec,
+                                               Rng& rng);
+std::vector<float> sample_envelope(const std::vector<float>& env, Rng& rng);
+
+struct MotifSpec {
+  std::size_t classes = 2;
+  std::size_t features = 64;
+  std::size_t motif_len = 6;
+  std::size_t motifs_per_class = 2;  ///< motif inventory size per class
+  std::size_t insertions = 3;        ///< motifs planted per sample
+  double motif_amplitude = 1.0;
+  double background_noise = 0.35;
+  bool positional = false;  ///< restrict each class's motifs to a home region
+};
+
+struct MotifBank {
+  // motifs[c][k] is the k-th waveform of class c.
+  std::vector<std::vector<std::vector<float>>> motifs;
+  // home_lo/hi[c]: allowed insertion range when spec.positional is set.
+  std::vector<std::size_t> home_lo, home_hi;
+};
+
+MotifBank make_motif_bank(const MotifSpec& spec, Rng& rng);
+std::vector<float> sample_motifs(const MotifSpec& spec, const MotifBank& bank,
+                                 std::size_t cls, Rng& rng);
+
+struct MarkovSpec {
+  std::size_t classes = 21;
+  std::size_t features = 64;   ///< sequence length
+  std::size_t alphabet = 26;
+  double concentration = 0.85; ///< weight on class-specific transitions
+  double unigram_bias = 0.0;   ///< weight on class-specific unigram skew
+};
+
+struct MarkovBank {
+  // transition[c][s] is a cumulative distribution over next symbols.
+  std::vector<std::vector<std::vector<double>>> transition_cdf;
+  std::size_t alphabet = 0;
+};
+
+MarkovBank make_markov_bank(const MarkovSpec& spec, Rng& rng);
+/// Sequence of symbols mapped to floats (symbol + 0.5) so a quantizer with
+/// >= alphabet bins recovers symbol identity.
+std::vector<float> sample_markov(const MarkovSpec& spec,
+                                 const MarkovBank& bank, std::size_t cls,
+                                 Rng& rng);
+
+/// Element-wise a += w * b (feature mixing for composite benchmarks).
+void mix_into(std::vector<float>& a, const std::vector<float>& b, float w);
+
+}  // namespace generic::data

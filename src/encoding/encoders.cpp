@@ -1,0 +1,172 @@
+#include "encoding/encoders.h"
+
+#include <stdexcept>
+
+namespace generic::enc {
+
+void Encoder::fit(std::span<const std::vector<float>> samples) {
+  quantizer_ = Quantizer(cfg_.levels);
+  quantizer_.fit(samples);
+}
+
+std::string_view to_string(EncoderKind kind) {
+  switch (kind) {
+    case EncoderKind::kRp: return "rp";
+    case EncoderKind::kLevelId: return "level-id";
+    case EncoderKind::kNgram: return "ngram";
+    case EncoderKind::kPermutation: return "permute";
+    case EncoderKind::kGeneric: return "generic";
+    case EncoderKind::kSymbolNgram: return "sym-ngram";
+  }
+  return "?";
+}
+
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind,
+                                      const EncoderConfig& cfg) {
+  switch (kind) {
+    case EncoderKind::kRp: return std::make_unique<RpEncoder>(cfg);
+    case EncoderKind::kLevelId: return std::make_unique<LevelIdEncoder>(cfg);
+    case EncoderKind::kNgram: return std::make_unique<NgramEncoder>(cfg);
+    case EncoderKind::kPermutation:
+      return std::make_unique<PermutationEncoder>(cfg);
+    case EncoderKind::kGeneric: return std::make_unique<GenericEncoder>(cfg);
+    case EncoderKind::kSymbolNgram:
+      return std::make_unique<SymbolNgramEncoder>(cfg);
+  }
+  throw std::invalid_argument("unknown encoder kind");
+}
+
+// ---------------------------------------------------------------- RP
+
+RpEncoder::RpEncoder(const EncoderConfig& cfg)
+    : Encoder(cfg), ids_(cfg.dims, cfg.seed) {}
+
+hdc::IntHV RpEncoder::encode(std::span<const float> sample) const {
+  const auto bins = quantize(sample);
+  hdc::IntHV acc(cfg_.dims, 0);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const hdc::BinaryHV& id = ids_.get(i);
+    const auto value = static_cast<std::int32_t>(bins[i]);
+    if (value == 0) continue;
+    // acc += value * bipolar(id): split into set/unset bits via two passes
+    // over the packed words to stay branch-light.
+    for (std::size_t w = 0; w < id.num_words(); ++w) {
+      std::uint64_t word = id.words()[w];
+      const std::size_t base = w * kWordBits;
+      const std::size_t n = std::min(kWordBits, cfg_.dims - base);
+      for (std::size_t b = 0; b < n; ++b) {
+        const std::int32_t s =
+            static_cast<std::int32_t>(((word >> b) & 1ULL) << 1) - 1;
+        acc[base + b] += value * s;
+      }
+    }
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------- level-id
+
+LevelIdEncoder::LevelIdEncoder(const EncoderConfig& cfg)
+    : Encoder(cfg),
+      ids_(cfg.dims, cfg.seed),
+      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {}
+
+hdc::IntHV LevelIdEncoder::encode(std::span<const float> sample) const {
+  const auto bins = quantize(sample);
+  hdc::IntHV acc(cfg_.dims, 0);
+  hdc::BinaryHV bound(cfg_.dims);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    bound = levels_.level(bins[i]);
+    bound ^= ids_.get(i);
+    bound.accumulate_into(acc);
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------- permutation
+
+PermutationEncoder::PermutationEncoder(const EncoderConfig& cfg)
+    : Encoder(cfg), levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {}
+
+hdc::IntHV PermutationEncoder::encode(std::span<const float> sample) const {
+  const auto bins = quantize(sample);
+  hdc::IntHV acc(cfg_.dims, 0);
+  for (std::size_t i = 0; i < bins.size(); ++i)
+    levels_.level(bins[i]).rotated(i).accumulate_into(acc);
+  return acc;
+}
+
+// ---------------------------------------------------------------- ngram
+
+NgramEncoder::NgramEncoder(const EncoderConfig& cfg)
+    : Encoder(cfg), levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {
+  if (cfg.window == 0) throw std::invalid_argument("ngram: window == 0");
+}
+
+hdc::IntHV NgramEncoder::encode(std::span<const float> sample) const {
+  const auto bins = quantize(sample);
+  const std::size_t n = cfg_.window;
+  hdc::IntHV acc(cfg_.dims, 0);
+  if (bins.size() < n) return acc;
+  hdc::BinaryHV window_hv(cfg_.dims);
+  for (std::size_t i = 0; i + n <= bins.size(); ++i) {
+    window_hv = levels_.level(bins[i]);
+    for (std::size_t j = 1; j < n; ++j)
+      window_hv ^= levels_.level(bins[i + j]).rotated(j);
+    window_hv.accumulate_into(acc);
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------- generic
+
+GenericEncoder::GenericEncoder(const EncoderConfig& cfg)
+    : Encoder(cfg),
+      ids_(cfg.dims, cfg.seed ^ 0x6E2E21CULL),
+      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {
+  if (cfg.window == 0) throw std::invalid_argument("generic: window == 0");
+}
+
+hdc::IntHV GenericEncoder::encode(std::span<const float> sample) const {
+  const auto bins = quantize(sample);
+  const std::size_t n = cfg_.window;
+  hdc::IntHV acc(cfg_.dims, 0);
+  if (bins.size() < n) return acc;
+  hdc::BinaryHV window_hv(cfg_.dims);
+  // id_i is the seed id rotated by i, matching the hardware tmp-register
+  // scheme; rotate incrementally instead of re-deriving per window.
+  hdc::BinaryHV id = ids_.seed_id();
+  for (std::size_t i = 0; i + n <= bins.size(); ++i) {
+    window_hv = levels_.level(bins[i]);
+    for (std::size_t j = 1; j < n; ++j)
+      window_hv ^= levels_.level(bins[i + j]).rotated(j);
+    if (cfg_.use_ids) window_hv ^= id;
+    window_hv.accumulate_into(acc);
+    if (cfg_.use_ids) id = id.rotated(1);
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------- sym-ngram
+
+SymbolNgramEncoder::SymbolNgramEncoder(const EncoderConfig& cfg)
+    : Encoder(cfg), items_(cfg.dims, cfg.seed ^ 0x51B01ULL) {
+  if (cfg.window == 0) throw std::invalid_argument("sym-ngram: window == 0");
+}
+
+hdc::IntHV SymbolNgramEncoder::encode(std::span<const float> sample) const {
+  const auto bins = quantize(sample);
+  const std::size_t n = cfg_.window;
+  hdc::IntHV acc(cfg_.dims, 0);
+  if (bins.size() < n) return acc;
+  hdc::BinaryHV window_hv(cfg_.dims);
+  for (std::size_t i = 0; i + n <= bins.size(); ++i) {
+    window_hv = items_.get(bins[i]);
+    for (std::size_t j = 1; j < n; ++j)
+      window_hv ^= items_.get(bins[i + j]).rotated(j);
+    window_hv.accumulate_into(acc);
+  }
+  return acc;
+}
+
+}  // namespace generic::enc

@@ -1,0 +1,98 @@
+// Concrete encoder implementations; see encoder.h for the scheme overview.
+#pragma once
+
+#include "encoding/encoder.h"
+#include "hdc/item_memory.h"
+
+namespace generic::enc {
+
+/// Random projection (Fig. 2(c) of the paper, "RP" column of Table 1):
+/// H = sum_i q(x_i) * id_i with bipolar ids. A purely linear map of the
+/// quantized features — by design it cannot represent interactions between
+/// features, which is why it fails on time-series such as EEG (§3.2).
+class RpEncoder final : public Encoder {
+ public:
+  explicit RpEncoder(const EncoderConfig& cfg);
+  hdc::IntHV encode(std::span<const float> sample) const override;
+  std::string_view name() const override { return "rp"; }
+
+ private:
+  hdc::ItemMemory ids_;
+};
+
+/// Level-id encoding: H = sum_i level(x_i) XOR id_i. Non-linear through the
+/// level quantization; ids give global position but no local context.
+class LevelIdEncoder final : public Encoder {
+ public:
+  explicit LevelIdEncoder(const EncoderConfig& cfg);
+  hdc::IntHV encode(std::span<const float> sample) const override;
+  std::string_view name() const override { return "level-id"; }
+
+ private:
+  hdc::ItemMemory ids_;
+  hdc::LevelMemory levels_;
+};
+
+/// Permutation encoding (Fig. 2(b)): H = sum_i rho^i(level(x_i)).
+/// Binds position by shift amount; a pattern that moves by one position
+/// maps to an unrelated hypervector, so order-free data (LANG) defeats it.
+class PermutationEncoder final : public Encoder {
+ public:
+  explicit PermutationEncoder(const EncoderConfig& cfg);
+  hdc::IntHV encode(std::span<const float> sample) const override;
+  std::string_view name() const override { return "permute"; }
+
+ private:
+  hdc::LevelMemory levels_;
+};
+
+/// N-gram encoding [6,14]: H = sum_i XOR_{j<n} rho^j(level(x_{i+j})).
+/// Captures local subsequences but discards their global order, so it fails
+/// where spatial layout matters (MNIST, ISOLET).
+class NgramEncoder final : public Encoder {
+ public:
+  explicit NgramEncoder(const EncoderConfig& cfg);
+  hdc::IntHV encode(std::span<const float> sample) const override;
+  std::string_view name() const override { return "ngram"; }
+
+ private:
+  hdc::LevelMemory levels_;
+};
+
+/// The proposed GENERIC encoding (Eq. 1, Fig. 2(d)):
+///   H = sum_i id_i XOR [ XOR_{j<n} rho^j(level(x_{i+j})) ]
+/// Sliding windows capture local context; per-window ids (generated from a
+/// single rotating seed id, §4.3.1) restore global order. Setting
+/// cfg.use_ids = false zeroes the ids, reducing to pure subsequence
+/// statistics for order-free applications such as language identification.
+class GenericEncoder final : public Encoder {
+ public:
+  explicit GenericEncoder(const EncoderConfig& cfg);
+  hdc::IntHV encode(std::span<const float> sample) const override;
+  std::string_view name() const override { return "generic"; }
+
+  const hdc::SeededItemMemory& id_memory() const { return ids_; }
+  const hdc::LevelMemory& level_memory() const { return levels_; }
+
+ private:
+  hdc::SeededItemMemory ids_;
+  hdc::LevelMemory levels_;
+};
+
+/// Categorical n-gram encoding (extension; see EncoderKind::kSymbolNgram):
+/// H = sum_i XOR_{j<n} rho^j(item(x_{i+j})) with an independent random
+/// item hypervector per quantization bin. Unlike NgramEncoder there is no
+/// similarity between adjacent bins, so symbol identity is exact — on
+/// symbolic data (LANG, DNA) this recovers the last few accuracy points
+/// the level blur costs.
+class SymbolNgramEncoder final : public Encoder {
+ public:
+  explicit SymbolNgramEncoder(const EncoderConfig& cfg);
+  hdc::IntHV encode(std::span<const float> sample) const override;
+  std::string_view name() const override { return "sym-ngram"; }
+
+ private:
+  hdc::ItemMemory items_;
+};
+
+}  // namespace generic::enc

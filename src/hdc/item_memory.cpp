@@ -1,0 +1,51 @@
+#include "hdc/item_memory.h"
+
+#include <stdexcept>
+
+namespace generic::hdc {
+
+ItemMemory::ItemMemory(std::size_t dims, std::uint64_t seed)
+    : dims_(dims), seed_(seed) {}
+
+const BinaryHV& ItemMemory::get(std::size_t key) const {
+  if (key >= table_.size()) {
+    // Extend deterministically: entry k always comes from stream seed_+k,
+    // independent of access order.
+    for (std::size_t k = table_.size(); k <= key; ++k) {
+      Rng rng(seed_ ^ (0xC0FFEEULL + k * 0x9E3779B97F4A7C15ULL));
+      table_.push_back(BinaryHV::random(dims_, rng));
+    }
+  }
+  return table_[key];
+}
+
+LevelMemory::LevelMemory(std::size_t dims, std::size_t levels,
+                         std::uint64_t seed)
+    : dims_(dims) {
+  if (levels == 0) throw std::invalid_argument("LevelMemory: levels == 0");
+  Rng rng(seed);
+  levels_.reserve(levels);
+  levels_.push_back(BinaryHV::random(dims, rng));
+  if (levels == 1) return;
+  // Flip a disjoint batch of positions per step; after L-1 steps exactly
+  // dims/2 positions have flipped, making the extreme levels ~orthogonal.
+  std::vector<std::size_t> order(dims);
+  for (std::size_t i = 0; i < dims; ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t total_flips = dims / 2;
+  std::size_t cursor = 0;
+  for (std::size_t l = 1; l < levels; ++l) {
+    BinaryHV next = levels_.back();
+    // Distribute total_flips as evenly as possible across the steps.
+    const std::size_t target = total_flips * l / (levels - 1);
+    for (; cursor < target && cursor < dims; ++cursor) next.flip(order[cursor]);
+    levels_.push_back(std::move(next));
+  }
+}
+
+SeededItemMemory::SeededItemMemory(std::size_t dims, std::uint64_t seed) {
+  Rng rng(seed ^ 0x1D5EEDULL);
+  seed_id_ = BinaryHV::random(dims, rng);
+}
+
+}  // namespace generic::hdc

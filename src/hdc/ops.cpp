@@ -1,0 +1,44 @@
+#include "hdc/ops.h"
+
+#include <stdexcept>
+
+namespace generic::hdc {
+
+BinaryHV threshold(const IntHV& v, std::int32_t thresh) {
+  BinaryHV out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] >= thresh) out.set(i, true);
+  return out;
+}
+
+BinaryHV majority(std::span<const BinaryHV> members) {
+  if (members.empty()) throw std::invalid_argument("majority: empty set");
+  IntHV acc(members.front().dims(), 0);
+  for (const auto& m : members) m.accumulate_into(acc);
+  return threshold(acc, 0);
+}
+
+void weighted_accumulate(IntHV& acc, const BinaryHV& hv, std::int32_t weight) {
+  if (acc.size() != hv.dims())
+    throw std::invalid_argument("weighted_accumulate: dimension mismatch");
+  if (weight == 0) return;
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    acc[i] += weight * hv.bipolar(i);
+}
+
+double hamming_similarity(const BinaryHV& a, const BinaryHV& b) {
+  if (a.dims() == 0) throw std::invalid_argument("hamming_similarity: empty");
+  return 1.0 - 2.0 * static_cast<double>(a.hamming(b)) /
+                   static_cast<double>(a.dims());
+}
+
+BinaryHV bind_sequence(std::span<const BinaryHV> symbols) {
+  if (symbols.empty()) throw std::invalid_argument("bind_sequence: empty");
+  const std::size_t n = symbols.size();
+  BinaryHV out = symbols[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;)
+    out ^= symbols[i].rotated(n - 1 - i);
+  return out;
+}
+
+}  // namespace generic::hdc

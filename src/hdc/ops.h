@@ -1,0 +1,34 @@
+// General HDC operations on top of the core hypervector types — the
+// library-level algebra a torchhd-style consumer expects, kept separate
+// from the minimal kernel set the GENERIC datapath itself needs.
+#pragma once
+
+#include <span>
+
+#include "hdc/hypervector.h"
+
+namespace generic::hdc {
+
+/// Sign-threshold a bundled hypervector back into binary space:
+/// bit_i = (v_i >= threshold). The standard bundling "clip" step.
+BinaryHV threshold(const IntHV& v, std::int32_t threshold = 0);
+
+/// Majority vote across a set of binary hypervectors (ties resolve to 1,
+/// matching threshold()'s >= convention). Equivalent to bundling all
+/// members and thresholding at zero.
+BinaryHV majority(std::span<const BinaryHV> members);
+
+/// Accumulate with an integer weight: acc += weight * bipolar(hv).
+/// weight = +-1 reproduces BinaryHV::accumulate_into.
+void weighted_accumulate(IntHV& acc, const BinaryHV& hv, std::int32_t weight);
+
+/// Normalized Hamming similarity in [-1, 1]: 1 - 2*hamming/D. Equals the
+/// bipolar dot product divided by D, i.e. the cosine of two binary HVs.
+double hamming_similarity(const BinaryHV& a, const BinaryHV& b);
+
+/// Sequence binding: fold a sequence of symbols into one hypervector by
+/// XOR of progressively permuted elements — rho^(n-1)(s_0) ^ ... ^ s_{n-1}
+/// — the n-gram kernel as a standalone op.
+BinaryHV bind_sequence(std::span<const BinaryHV> symbols);
+
+}  // namespace generic::hdc

@@ -1,0 +1,118 @@
+#include "hwmodel/workload.h"
+
+#include <cmath>
+
+namespace generic::hw {
+namespace {
+
+double dd(std::size_t v) { return static_cast<double>(v); }
+
+/// Forward-pass MACs of the MLP/DNN configurations in ml/classifier.cpp.
+double mlp_forward_macs(ml::MlKind kind, std::size_t d, std::size_t classes) {
+  if (kind == ml::MlKind::kDnn) {
+    // hidden {256, 128, 64}
+    return dd(d) * 256 + 256.0 * 128 + 128.0 * 64 + 64.0 * dd(classes);
+  }
+  return dd(d) * 128 + 128.0 * dd(classes);  // hidden {128}
+}
+
+}  // namespace
+
+Workload hdc_inference(std::size_t d, std::size_t dims, std::size_t window,
+                       std::size_t classes) {
+  Workload w;
+  const double windows = dd(d >= window ? d - window + 1 : 0);
+  // Per window: (n-1) D-bit XOR+permute plus the optional id XOR, then a
+  // D-wide bipolar accumulation.
+  w.simple_ops = windows * dd(dims) * (dd(window) + 1.0);
+  // Search: one D-length dot per class.
+  w.macs = dd(classes) * dd(dims);
+  w.data_passes = 1.0;
+  return w;
+}
+
+Workload hdc_training(std::size_t d, std::size_t dims, std::size_t window,
+                      std::size_t classes, std::size_t epochs,
+                      double update_rate) {
+  const Workload inf = hdc_inference(d, dims, window, classes);
+  Workload w;
+  // Encode once per epoch (the data is re-streamed), score every epoch,
+  // update two class vectors on a fraction of inputs.
+  w.simple_ops = dd(epochs) * inf.simple_ops;
+  w.macs = dd(epochs) * (inf.macs + update_rate * 2.0 * dd(dims));
+  w.data_passes = dd(epochs);
+  return w;
+}
+
+Workload ml_inference(ml::MlKind kind, std::size_t d, std::size_t classes,
+                      std::size_t train_size) {
+  Workload w;
+  switch (kind) {
+    case ml::MlKind::kMlp:
+    case ml::MlKind::kDnn:
+      w.macs = mlp_forward_macs(kind, d, classes);
+      break;
+    case ml::MlKind::kSvm:
+      // RFF lift (384 x d) + margins (classes x 384).
+      w.macs = 384.0 * dd(d) + dd(classes) * 384.0;
+      break;
+    case ml::MlKind::kRandomForest:
+      // 30 trees x depth<=16 comparisons; comparisons are cheap but the
+      // pointer chasing is charged as macs-equivalent.
+      w.macs = 30.0 * 16.0;
+      break;
+    case ml::MlKind::kLogReg:
+      w.macs = dd(classes) * dd(d);
+      break;
+    case ml::MlKind::kKnn:
+      w.macs = dd(train_size) * dd(d);
+      break;
+  }
+  return w;
+}
+
+Workload ml_training(ml::MlKind kind, std::size_t d, std::size_t classes,
+                     std::size_t train_size) {
+  Workload w;
+  switch (kind) {
+    case ml::MlKind::kMlp:
+    case ml::MlKind::kDnn: {
+      const double fwd = mlp_forward_macs(kind, d, classes);
+      const double epochs = kind == ml::MlKind::kDnn ? 40.0 : 30.0;
+      w.macs = 3.0 * fwd * epochs;  // fwd + backprop + weight update
+      w.data_passes = epochs;
+      break;
+    }
+    case ml::MlKind::kSvm:
+      // Lift once + 40 epochs of classes x 384 hinge updates.
+      w.macs = 384.0 * dd(d) + 40.0 * dd(classes) * 384.0;
+      w.data_passes = 40.0;
+      break;
+    case ml::MlKind::kRandomForest:
+      // 30 trees; each split sweep sorts/streams the node's rows over
+      // sqrt(d) candidate features, ~log2(n) levels deep.
+      w.macs = 30.0 * std::max(1.0, std::log2(dd(train_size))) *
+               std::sqrt(dd(d)) * 16.0;
+      w.data_passes = 30.0;  // one pass per tree
+      break;
+    case ml::MlKind::kLogReg:
+      w.macs = 60.0 * dd(classes) * dd(d);
+      w.data_passes = 60.0;
+      break;
+    case ml::MlKind::kKnn:
+      w.macs = dd(d);  // memorize only
+      break;
+  }
+  return w;
+}
+
+Workload kmeans_per_input(std::size_t d, std::size_t k, std::size_t iters,
+                          std::size_t restarts) {
+  Workload w;
+  const double passes = dd(iters) * dd(restarts);
+  w.macs = passes * dd(k) * dd(d) + dd(k) * dd(d);  // assign + update
+  w.data_passes = passes;
+  return w;
+}
+
+}  // namespace generic::hw

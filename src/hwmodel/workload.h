@@ -1,0 +1,52 @@
+// Operation-count workload profiles for the conventional-device comparison
+// (Figures 3, 8, 9, 10). A Workload abstracts one input's processing as
+//   * macs        — multiply-accumulate / float ops (ML, dot products)
+//   * simple_ops  — bit-level HDC ops (XOR, 1-bit accumulate, permute)
+// plus an implicit per-input framework overhead charged by the device
+// model. Counts are derived analytically from the algorithm configurations
+// actually used in this repository (see ml/ and encoding/).
+#pragma once
+
+#include <cstddef>
+
+#include "ml/classifier.h"
+
+namespace generic::hw {
+
+struct Workload {
+  double macs = 0.0;
+  double simple_ops = 0.0;
+  /// Full passes over the data charged with the device's per-pass
+  /// framework overhead (epochs, trees, k-means restarts x iterations);
+  /// inference counts as one pass.
+  double data_passes = 1.0;
+};
+
+/// GENERIC-encoding HDC inference of one input: window encode (d windows of
+/// n XORs over D bits plus D-wide accumulation) and an nC x D dot product.
+Workload hdc_inference(std::size_t d, std::size_t dims, std::size_t window,
+                       std::size_t classes);
+
+/// HDC training cost per input: encode once plus `epochs` retraining
+/// passes of score + (fractionally) update. `update_rate` is the average
+/// misprediction rate across epochs (~0.2 is typical after the first).
+Workload hdc_training(std::size_t d, std::size_t dims, std::size_t window,
+                      std::size_t classes, std::size_t epochs,
+                      double update_rate = 0.2);
+
+/// Per-input inference cost of a classical-ML comparator, matching the
+/// configurations in ml/classifier.cpp.
+Workload ml_inference(ml::MlKind kind, std::size_t d, std::size_t classes,
+                      std::size_t train_size);
+
+/// Per-input training cost (total over all epochs) of a comparator.
+Workload ml_training(ml::MlKind kind, std::size_t d, std::size_t classes,
+                     std::size_t train_size);
+
+/// K-means clustering cost per input per fitted model: `restarts`
+/// re-initializations (sklearn's n_init=10 default) of `iters` Lloyd
+/// iterations, each doing k x d distance evaluations per point.
+Workload kmeans_per_input(std::size_t d, std::size_t k,
+                          std::size_t iters = 30, std::size_t restarts = 10);
+
+}  // namespace generic::hw

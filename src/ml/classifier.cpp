@@ -1,0 +1,69 @@
+#include "ml/classifier.h"
+
+#include <stdexcept>
+
+#include "ml/knn.h"
+#include "ml/logreg.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace generic::ml {
+
+double Classifier::accuracy(const Matrix& x, const std::vector<int>& y) const {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("Classifier::accuracy: bad input sizes");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) hits += predict(x[i]) == y[i];
+  return static_cast<double>(hits) / static_cast<double>(x.size());
+}
+
+std::string_view to_string(MlKind kind) {
+  switch (kind) {
+    case MlKind::kMlp: return "MLP";
+    case MlKind::kDnn: return "DNN";
+    case MlKind::kSvm: return "SVM";
+    case MlKind::kRandomForest: return "RF";
+    case MlKind::kLogReg: return "LR";
+    case MlKind::kKnn: return "KNN";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> make_classifier(MlKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case MlKind::kMlp: {
+      MlpConfig cfg;
+      cfg.hidden = {128};
+      cfg.seed = seed;
+      return std::make_unique<Mlp>(cfg, "MLP");
+    }
+    case MlKind::kDnn: {
+      // AutoKeras stand-in: a deeper funnel network (DESIGN.md §3).
+      MlpConfig cfg;
+      cfg.hidden = {256, 128, 64};
+      cfg.epochs = 40;
+      cfg.seed = seed;
+      return std::make_unique<Mlp>(cfg, "DNN");
+    }
+    case MlKind::kSvm: {
+      SvmConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<Svm>(cfg);
+    }
+    case MlKind::kRandomForest: {
+      ForestConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<RandomForest>(cfg);
+    }
+    case MlKind::kLogReg: {
+      LogRegConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<LogReg>(cfg);
+    }
+    case MlKind::kKnn: return std::make_unique<Knn>(5);
+  }
+  throw std::invalid_argument("unknown classifier kind");
+}
+
+}  // namespace generic::ml

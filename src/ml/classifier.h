@@ -1,0 +1,42 @@
+// Common interface for the classical-ML comparators of Table 1 (§3.2).
+// The paper used scikit-learn (MLP, SVM, RF, LR, kNN) and AutoKeras (DNN);
+// here each algorithm is implemented from scratch in C++ behind this
+// interface so the Table 1 harness can sweep them uniformly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace generic::ml {
+
+using Matrix = std::vector<std::vector<float>>;
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on X (n x d) with integer labels in [0, num_classes).
+  virtual void train(const Matrix& x, const std::vector<int>& y,
+                     std::size_t num_classes) = 0;
+
+  /// Predict the class of one sample.
+  virtual int predict(std::span<const float> sample) const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Fraction of correct predictions on a labelled set.
+  double accuracy(const Matrix& x, const std::vector<int>& y) const;
+};
+
+/// The comparator set of Table 1 (plus the two the paper discarded for low
+/// accuracy, kept for Figure 3's device sweeps).
+enum class MlKind { kMlp, kDnn, kSvm, kRandomForest, kLogReg, kKnn };
+
+std::string_view to_string(MlKind kind);
+std::unique_ptr<Classifier> make_classifier(MlKind kind,
+                                            std::uint64_t seed = 7);
+
+}  // namespace generic::ml

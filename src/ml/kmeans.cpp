@@ -1,0 +1,102 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace generic::ml {
+namespace {
+
+float sq_dist(std::span<const float> a, std::span<const float> b) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int kmeans_assign(const std::vector<std::vector<float>>& centroids,
+                  std::span<const float> point) {
+  int best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const float d = sq_dist(centroids[c], point);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans(const Matrix& points, const KMeansConfig& cfg) {
+  if (points.empty()) throw std::invalid_argument("kmeans: empty input");
+  if (cfg.k == 0 || cfg.k > points.size())
+    throw std::invalid_argument("kmeans: bad k");
+  const std::size_t n = points.size();
+  const std::size_t d = points.front().size();
+  Rng rng(cfg.seed);
+
+  KMeansResult res;
+  // k-means++ seeding.
+  res.centroids.push_back(points[rng.below(n)]);
+  std::vector<float> min_d(n, std::numeric_limits<float>::infinity());
+  while (res.centroids.size() < cfg.k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d[i] = std::min(min_d[i], sq_dist(points[i], res.centroids.back()));
+      total += min_d[i];
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= min_d[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    res.centroids.push_back(points[chosen]);
+  }
+
+  res.labels.assign(n, -1);
+  std::vector<std::vector<double>> sums(cfg.k, std::vector<double>(d, 0.0));
+  std::vector<std::size_t> counts(cfg.k, 0);
+  for (std::size_t iter = 0; iter < cfg.max_iters; ++iter) {
+    res.iterations = iter + 1;
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = kmeans_assign(res.centroids, points[i]);
+      res.labels[i] = c;
+      counts[static_cast<std::size_t>(c)]++;
+      for (std::size_t j = 0; j < d; ++j)
+        sums[static_cast<std::size_t>(c)][j] += points[i][j];
+    }
+    double moved = 0.0;
+    for (std::size_t c = 0; c < cfg.k; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid alive
+      for (std::size_t j = 0; j < d; ++j) {
+        const auto nv = static_cast<float>(sums[c][j] /
+                                           static_cast<double>(counts[c]));
+        const float diff = nv - res.centroids[c][j];
+        moved += static_cast<double>(diff) * diff;
+        res.centroids[c][j] = nv;
+      }
+    }
+    if (moved < cfg.tol) break;
+  }
+
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    res.inertia += sq_dist(
+        points[i], res.centroids[static_cast<std::size_t>(res.labels[i])]);
+  return res;
+}
+
+}  // namespace generic::ml

@@ -1,0 +1,32 @@
+// Lloyd's k-means with k-means++ initialisation — the clustering baseline
+// of Table 2 and Figure 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace generic::ml {
+
+struct KMeansConfig {
+  std::size_t k = 2;
+  std::size_t max_iters = 100;
+  double tol = 1e-5;  ///< stop when centroid movement (L2^2) drops below
+  std::uint64_t seed = 23;
+};
+
+struct KMeansResult {
+  std::vector<std::vector<float>> centroids;
+  std::vector<int> labels;
+  std::size_t iterations = 0;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+};
+
+KMeansResult kmeans(const Matrix& points, const KMeansConfig& cfg);
+
+/// Assign one point to the nearest centroid.
+int kmeans_assign(const std::vector<std::vector<float>>& centroids,
+                  std::span<const float> point);
+
+}  // namespace generic::ml

@@ -1,0 +1,43 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace generic::ml {
+
+void Knn::train(const Matrix& x, const std::vector<int>& y,
+                std::size_t num_classes) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("Knn::train: bad input sizes");
+  scaler_.fit(x);
+  x_ = scaler_.transform_all(x);
+  y_ = y;
+  num_classes_ = num_classes;
+}
+
+int Knn::predict(std::span<const float> sample) const {
+  if (x_.empty()) throw std::logic_error("Knn used before train");
+  const auto q = scaler_.transform(sample);
+  // Partial sort of (distance, label) pairs over the k nearest.
+  std::vector<std::pair<float, int>> dists;
+  dists.reserve(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    float acc = 0.0f;
+    const auto& xi = x_[i];
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      const float diff = xi[j] - q[j];
+      acc += diff * diff;
+    }
+    dists.emplace_back(acc, y_[i]);
+  }
+  const std::size_t k = std::min(k_, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                    dists.end());
+  std::vector<int> votes(num_classes_, 0);
+  for (std::size_t i = 0; i < k; ++i)
+    votes[static_cast<std::size_t>(dists[i].second)]++;
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace generic::ml

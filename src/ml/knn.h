@@ -1,0 +1,29 @@
+// k-nearest-neighbours (Euclidean, majority vote) — the second comparator
+// the paper discarded for low accuracy (§3.2); kept for Figure 3.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace generic::ml {
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(std::size_t k = 5) : k_(k) {}
+
+  void train(const Matrix& x, const std::vector<int>& y,
+             std::size_t num_classes) override;
+  int predict(std::span<const float> sample) const override;
+  std::string_view name() const override { return "KNN"; }
+
+ private:
+  std::size_t k_;
+  StandardScaler scaler_;
+  Matrix x_;
+  std::vector<int> y_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace generic::ml

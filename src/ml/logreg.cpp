@@ -1,0 +1,77 @@
+#include "ml/logreg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace generic::ml {
+
+LogReg::LogReg(const LogRegConfig& cfg) : cfg_(cfg) {}
+
+void LogReg::train(const Matrix& x_raw, const std::vector<int>& y,
+                   std::size_t num_classes) {
+  if (x_raw.size() != y.size() || x_raw.empty())
+    throw std::invalid_argument("LogReg::train: bad input sizes");
+  num_classes_ = num_classes;
+  scaler_.fit(x_raw);
+  const Matrix x = scaler_.transform_all(x_raw);
+  d_ = x.front().size();
+  w_.assign(num_classes * d_, 0.0f);
+  b_.assign(num_classes, 0.0f);
+
+  Rng rng(cfg_.seed);
+  std::vector<std::size_t> order(x.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<float> logits(num_classes);
+  double lr = cfg_.learning_rate;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const auto& xi = x[idx];
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        float acc = b_[c];
+        const float* wc = &w_[c * d_];
+        for (std::size_t j = 0; j < d_; ++j) acc += wc[j] * xi[j];
+        logits[c] = acc;
+      }
+      const float mx = *std::max_element(logits.begin(), logits.end());
+      float sum = 0.0f;
+      for (float& v : logits) {
+        v = std::exp(v - mx);
+        sum += v;
+      }
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const float p = logits[c] / sum;
+        const float grad = p - (static_cast<std::size_t>(y[idx]) == c ? 1.0f : 0.0f);
+        float* wc = &w_[c * d_];
+        for (std::size_t j = 0; j < d_; ++j)
+          wc[j] -= static_cast<float>(lr) *
+                   (grad * xi[j] + static_cast<float>(cfg_.reg) * wc[j]);
+        b_[c] -= static_cast<float>(lr) * grad;
+      }
+    }
+    lr *= 0.97;
+  }
+}
+
+int LogReg::predict(std::span<const float> sample) const {
+  if (w_.empty()) throw std::logic_error("LogReg used before train");
+  const auto xi = scaler_.transform(sample);
+  int best = 0;
+  float best_v = -std::numeric_limits<float>::infinity();
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    float acc = b_[c];
+    const float* wc = &w_[c * d_];
+    for (std::size_t j = 0; j < d_; ++j) acc += wc[j] * xi[j];
+    if (acc > best_v) {
+      best_v = acc;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace generic::ml

@@ -1,0 +1,40 @@
+// Multinomial logistic regression (softmax regression) trained by SGD.
+// One of the two comparators the paper evaluated and then discarded for
+// low accuracy (§3.2); kept here for completeness and Figure 3's device
+// energy sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace generic::ml {
+
+struct LogRegConfig {
+  std::size_t epochs = 60;
+  double learning_rate = 0.1;
+  double reg = 1e-4;
+  std::uint64_t seed = 13;
+};
+
+class LogReg final : public Classifier {
+ public:
+  explicit LogReg(const LogRegConfig& cfg);
+
+  void train(const Matrix& x, const std::vector<int>& y,
+             std::size_t num_classes) override;
+  int predict(std::span<const float> sample) const override;
+  std::string_view name() const override { return "LR"; }
+
+ private:
+  LogRegConfig cfg_;
+  StandardScaler scaler_;
+  std::vector<float> w_;  // classes x d
+  std::vector<float> b_;
+  std::size_t d_ = 0;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace generic::ml

@@ -1,0 +1,73 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace generic::ml {
+
+double accuracy_score(std::span<const int> truth, std::span<const int> pred) {
+  if (truth.size() != pred.size() || truth.empty())
+    throw std::invalid_argument("accuracy_score: bad sizes");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) hits += truth[i] == pred[i];
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double entropy(std::span<const int> labels) {
+  std::map<int, std::size_t> counts;
+  for (int l : labels) counts[l]++;
+  const double n = static_cast<double>(labels.size());
+  double h = 0.0;
+  for (const auto& [label, c] : counts) {
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double mutual_information(std::span<const int> a, std::span<const int> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("mutual_information: bad sizes");
+  std::map<int, std::size_t> ca, cb;
+  std::map<std::pair<int, int>, std::size_t> cab;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ca[a[i]]++;
+    cb[b[i]]++;
+    cab[{a[i], b[i]}]++;
+  }
+  const double n = static_cast<double>(a.size());
+  double mi = 0.0;
+  for (const auto& [key, c] : cab) {
+    const double p_ab = static_cast<double>(c) / n;
+    const double p_a = static_cast<double>(ca[key.first]) / n;
+    const double p_b = static_cast<double>(cb[key.second]) / n;
+    mi += p_ab * std::log(p_ab / (p_a * p_b));
+  }
+  return std::max(0.0, mi);
+}
+
+double normalized_mutual_information(std::span<const int> truth,
+                                     std::span<const int> pred) {
+  const double ht = entropy(truth);
+  const double hp = entropy(pred);
+  if (ht == 0.0 && hp == 0.0) return 1.0;  // both trivially one cluster
+  const double denom = 0.5 * (ht + hp);
+  if (denom == 0.0) return 0.0;
+  return mutual_information(truth, pred) / denom;
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> truth, std::span<const int> pred,
+    std::size_t num_classes) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  std::vector<std::vector<std::size_t>> m(num_classes,
+                                          std::vector<std::size_t>(num_classes, 0));
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    m.at(static_cast<std::size_t>(truth[i]))
+        .at(static_cast<std::size_t>(pred[i]))++;
+  return m;
+}
+
+}  // namespace generic::ml

@@ -1,0 +1,31 @@
+// Evaluation metrics: classification accuracy and the normalized mutual
+// information score used by Table 2 to compare clusterings against ground
+// truth (identical to sklearn.metrics.normalized_mutual_info_score with
+// arithmetic-mean normalization).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace generic::ml {
+
+double accuracy_score(std::span<const int> truth, std::span<const int> pred);
+
+/// Mutual information (nats) between two labelings.
+double mutual_information(std::span<const int> a, std::span<const int> b);
+
+/// Shannon entropy (nats) of a labeling.
+double entropy(std::span<const int> labels);
+
+/// NMI = MI / mean(H(a), H(b)); 0 when either side has zero entropy unless
+/// both labelings are single-cluster and identical (then 1 by convention).
+double normalized_mutual_information(std::span<const int> truth,
+                                     std::span<const int> pred);
+
+/// Confusion matrix with truth on rows.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> truth, std::span<const int> pred,
+    std::size_t num_classes);
+
+}  // namespace generic::ml

@@ -1,0 +1,166 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace generic::ml {
+namespace {
+
+void softmax_inplace(std::vector<float>& z) {
+  float mx = z[0];
+  for (float v : z) mx = std::max(mx, v);
+  float sum = 0.0f;
+  for (float& v : z) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (float& v : z) v /= sum;
+}
+
+}  // namespace
+
+Mlp::Mlp(const MlpConfig& cfg, std::string_view name)
+    : cfg_(cfg), name_(name) {}
+
+void Mlp::train(const Matrix& x_raw, const std::vector<int>& y,
+                std::size_t num_classes) {
+  if (x_raw.size() != y.size() || x_raw.empty())
+    throw std::invalid_argument("Mlp::train: bad input sizes");
+  num_classes_ = num_classes;
+  scaler_.fit(x_raw);
+  const Matrix x = scaler_.transform_all(x_raw);
+  const std::size_t d = x.front().size();
+
+  // Build layers: d -> hidden... -> classes, He-initialised.
+  Rng rng(cfg_.seed);
+  layers_.clear();
+  std::vector<std::size_t> sizes{d};
+  sizes.insert(sizes.end(), cfg_.hidden.begin(), cfg_.hidden.end());
+  sizes.push_back(num_classes);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0f);
+    layer.vw.assign(layer.w.size(), 0.0f);
+    layer.vb.assign(layer.out, 0.0f);
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (auto& w : layer.w) w = static_cast<float>(scale * rng.normal());
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<std::size_t> order(x.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double lr = cfg_.learning_rate;
+  // Per-layer gradient accumulators reused across batches.
+  std::vector<std::vector<float>> gw(layers_.size()), gb(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].assign(layers_[l].w.size(), 0.0f);
+    gb[l].assign(layers_[l].b.size(), 0.0f);
+  }
+
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += cfg_.batch) {
+      const std::size_t end = std::min(order.size(), start + cfg_.batch);
+      for (auto& g : gw) std::fill(g.begin(), g.end(), 0.0f);
+      for (auto& g : gb) std::fill(g.begin(), g.end(), 0.0f);
+
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const auto& xi = x[order[idx]];
+        const int yi = y[order[idx]];
+        auto acts = forward(xi);
+        // Output delta: softmax + cross-entropy.
+        std::vector<float> delta = acts.back();
+        softmax_inplace(delta);
+        delta[static_cast<std::size_t>(yi)] -= 1.0f;
+        // Backpropagate.
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const auto& a_in = acts[l];
+          Layer& layer = layers_[l];
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const float dlt = delta[o];
+            gb[l][o] += dlt;
+            float* grow = &gw[l][o * layer.in];
+            const float* in = a_in.data();
+            for (std::size_t i = 0; i < layer.in; ++i) grow[i] += dlt * in[i];
+          }
+          if (l == 0) break;
+          std::vector<float> prev_delta(layer.in, 0.0f);
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const float dlt = delta[o];
+            const float* wrow = &layer.w[o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i)
+              prev_delta[i] += dlt * wrow[i];
+          }
+          // ReLU derivative on the hidden activation.
+          for (std::size_t i = 0; i < layer.in; ++i)
+            if (acts[l][i] <= 0.0f) prev_delta[i] = 0.0f;
+          delta = std::move(prev_delta);
+        }
+      }
+
+      const float inv_batch = 1.0f / static_cast<float>(end - start);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t k = 0; k < layer.w.size(); ++k) {
+          const float grad = gw[l][k] * inv_batch +
+                             static_cast<float>(cfg_.weight_decay) * layer.w[k];
+          layer.vw[k] = static_cast<float>(cfg_.momentum) * layer.vw[k] -
+                        static_cast<float>(lr) * grad;
+          layer.w[k] += layer.vw[k];
+        }
+        for (std::size_t k = 0; k < layer.b.size(); ++k) {
+          layer.vb[k] = static_cast<float>(cfg_.momentum) * layer.vb[k] -
+                        static_cast<float>(lr) * gb[l][k] * inv_batch;
+          layer.b[k] += layer.vb[k];
+        }
+      }
+    }
+    lr *= cfg_.lr_decay;
+  }
+}
+
+std::vector<std::vector<float>> Mlp::forward(std::span<const float> x) const {
+  std::vector<std::vector<float>> acts;
+  acts.emplace_back(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<float> z(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      float acc = layer.b[o];
+      const float* wrow = &layer.w[o * layer.in];
+      const float* in = acts.back().data();
+      for (std::size_t i = 0; i < layer.in; ++i) acc += wrow[i] * in[i];
+      z[o] = acc;
+    }
+    const bool last = (l + 1 == layers_.size());
+    if (!last)
+      for (float& v : z) v = std::max(0.0f, v);  // ReLU
+    acts.push_back(std::move(z));
+  }
+  return acts;
+}
+
+std::vector<float> Mlp::predict_proba(std::span<const float> sample) const {
+  if (layers_.empty()) throw std::logic_error("Mlp used before train");
+  const auto scaled = scaler_.transform(sample);
+  auto acts = forward(scaled);
+  auto out = acts.back();
+  softmax_inplace(out);
+  return out;
+}
+
+int Mlp::predict(std::span<const float> sample) const {
+  const auto probs = predict_proba(sample);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace generic::ml

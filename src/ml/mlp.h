@@ -1,0 +1,58 @@
+// Multi-layer perceptron with ReLU hidden layers and a softmax output,
+// trained by mini-batch SGD with momentum. Covers two Table 1 comparators:
+//   MLP — one hidden layer (scikit-learn MLPClassifier stand-in)
+//   DNN — three hidden layers (stand-in for the AutoKeras-searched network;
+//         see DESIGN.md §3 for the substitution note)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace generic::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden{128};
+  std::size_t epochs = 30;
+  std::size_t batch = 32;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  double lr_decay = 0.97;  ///< multiplicative per-epoch decay
+  std::uint64_t seed = 7;
+};
+
+class Mlp final : public Classifier {
+ public:
+  explicit Mlp(const MlpConfig& cfg, std::string_view name = "MLP");
+
+  void train(const Matrix& x, const std::vector<int>& y,
+             std::size_t num_classes) override;
+  int predict(std::span<const float> sample) const override;
+  std::string_view name() const override { return name_; }
+
+  /// Class probabilities for one (already raw, unscaled) sample.
+  std::vector<float> predict_proba(std::span<const float> sample) const;
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<float> w;   // out x in, row-major
+    std::vector<float> b;   // out
+    std::vector<float> vw;  // momentum buffers
+    std::vector<float> vb;
+  };
+
+  /// Forward pass; returns activations per layer (including input).
+  std::vector<std::vector<float>> forward(std::span<const float> x) const;
+
+  MlpConfig cfg_;
+  std::string name_;
+  StandardScaler scaler_;
+  std::vector<Layer> layers_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace generic::ml

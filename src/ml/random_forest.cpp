@@ -1,0 +1,205 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace generic::ml {
+namespace {
+
+/// Gini impurity of a class histogram with `total` samples.
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  double g = 1.0;
+  const double n = static_cast<double>(total);
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / n;
+    g -= p * p;
+  }
+  return g;
+}
+
+int majority(const std::vector<std::size_t>& counts) {
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(const TreeConfig& cfg) : cfg_(cfg) {}
+
+void DecisionTree::train(const Matrix& x, const std::vector<int>& y,
+                         std::size_t num_classes) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("DecisionTree::train: bad input sizes");
+  std::vector<std::size_t> rows(x.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  train_on_indices(x, y, num_classes, rows);
+}
+
+void DecisionTree::train_on_indices(const Matrix& x, const std::vector<int>& y,
+                                    std::size_t num_classes,
+                                    const std::vector<std::size_t>& rows) {
+  num_classes_ = num_classes;
+  nodes_.clear();
+  std::vector<std::size_t> work = rows;
+  Rng rng(cfg_.seed);
+  build(x, y, work, 0, work.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                                 std::vector<std::size_t>& rows,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t depth, Rng& rng) {
+  const std::size_t n = hi - lo;
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t i = lo; i < hi; ++i)
+    counts[static_cast<std::size_t>(y[rows[i]])]++;
+  const int leaf_label = majority(counts);
+
+  const bool pure = counts[static_cast<std::size_t>(leaf_label)] == n;
+  if (pure || depth >= cfg_.max_depth || n < cfg_.min_samples_split) {
+    Node node;
+    node.label = leaf_label;
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  const std::size_t d = x.front().size();
+  std::size_t try_feats = cfg_.features_per_split != 0
+                              ? cfg_.features_per_split
+                              : static_cast<std::size_t>(
+                                    std::ceil(std::sqrt(static_cast<double>(d))));
+  try_feats = std::min(try_feats, d);
+
+  // Pick candidate features without replacement.
+  std::vector<std::size_t> feats(d);
+  for (std::size_t j = 0; j < d; ++j) feats[j] = j;
+  for (std::size_t j = 0; j < try_feats; ++j) {
+    const std::size_t pick = j + rng.below(d - j);
+    std::swap(feats[j], feats[pick]);
+  }
+
+  double best_impurity = gini(counts, n);
+  std::size_t best_feat = static_cast<std::size_t>(-1);
+  float best_thresh = 0.0f;
+
+  std::vector<std::pair<float, int>> column(n);
+  for (std::size_t f = 0; f < try_feats; ++f) {
+    const std::size_t feat = feats[f];
+    for (std::size_t i = 0; i < n; ++i)
+      column[i] = {x[rows[lo + i]][feat], y[rows[lo + i]]};
+    std::sort(column.begin(), column.end());
+    // Sweep split points between distinct values.
+    std::vector<std::size_t> left_counts(num_classes_, 0);
+    auto right_counts = counts;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto cls = static_cast<std::size_t>(column[i].second);
+      left_counts[cls]++;
+      right_counts[cls]--;
+      if (column[i].first == column[i + 1].first) continue;
+      const std::size_t nl = i + 1, nr = n - nl;
+      const double impurity =
+          (static_cast<double>(nl) * gini(left_counts, nl) +
+           static_cast<double>(nr) * gini(right_counts, nr)) /
+          static_cast<double>(n);
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feat = feat;
+        best_thresh = 0.5f * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feat == static_cast<std::size_t>(-1)) {
+    Node node;
+    node.label = leaf_label;
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  // Partition rows[lo, hi) by the chosen split.
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(lo),
+      rows.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t r) { return x[r][best_feat] <= best_thresh; });
+  const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
+  if (mid == lo || mid == hi) {  // numerical tie: give up, make a leaf
+    Node node;
+    node.label = leaf_label;
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(index)].feature = best_feat;
+  nodes_[static_cast<std::size_t>(index)].threshold = best_thresh;
+  nodes_[static_cast<std::size_t>(index)].label = leaf_label;
+  const std::int32_t left = build(x, y, rows, lo, mid, depth + 1, rng);
+  const std::int32_t right = build(x, y, rows, mid, hi, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+int DecisionTree::predict(std::span<const float> sample) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree used before train");
+  std::size_t node = 0;
+  while (nodes_[node].feature != static_cast<std::size_t>(-1)) {
+    node = static_cast<std::size_t>(sample[nodes_[node].feature] <=
+                                            nodes_[node].threshold
+                                        ? nodes_[node].left
+                                        : nodes_[node].right);
+  }
+  return nodes_[node].label;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    best = std::max(best, depth);
+    const Node& node = nodes_[idx];
+    if (node.feature != static_cast<std::size_t>(-1)) {
+      stack.push_back({static_cast<std::size_t>(node.left), depth + 1});
+      stack.push_back({static_cast<std::size_t>(node.right), depth + 1});
+    }
+  }
+  return best;
+}
+
+RandomForest::RandomForest(const ForestConfig& cfg) : cfg_(cfg) {}
+
+void RandomForest::train(const Matrix& x, const std::vector<int>& y,
+                         std::size_t num_classes) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("RandomForest::train: bad input sizes");
+  num_classes_ = num_classes;
+  trees_.clear();
+  Rng rng(cfg_.seed);
+  for (std::size_t t = 0; t < cfg_.trees; ++t) {
+    TreeConfig tc = cfg_.tree;
+    tc.seed = rng.next_u64();
+    // Bootstrap sample with replacement.
+    std::vector<std::size_t> rows(x.size());
+    for (auto& r : rows) r = rng.below(x.size());
+    DecisionTree tree(tc);
+    tree.train_on_indices(x, y, num_classes, rows);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(std::span<const float> sample) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest used before train");
+  std::vector<int> votes(num_classes_, 0);
+  for (const auto& tree : trees_)
+    votes[static_cast<std::size_t>(tree.predict(sample))]++;
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace generic::ml

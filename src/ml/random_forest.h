@@ -1,0 +1,80 @@
+// CART decision trees and a bagged random forest — the paper's most
+// energy-efficient conventional baseline (RF, §3.2/§5.2). Gini impurity,
+// bootstrap resampling, sqrt(d) feature subsampling per split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace generic::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 4;
+  std::size_t features_per_split = 0;  ///< 0 => sqrt(d)
+  std::uint64_t seed = 17;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(const TreeConfig& cfg);
+
+  void train(const Matrix& x, const std::vector<int>& y,
+             std::size_t num_classes) override;
+  int predict(std::span<const float> sample) const override;
+  std::string_view name() const override { return "Tree"; }
+
+  /// Train on a subset of row indices (bootstrap support for the forest).
+  void train_on_indices(const Matrix& x, const std::vector<int>& y,
+                        std::size_t num_classes,
+                        const std::vector<std::size_t>& rows);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Leaf when feature == npos; then `label` holds the prediction.
+    std::size_t feature = static_cast<std::size_t>(-1);
+    float threshold = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    int label = 0;
+  };
+
+  std::int32_t build(const Matrix& x, const std::vector<int>& y,
+                     std::vector<std::size_t>& rows, std::size_t lo,
+                     std::size_t hi, std::size_t depth, Rng& rng);
+
+  TreeConfig cfg_;
+  std::vector<Node> nodes_;
+  std::size_t num_classes_ = 0;
+};
+
+struct ForestConfig {
+  std::size_t trees = 30;
+  TreeConfig tree;
+  std::uint64_t seed = 19;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(const ForestConfig& cfg);
+
+  void train(const Matrix& x, const std::vector<int>& y,
+             std::size_t num_classes) override;
+  int predict(std::span<const float> sample) const override;
+  std::string_view name() const override { return "RF"; }
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestConfig cfg_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace generic::ml

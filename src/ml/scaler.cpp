@@ -1,0 +1,46 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace generic::ml {
+
+void StandardScaler::fit(const std::vector<std::vector<float>>& x) {
+  if (x.empty()) throw std::invalid_argument("StandardScaler: empty input");
+  const std::size_t d = x.front().size();
+  mean_.assign(d, 0.0f);
+  inv_std_.assign(d, 0.0f);
+  for (const auto& row : x)
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  for (auto& m : mean_) m /= static_cast<float>(x.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : x)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean_[j];
+      var[j] += diff * diff;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(x.size()));
+    inv_std_[j] = sd > 1e-9 ? static_cast<float>(1.0 / sd) : 1.0f;
+  }
+}
+
+std::vector<float> StandardScaler::transform(
+    std::span<const float> sample) const {
+  if (sample.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler: dimension mismatch");
+  std::vector<float> out(sample.size());
+  for (std::size_t j = 0; j < sample.size(); ++j)
+    out[j] = (sample[j] - mean_[j]) * inv_std_[j];
+  return out;
+}
+
+std::vector<std::vector<float>> StandardScaler::transform_all(
+    const std::vector<std::vector<float>>& x) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace generic::ml

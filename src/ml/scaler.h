@@ -1,0 +1,24 @@
+// Per-feature standardization (zero mean, unit variance), applied before
+// the gradient-based comparators exactly as the paper's scikit-learn
+// pipelines would.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace generic::ml {
+
+class StandardScaler {
+ public:
+  void fit(const std::vector<std::vector<float>>& x);
+  std::vector<float> transform(std::span<const float> sample) const;
+  std::vector<std::vector<float>> transform_all(
+      const std::vector<std::vector<float>>& x) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace generic::ml

@@ -1,0 +1,105 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace generic::ml {
+
+Svm::Svm(const SvmConfig& cfg) : cfg_(cfg) {}
+
+std::vector<float> Svm::lift(std::span<const float> scaled) const {
+  if (feat_dim_ == scaled.size()) return {scaled.begin(), scaled.end()};
+  std::vector<float> z(feat_dim_);
+  const float norm = std::sqrt(2.0f / static_cast<float>(feat_dim_));
+  for (std::size_t k = 0; k < feat_dim_; ++k) {
+    float acc = proj_b_[k];
+    const float* wrow = &proj_w_[k * input_dim_];
+    for (std::size_t j = 0; j < input_dim_; ++j) acc += wrow[j] * scaled[j];
+    z[k] = norm * std::cos(acc);
+  }
+  return z;
+}
+
+void Svm::train(const Matrix& x_raw, const std::vector<int>& y,
+                std::size_t num_classes) {
+  if (x_raw.size() != y.size() || x_raw.empty())
+    throw std::invalid_argument("Svm::train: bad input sizes");
+  num_classes_ = num_classes;
+  scaler_.fit(x_raw);
+  input_dim_ = x_raw.front().size();
+  feat_dim_ = cfg_.fourier_dims == 0 ? input_dim_ : cfg_.fourier_dims;
+
+  Rng rng(cfg_.seed);
+  if (cfg_.fourier_dims != 0) {
+    const double gamma =
+        cfg_.gamma > 0.0 ? cfg_.gamma : 1.0 / static_cast<double>(input_dim_);
+    const double w_scale = std::sqrt(2.0 * gamma);
+    proj_w_.resize(feat_dim_ * input_dim_);
+    proj_b_.resize(feat_dim_);
+    for (auto& w : proj_w_) w = static_cast<float>(w_scale * rng.normal());
+    for (auto& b : proj_b_)
+      b = static_cast<float>(rng.uniform(0.0, 6.283185307179586));
+  }
+
+  // Precompute lifted features once; SGD then only touches flat arrays.
+  std::vector<std::vector<float>> z;
+  z.reserve(x_raw.size());
+  for (const auto& row : x_raw) z.push_back(lift(scaler_.transform(row)));
+
+  w_.assign(num_classes * feat_dim_, 0.0f);
+  b_.assign(num_classes, 0.0f);
+
+  std::vector<std::size_t> order(z.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double lr = cfg_.learning_rate;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const auto& zi = z[idx];
+      const auto yi = static_cast<std::size_t>(y[idx]);
+      // One-vs-rest hinge: for each class c, target t = +1 if c==y else -1;
+      // update when t * margin < 1.
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        float* wc = &w_[c * feat_dim_];
+        float margin = b_[c];
+        for (std::size_t k = 0; k < feat_dim_; ++k) margin += wc[k] * zi[k];
+        const float t = (c == yi) ? 1.0f : -1.0f;
+        const float shrink = 1.0f - static_cast<float>(lr * cfg_.reg);
+        if (t * margin < 1.0f) {
+          for (std::size_t k = 0; k < feat_dim_; ++k)
+            wc[k] = shrink * wc[k] + static_cast<float>(lr) * t * zi[k];
+          b_[c] += static_cast<float>(lr) * t;
+        } else {
+          for (std::size_t k = 0; k < feat_dim_; ++k) wc[k] = shrink * wc[k];
+        }
+      }
+    }
+    lr *= 0.95;
+  }
+}
+
+std::vector<float> Svm::decision_function(
+    std::span<const float> sample) const {
+  if (w_.empty()) throw std::logic_error("Svm used before train");
+  const auto z = lift(scaler_.transform(sample));
+  std::vector<float> margins(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    float acc = b_[c];
+    const float* wc = &w_[c * feat_dim_];
+    for (std::size_t k = 0; k < feat_dim_; ++k) acc += wc[k] * z[k];
+    margins[c] = acc;
+  }
+  return margins;
+}
+
+int Svm::predict(std::span<const float> sample) const {
+  const auto margins = decision_function(sample);
+  return static_cast<int>(
+      std::max_element(margins.begin(), margins.end()) - margins.begin());
+}
+
+}  // namespace generic::ml

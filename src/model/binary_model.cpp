@@ -1,0 +1,57 @@
+#include "model/binary_model.h"
+
+#include "hdc/ops.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace generic::model {
+
+BinaryModel::BinaryModel(const HdcClassifier& classifier)
+    : dims_(classifier.dims()) {
+  classes_.reserve(classifier.num_classes());
+  for (std::size_t c = 0; c < classifier.num_classes(); ++c)
+    classes_.push_back(binarize(classifier.class_vector(c)));
+}
+
+hdc::BinaryHV BinaryModel::binarize(const hdc::IntHV& v) {
+  return hdc::threshold(v, 0);
+}
+
+int BinaryModel::predict_packed(const hdc::BinaryHV& query) const {
+  if (query.dims() != dims_)
+    throw std::invalid_argument("BinaryModel: query dimension mismatch");
+  int best = 0;
+  std::size_t best_hamming = std::numeric_limits<std::size_t>::max();
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    // max dot == min hamming for bipolar vectors of equal norm.
+    const std::size_t h = query.hamming(classes_[c]);
+    if (h < best_hamming) {
+      best_hamming = h;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+int BinaryModel::predict(const hdc::IntHV& query) const {
+  return predict_packed(binarize(query));
+}
+
+int BinaryModel::predict_mixed(const hdc::IntHV& query) const {
+  if (query.size() != dims_)
+    throw std::invalid_argument("BinaryModel: query dimension mismatch");
+  int best = 0;
+  std::int64_t best_dot = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    // All sign vectors share ||C||^2 == D, so max-dot == max-cosine.
+    const std::int64_t d = hdc::dot(query, classes_[c]);
+    if (d > best_dot) {
+      best_dot = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace generic::model

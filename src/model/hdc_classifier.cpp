@@ -1,0 +1,231 @@
+#include "model/hdc_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace generic::model {
+
+HdcClassifier::HdcClassifier(std::size_t dims, std::size_t num_classes,
+                             std::size_t chunk)
+    : dims_(dims), num_classes_(num_classes), chunk_(chunk) {
+  if (dims == 0 || num_classes == 0 || chunk == 0)
+    throw std::invalid_argument("HdcClassifier: zero-sized parameter");
+  if (dims % chunk != 0)
+    throw std::invalid_argument("HdcClassifier: dims must be a chunk multiple");
+  num_chunks_ = dims / chunk;
+  classes_.assign(num_classes, hdc::IntHV(dims, 0));
+  chunk_norms_.assign(num_classes, std::vector<std::int64_t>(num_chunks_, 0));
+}
+
+void HdcClassifier::train_init(std::span<const hdc::IntHV> encoded,
+                               std::span<const int> labels) {
+  if (encoded.size() != labels.size())
+    throw std::invalid_argument("train_init: size mismatch");
+  for (auto& c : classes_) std::fill(c.begin(), c.end(), 0);
+  for (std::size_t i = 0; i < encoded.size(); ++i)
+    hdc::add_into(classes_.at(static_cast<std::size_t>(labels[i])), encoded[i]);
+  recompute_norms();
+}
+
+std::size_t HdcClassifier::retrain_epoch(std::span<const hdc::IntHV> encoded,
+                                         std::span<const int> labels) {
+  if (encoded.size() != labels.size())
+    throw std::invalid_argument("retrain_epoch: size mismatch");
+  std::size_t updates = 0;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    const int pred = predict(encoded[i]);
+    const int truth = labels[i];
+    if (pred == truth) continue;
+    ++updates;
+    auto& wrong = classes_.at(static_cast<std::size_t>(pred));
+    auto& right = classes_.at(static_cast<std::size_t>(truth));
+    hdc::add_into(wrong, encoded[i], -1);
+    hdc::add_into(right, encoded[i], +1);
+    // Only the two touched classes need their norms refreshed.
+    for (std::size_t k = 0; k < num_chunks_; ++k) {
+      std::int64_t nw = 0, nr = 0;
+      for (std::size_t j = k * chunk_; j < (k + 1) * chunk_; ++j) {
+        nw += static_cast<std::int64_t>(wrong[j]) * wrong[j];
+        nr += static_cast<std::int64_t>(right[j]) * right[j];
+      }
+      chunk_norms_[static_cast<std::size_t>(pred)][k] = nw;
+      chunk_norms_[static_cast<std::size_t>(truth)][k] = nr;
+    }
+  }
+  return updates;
+}
+
+bool HdcClassifier::online_update(const hdc::IntHV& encoded, int label) {
+  if (label < 0 || static_cast<std::size_t>(label) >= num_classes_)
+    throw std::invalid_argument("online_update: label out of range");
+  const int pred = predict(encoded);
+  if (pred == label) return false;
+  hdc::add_into(classes_[static_cast<std::size_t>(pred)], encoded, -1);
+  hdc::add_into(classes_[static_cast<std::size_t>(label)], encoded, +1);
+  recompute_norms(static_cast<std::size_t>(pred));
+  recompute_norms(static_cast<std::size_t>(label));
+  return true;
+}
+
+bool HdcClassifier::online_update_adaptive(const hdc::IntHV& encoded,
+                                           int label) {
+  if (label < 0 || static_cast<std::size_t>(label) >= num_classes_)
+    throw std::invalid_argument("online_update_adaptive: label out of range");
+  const int pred = predict(encoded);
+  if (pred == label) return false;
+  auto cos_to = [&](std::size_t c) {
+    const auto& cls = classes_[c];
+    const std::int64_t n2 = hdc::norm2(cls);
+    if (n2 == 0) return 0.0;
+    return static_cast<double>(hdc::dot(encoded, cls)) /
+           (std::sqrt(static_cast<double>(hdc::norm2(encoded))) *
+            std::sqrt(static_cast<double>(n2)));
+  };
+  const double w_in = std::clamp(1.0 - cos_to(static_cast<std::size_t>(label)),
+                                 0.0, 2.0);
+  const double w_out = std::clamp(
+      0.5 * (1.0 + cos_to(static_cast<std::size_t>(pred))), 0.0, 1.0);
+  auto& right = classes_[static_cast<std::size_t>(label)];
+  auto& wrong = classes_[static_cast<std::size_t>(pred)];
+  for (std::size_t j = 0; j < dims_; ++j) {
+    right[j] += static_cast<std::int32_t>(std::lround(w_in * encoded[j]));
+    wrong[j] -= static_cast<std::int32_t>(std::lround(w_out * encoded[j]));
+  }
+  recompute_norms(static_cast<std::size_t>(label));
+  recompute_norms(static_cast<std::size_t>(pred));
+  return true;
+}
+
+void HdcClassifier::fit(std::span<const hdc::IntHV> encoded,
+                        std::span<const int> labels, std::size_t epochs) {
+  train_init(encoded, labels);
+  for (std::size_t e = 0; e < epochs; ++e)
+    if (retrain_epoch(encoded, labels) == 0) break;
+}
+
+void HdcClassifier::recompute_norms() {
+  for (std::size_t c = 0; c < num_classes_; ++c) recompute_norms(c);
+}
+
+void HdcClassifier::recompute_norms(std::size_t cls) {
+  const auto& c = classes_.at(cls);
+  for (std::size_t k = 0; k < num_chunks_; ++k) {
+    std::int64_t acc = 0;
+    for (std::size_t j = k * chunk_; j < (k + 1) * chunk_; ++j)
+      acc += static_cast<std::int64_t>(c[j]) * c[j];
+    chunk_norms_[cls][k] = acc;
+  }
+}
+
+std::int64_t HdcClassifier::reduced_norm(std::size_t c, std::size_t dims_used,
+                                         NormMode mode) const {
+  const std::size_t chunks =
+      mode == NormMode::kConstant ? num_chunks_ : dims_used / chunk_;
+  std::int64_t acc = 0;
+  for (std::size_t k = 0; k < chunks; ++k) acc += chunk_norms_[c][k];
+  return acc;
+}
+
+double HdcClassifier::score(const hdc::IntHV& query, std::size_t cls,
+                            std::size_t dims_used, NormMode mode) const {
+  if (query.size() != dims_)
+    throw std::invalid_argument("score: query dimension mismatch");
+  if (dims_used == 0 || dims_used > dims_ || dims_used % chunk_ != 0)
+    throw std::invalid_argument("score: dims_used must be a chunk multiple");
+  const auto& c = classes_.at(cls);
+  std::int64_t dot = 0;
+  for (std::size_t j = 0; j < dims_used; ++j)
+    dot += static_cast<std::int64_t>(query[j]) * c[j];
+  const std::int64_t n2 = reduced_norm(cls, dims_used, mode);
+  if (n2 == 0) return 0.0;
+  const double num = static_cast<double>(dot) * static_cast<double>(std::abs(dot));
+  return num / static_cast<double>(n2);
+}
+
+int HdcClassifier::predict(const hdc::IntHV& query) const {
+  return predict_reduced(query, dims_, NormMode::kUpdated);
+}
+
+int HdcClassifier::predict_reduced(const hdc::IntHV& query,
+                                   std::size_t dims_used,
+                                   NormMode mode) const {
+  int best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const double s = score(query, c, dims_used, mode);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void HdcClassifier::quantize(int bit_width) {
+  if (bit_width < 1 || bit_width > 16)
+    throw std::invalid_argument("quantize: bit_width must be in [1, 16]");
+  std::int64_t max_abs = 1;
+  for (const auto& c : classes_)
+    for (auto v : c) max_abs = std::max<std::int64_t>(max_abs, std::abs(v));
+  if (bit_width == 1) {
+    // Sign model: {-1, +1}.
+    for (auto& c : classes_)
+      for (auto& v : c) v = v >= 0 ? 1 : -1;
+  } else {
+    const auto qmax =
+        static_cast<double>((1 << (bit_width - 1)) - 1);  // e.g. 127 for 8b
+    // Clip at min(max_abs, qmax * sigma): for wide words this is max_abs
+    // (nothing clips); for 2-bit models it keeps the ternary {-1,0,+1}
+    // levels populated instead of rounding the Gaussian bulk to zero.
+    double sq_sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& c : classes_)
+      for (auto v : c) {
+        sq_sum += static_cast<double>(v) * v;
+        ++count;
+      }
+    const double sigma = std::sqrt(sq_sum / static_cast<double>(count));
+    const double clip =
+        std::min(static_cast<double>(max_abs), std::max(1.0, qmax * sigma));
+    const double scale = qmax / clip;
+    for (auto& c : classes_)
+      for (auto& v : c)
+        v = static_cast<std::int32_t>(std::clamp<long>(
+            std::lround(v * scale), static_cast<long>(-qmax - 1),
+            static_cast<long>(qmax)));
+  }
+  bit_width_ = bit_width;
+  recompute_norms();
+}
+
+void HdcClassifier::inject_bit_flips(double rate, Rng& rng) {
+  if (rate <= 0.0) return;
+  const int bw = bit_width_;
+  const std::int32_t mask =
+      bw >= 32 ? -1 : static_cast<std::int32_t>((1u << bw) - 1u);
+  for (auto& c : classes_) {
+    for (auto& v : c) {
+      if (bw == 1) {
+        // Bipolar 1-bit storage: bit 1 == +1, bit 0 == -1 (NOT two's
+        // complement, where -1 would alias +1 in the low bit).
+        std::uint32_t word = v > 0 ? 1u : 0u;
+        if (rng.bernoulli(rate)) word ^= 1u;
+        v = word ? 1 : -1;
+        continue;
+      }
+      // Interpret the element as a bw-bit two's-complement word, as the
+      // class SRAM stores it.
+      auto word = static_cast<std::uint32_t>(v) & static_cast<std::uint32_t>(mask);
+      for (int b = 0; b < bw; ++b)
+        if (rng.bernoulli(rate)) word ^= (1u << b);
+      // Sign-extend back.
+      std::int32_t out = static_cast<std::int32_t>(word);
+      if (bw < 32 && (word & (1u << (bw - 1)))) out -= (1 << bw);
+      v = out;
+    }
+  }
+}
+
+}  // namespace generic::model

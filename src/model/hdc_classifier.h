@@ -1,0 +1,136 @@
+// HDC classification model (paper §2.1, §4.2.2, §4.3.3, §4.3.4).
+//
+// Lifecycle:
+//   train_init()     bundle encoded train vectors into class accumulators
+//   retrain_epoch()  perceptron-style update: on a misprediction subtract
+//                    the encoding from the wrong class, add to the right one
+//   predict()        signed squared-cosine score argmax
+//
+// The model mirrors three ASIC features:
+//  * sub-norms — the norm2 memory stores the squared L2 norm of every
+//    128-dimension chunk of every class so inference with a reduced number
+//    of dimensions can use the exact ("Updated") norm instead of the stale
+//    full-model ("Constant") norm — the Figure 5 comparison.
+//  * bit-width quantization — class elements can be quantized to
+//    {1,2,4,8,16} bits (the `bw` spec input, §4.3.4 / Figure 6).
+//  * fault injection — bit flips at a given rate in the quantized class
+//    words model SRAM voltage over-scaling. Norms are intentionally NOT
+//    refreshed by injection: the hardware keeps them in the separate
+//    (unscaled) norm2 memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "hdc/hypervector.h"
+
+namespace generic::model {
+
+/// Norm source for reduced-dimension inference (Figure 5).
+enum class NormMode {
+  kConstant,  ///< stale full-model norm
+  kUpdated,   ///< exact sub-norm of the dimensions actually used
+};
+
+class HdcClassifier {
+ public:
+  /// `chunk` is the sub-norm granularity; the ASIC uses 128 (§4.3.3).
+  HdcClassifier(std::size_t dims, std::size_t num_classes,
+                std::size_t chunk = 128);
+
+  std::size_t dims() const { return dims_; }
+  std::size_t num_classes() const { return num_classes_; }
+  int bit_width() const { return bit_width_; }
+
+  /// One-shot training: bundle each encoding into its class accumulator.
+  void train_init(std::span<const hdc::IntHV> encoded,
+                  std::span<const int> labels);
+
+  /// One retraining epoch over the encoded training set; returns the number
+  /// of model updates (mispredictions).
+  std::size_t retrain_epoch(std::span<const hdc::IntHV> encoded,
+                            std::span<const int> labels);
+
+  /// Convenience: train_init + at most `epochs` retraining epochs, stopping
+  /// early when an epoch makes no update.
+  void fit(std::span<const hdc::IntHV> encoded, std::span<const int> labels,
+           std::size_t epochs);
+
+  /// Online adaptation: score one labelled encoding and, on a
+  /// misprediction, apply the same subtract/add update as retraining.
+  /// Returns true when the model changed. This is the continuous-learning
+  /// mode an always-on edge node runs between full retraining rounds.
+  bool online_update(const hdc::IntHV& encoded, int label);
+
+  /// Similarity-weighted online update (extension, OnlineHD-style): on a
+  /// misprediction the encoding is added/subtracted scaled by how wrong
+  /// the model was — (1 - cos(H, C_label)) into the right class and
+  /// (1 + cos(H, C_wrong))/2 out of the wrong one — which converges faster
+  /// and overshoots less than unit updates on streaming data. Values are
+  /// rounded back into the integer class domain.
+  bool online_update_adaptive(const hdc::IntHV& encoded, int label);
+
+  /// Predicted class using all dimensions.
+  int predict(const hdc::IntHV& query) const;
+
+  /// Predicted class using only the first `dims_used` dimensions (must be a
+  /// multiple of the chunk size, or == dims()).
+  int predict_reduced(const hdc::IntHV& query, std::size_t dims_used,
+                      NormMode mode) const;
+
+  /// Signed squared-cosine-numerator score of one class:
+  /// sign(H.C) * (H.C)^2 / ||C||^2 over the first dims_used dimensions.
+  double score(const hdc::IntHV& query, std::size_t cls,
+               std::size_t dims_used, NormMode mode) const;
+
+  /// Quantize class elements to `bit_width` bits (two's complement),
+  /// rescaling by the model's max magnitude; recomputes norms.
+  void quantize(int bit_width);
+
+  /// Flip each stored class-memory bit independently with probability
+  /// `rate`. Operates on the current bit-width representation. Norms stay
+  /// untouched (see header comment).
+  void inject_bit_flips(double rate, Rng& rng);
+
+  const hdc::IntHV& class_vector(std::size_t c) const { return classes_.at(c); }
+  hdc::IntHV& mutable_class_vector(std::size_t c) { return classes_.at(c); }
+
+  /// Record the bit-width of externally provided (already quantized) class
+  /// values — used by model deserialization; quantize() is the normal path.
+  void set_bit_width(int bit_width) {
+    if (bit_width < 1 || bit_width > 16)
+      throw std::invalid_argument("set_bit_width: out of range");
+    bit_width_ = bit_width;
+  }
+
+  /// Squared L2 norm of chunk `k` of class `c` (as stored in norm2 memory).
+  std::int64_t chunk_norm(std::size_t c, std::size_t k) const {
+    return chunk_norms_.at(c).at(k);
+  }
+  std::size_t num_chunks() const { return num_chunks_; }
+
+  /// Recompute all chunk norms from the current class vectors (the ASIC
+  /// does this as part of training, §4.2.2).
+  void recompute_norms();
+
+  /// Recompute the chunk norms of a single class (used after an in-place
+  /// update of that class's accumulator).
+  void recompute_norms(std::size_t cls);
+
+ private:
+  std::int64_t reduced_norm(std::size_t c, std::size_t dims_used,
+                            NormMode mode) const;
+
+  std::size_t dims_;
+  std::size_t num_classes_;
+  std::size_t chunk_;
+  std::size_t num_chunks_;
+  int bit_width_ = 16;
+  std::vector<hdc::IntHV> classes_;
+  std::vector<std::vector<std::int64_t>> chunk_norms_;
+};
+
+}  // namespace generic::model

@@ -1,0 +1,47 @@
+// HDC clustering (paper §2.1, §4.2.3), the HDCluster-style algorithm the
+// GENERIC ASIC runs for unsupervised learning on edge:
+//   * the first k encoded inputs seed the centroid hypervectors;
+//   * each epoch assigns every encoding to its most-similar centroid
+//     (cosine) while accumulating a *copy* model from the assignments;
+//   * the copy replaces the centroids for the next epoch (the live model
+//     stays fixed within an epoch, unlike classification retraining).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hdc/hypervector.h"
+
+namespace generic::model {
+
+class HdcCluster {
+ public:
+  HdcCluster(std::size_t dims, std::size_t k);
+
+  std::size_t dims() const { return dims_; }
+  std::size_t k() const { return k_; }
+
+  /// Run the full algorithm; returns the number of epochs executed (stops
+  /// early once assignments stop changing).
+  std::size_t fit(std::span<const hdc::IntHV> encoded,
+                  std::size_t max_epochs = 20);
+
+  /// Index of the most similar centroid.
+  int assign(const hdc::IntHV& query) const;
+
+  /// Assignments for a whole set.
+  std::vector<int> labels(std::span<const hdc::IntHV> encoded) const;
+
+  const std::vector<hdc::IntHV>& centroids() const { return centroids_; }
+
+ private:
+  std::size_t dims_;
+  std::size_t k_;
+  std::vector<hdc::IntHV> centroids_;
+  std::vector<double> centroid_norms_;  // cached ||C||^2 per epoch
+
+  void refresh_norms();
+};
+
+}  // namespace generic::model

@@ -1,0 +1,50 @@
+// Model serialization — the software counterpart of the ASIC's `config`
+// port (§4.1): "load the level, id, and class hypervectors (in case of
+// offline training)". A trained HdcClassifier plus the encoder
+// configuration that produced its encodings round-trips through a compact
+// binary image, so a model trained off-device (or in a previous run) can
+// be deployed onto a GenericAsic or MicroArchSim without retraining.
+//
+// Format (little-endian, versioned):
+//   magic "GHDC", u32 version,
+//   encoder: u64 dims, u64 levels, u64 window, u8 use_ids, u64 seed,
+//            u8 fitted, f32 lo, f32 hi,
+//   model:   u64 dims, u64 classes, u64 chunk, i32 bit_width,
+//            classes x dims i32 class elements,
+//   crc32 of everything before it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encoding/encoder.h"
+#include "model/hdc_classifier.h"
+
+namespace generic::model {
+
+struct SavedModel {
+  enc::EncoderConfig encoder_config;
+  bool quantizer_fitted = false;
+  float quantizer_lo = 0.0f;
+  float quantizer_hi = 1.0f;
+  HdcClassifier classifier{128, 1, 128};
+};
+
+/// Serialize a trained model + the encoder settings it was built with.
+std::vector<std::uint8_t> serialize_model(const enc::Encoder& encoder,
+                                          const HdcClassifier& classifier);
+
+/// Parse a blob; throws std::invalid_argument on any corruption
+/// (bad magic, version, truncation, CRC mismatch).
+SavedModel deserialize_model(const std::vector<std::uint8_t>& blob);
+
+/// File convenience wrappers.
+void save_model_file(const std::string& path, const enc::Encoder& encoder,
+                     const HdcClassifier& classifier);
+SavedModel load_model_file(const std::string& path);
+
+/// CRC-32 (IEEE 802.3) used by the blob footer; exposed for tests.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+}  // namespace generic::model

@@ -1,0 +1,32 @@
+// End-to-end helpers tying encoder + model together: encode a whole dataset
+// once (encodings are reused across retrain epochs, as the ASIC stores them
+// in temporary class-memory rows, §4.2.2) and run the full train/evaluate
+// loop the Table 1 harness and tests share.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "encoding/encoder.h"
+#include "model/hdc_classifier.h"
+
+namespace generic::model {
+
+/// Encode every sample of `xs` with `enc` (already fitted).
+std::vector<hdc::IntHV> encode_all(
+    const enc::Encoder& enc, const std::vector<std::vector<float>>& xs);
+
+struct HdcRunResult {
+  double test_accuracy = 0.0;
+  std::size_t epochs_run = 0;
+  std::vector<int> predictions;
+};
+
+/// Fit encoder on train data, encode both splits, train with retraining,
+/// and score on the test split. `epochs` matches the paper's constant 20.
+HdcRunResult run_hdc_classification(enc::Encoder& enc,
+                                    const data::Dataset& ds,
+                                    std::size_t epochs = 20);
+
+}  // namespace generic::model

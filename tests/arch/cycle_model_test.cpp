@@ -1,0 +1,141 @@
+#include "arch/cycle_model.h"
+
+#include <gtest/gtest.h>
+
+namespace generic::arch {
+namespace {
+
+AppSpec spec_of(std::size_t dims, std::size_t d, std::size_t nc) {
+  AppSpec s;
+  s.dims = dims;
+  s.features = d;
+  s.classes = nc;
+  return s;
+}
+
+TEST(AppSpec, ValidationEnvelope) {
+  ArchConstants hw;
+  AppSpec ok = spec_of(4096, 64, 8);
+  EXPECT_NO_THROW(ok.validate(hw));
+
+  AppSpec bad = ok;
+  bad.dims = 100;  // not a chunk multiple
+  EXPECT_THROW(bad.validate(hw), std::invalid_argument);
+  bad = ok;
+  bad.classes = 33;
+  EXPECT_THROW(bad.validate(hw), std::invalid_argument);
+  bad = ok;
+  bad.features = 2000;
+  EXPECT_THROW(bad.validate(hw), std::invalid_argument);
+  bad = ok;
+  bad.window = 0;
+  EXPECT_THROW(bad.validate(hw), std::invalid_argument);
+  bad = ok;
+  bad.bit_width = 0;
+  EXPECT_THROW(bad.validate(hw), std::invalid_argument);
+}
+
+TEST(AppSpec, DimsClassesTradeOff) {
+  // §4.1: 4K dims for 32 classes, or 8K dims for 16 classes.
+  AppSpec a = spec_of(4096, 64, 32);
+  EXPECT_NO_THROW(a.validate());
+  AppSpec b = spec_of(8192, 64, 16);
+  EXPECT_NO_THROW(b.validate());
+  AppSpec c = spec_of(8192, 64, 17);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CycleModel, PassesIsDimsOverM) {
+  CycleModel cm;
+  EXPECT_EQ(cm.passes(spec_of(4096, 64, 2)), 256u);
+  EXPECT_EQ(cm.passes(spec_of(1024, 64, 2)), 64u);
+  EXPECT_EQ(cm.passes(spec_of(128, 64, 2)), 8u);
+}
+
+TEST(CycleModel, InferenceCycleFormula) {
+  // cycles = D/m * (d + nC) + nC + divider tail (§4.2.1 dataflow).
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 100, 10);
+  const auto c = cm.infer_input(s);
+  EXPECT_EQ(c.cycles, 256u * (100 + 10) + 10 + 4);
+  EXPECT_EQ(c.feature_reads, 256u * 100);
+  EXPECT_EQ(c.class_reads, 256u * 10);
+  EXPECT_EQ(c.divider_ops, 10u);
+  EXPECT_EQ(c.mac_ops, 256u * 10 * 16);
+}
+
+TEST(CycleModel, DimensionReductionScalesLinearly) {
+  // §4.3.3: feeding a smaller D_hv cuts passes proportionally.
+  CycleModel cm;
+  const auto full = cm.infer_input(spec_of(4096, 64, 4));
+  const auto half = cm.infer_input(spec_of(2048, 64, 4));
+  EXPECT_NEAR(static_cast<double>(half.cycles),
+              static_cast<double>(full.cycles) / 2.0,
+              static_cast<double>(full.cycles) * 0.01);
+}
+
+TEST(CycleModel, RetrainUpdateIsThreePassesPerClass) {
+  // §4.2.2: "each update takes 3 x D/m cycles" per touched class; a
+  // misprediction touches two classes.
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 64, 4);
+  EXPECT_EQ(cm.retrain_update(s).cycles, 2u * 3u * 256u);
+}
+
+TEST(CycleModel, IdReadsOnlyWithIds) {
+  CycleModel cm;
+  AppSpec s = spec_of(4096, 64, 2);
+  s.use_ids = true;
+  EXPECT_GT(cm.encode_input(s).id_reads, 0u);
+  s.use_ids = false;
+  EXPECT_EQ(cm.encode_input(s).id_reads, 0u);
+}
+
+TEST(CycleModel, IdMemoryCompressionReadRate) {
+  // §4.3.1: the tmp register means one id-seed read per m window steps.
+  CycleModel cm;
+  AppSpec s = spec_of(4096, 65, 2);  // 63 windows with n=3
+  const auto c = cm.encode_input(s);
+  const std::uint64_t windows = 65 - 3 + 1;
+  EXPECT_EQ(c.id_reads, (256u * windows + 15) / 16);
+}
+
+TEST(CycleModel, ClusterCostsExceedInference) {
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 16, 7);
+  const auto inf = cm.infer_input(s);
+  const auto clu = cm.cluster_input(s);
+  EXPECT_GT(clu.cycles, inf.cycles);
+  EXPECT_GT(clu.class_writes, inf.class_writes);
+}
+
+TEST(CycleModel, CountsAddAndScale) {
+  CycleModel cm;
+  const AppSpec s = spec_of(1024, 32, 4);
+  const auto one = cm.infer_input(s);
+  AccessCounts sum;
+  for (int i = 0; i < 5; ++i) sum += one;
+  const auto scaled = one.scaled(5);
+  EXPECT_EQ(sum.cycles, scaled.cycles);
+  EXPECT_EQ(sum.class_reads, scaled.class_reads);
+  EXPECT_EQ(sum.mac_ops, scaled.mac_ops);
+}
+
+TEST(CycleModel, SecondsAtClock) {
+  CycleModel cm;
+  AccessCounts c;
+  c.cycles = 500'000'000;  // one second at 500 MHz
+  EXPECT_DOUBLE_EQ(cm.seconds(c), 1.0);
+}
+
+TEST(CycleModel, ClusteringLatencyMatchesPaperOrder) {
+  // §5.3: GENERIC clusters FCPS-scale inputs in ~9.6 us per input.
+  CycleModel cm;
+  AppSpec s = spec_of(4096, 4, 7);  // FCPS-like: few features, k<=7
+  const double us = cm.seconds(cm.cluster_input(s)) * 1e6;
+  EXPECT_GT(us, 2.0);
+  EXPECT_LT(us, 20.0);
+}
+
+}  // namespace
+}  // namespace generic::arch

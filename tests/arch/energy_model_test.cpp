@@ -1,0 +1,155 @@
+#include "arch/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace generic::arch {
+namespace {
+
+AppSpec spec_of(std::size_t dims, std::size_t d, std::size_t nc) {
+  AppSpec s;
+  s.dims = dims;
+  s.features = d;
+  s.classes = nc;
+  return s;
+}
+
+TEST(EnergyModel, AreaAnchors) {
+  EnergyModel em;
+  const auto area = em.area_mm2();
+  EXPECT_NEAR(area.total(), 0.30, 1e-9);                    // §5.1
+  EXPECT_GT(area.class_mem / area.total(), 0.6);            // dominates
+  EXPECT_LT(area.level_mem / area.total(), 0.10);           // §5.1 claim
+}
+
+TEST(EnergyModel, StaticPowerAnchors) {
+  EnergyModel em;
+  const auto full = em.static_power_full_mw();
+  EXPECT_NEAR(full.total(), 0.25, 1e-9);  // worst case, all banks on
+  // Typical application (28% fill, §4.3.2) lands near the reported 0.09 mW.
+  const AppSpec typical = spec_of(4096, 64, 9);  // 28% of 32 classes
+  const auto gated = em.static_power_mw(typical);
+  EXPECT_LT(gated.total(), 0.15);
+  EXPECT_GT(gated.total(), 0.05);
+}
+
+TEST(EnergyModel, ActiveBankFractionQuantizes) {
+  EnergyModel em;
+  // 8 classes x 4K dims = 25% of the array -> exactly 1 of 4 banks.
+  EXPECT_DOUBLE_EQ(em.active_bank_fraction(spec_of(4096, 64, 8)), 0.25);
+  // 9 classes -> spills into the second bank.
+  EXPECT_DOUBLE_EQ(em.active_bank_fraction(spec_of(4096, 64, 9)), 0.50);
+  // Full array.
+  EXPECT_DOUBLE_EQ(em.active_bank_fraction(spec_of(4096, 64, 32)), 1.0);
+  // Trade-off dims/classes: 8K dims x 16 classes is also full.
+  EXPECT_DOUBLE_EQ(em.active_bank_fraction(spec_of(8192, 64, 16)), 1.0);
+  // Finer banking gates more precisely.
+  EXPECT_DOUBLE_EQ(em.active_bank_fraction(spec_of(4096, 64, 5), 8), 0.25);
+}
+
+TEST(EnergyModel, BankingAreaOverheads) {
+  EnergyModel em;
+  EXPECT_DOUBLE_EQ(em.banking_area_overhead(1), 1.0);
+  EXPECT_DOUBLE_EQ(em.banking_area_overhead(4), 1.20);  // §4.3.2
+  EXPECT_DOUBLE_EQ(em.banking_area_overhead(8), 1.55);
+  EXPECT_THROW(em.banking_area_overhead(3), std::invalid_argument);
+}
+
+TEST(EnergyModel, FourBanksMinimizeAreaPowerProduct) {
+  // §4.3.2's conclusion: area x power cost is minimized at four banks for
+  // a typical application mix.
+  EnergyModel em;
+  const AppSpec typical = spec_of(4096, 64, 9);
+  auto cost = [&](std::size_t banks) {
+    Breakdown st = em.static_power_full_mw();
+    st.class_mem *= em.active_bank_fraction(typical, banks);
+    return st.total() * em.banking_area_overhead(banks);
+  };
+  EXPECT_LT(cost(4), cost(1));
+  EXPECT_LT(cost(4), cost(8));
+}
+
+TEST(Vos, CurveIsMonotone) {
+  double prev_static = 1.0, prev_dyn = 1.0;
+  for (double ber : {1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1}) {
+    const auto v = vos_for_error_rate(ber);
+    EXPECT_GE(v.static_reduction, prev_static);
+    EXPECT_GE(v.dynamic_reduction, prev_dyn);
+    prev_static = v.static_reduction;
+    prev_dyn = v.dynamic_reduction;
+  }
+}
+
+TEST(Vos, AnchorsAndIdentity) {
+  const auto none = vos_for_error_rate(0.0);
+  EXPECT_DOUBLE_EQ(none.static_reduction, 1.0);
+  EXPECT_DOUBLE_EQ(none.dynamic_reduction, 1.0);
+  const auto deep = vos_for_error_rate(0.1);
+  EXPECT_NEAR(deep.static_reduction, 7.0, 0.01);  // Fig 6 right axis
+  EXPECT_NEAR(deep.dynamic_reduction, 3.0, 0.01);
+  // Saturates beyond the measured range.
+  EXPECT_DOUBLE_EQ(vos_for_error_rate(0.5).static_reduction, 7.0);
+}
+
+TEST(Vos, InterpolatesBetweenPoints) {
+  const auto lo = vos_for_error_rate(1e-3);
+  const auto mid = vos_for_error_rate(2e-3);
+  const auto hi = vos_for_error_rate(3e-3);
+  EXPECT_GT(mid.static_reduction, lo.static_reduction);
+  EXPECT_LT(mid.static_reduction, hi.static_reduction);
+}
+
+TEST(EnergyModel, DynamicPowerNearPaperAnchor) {
+  // A representative multi-class workload should land near the reported
+  // ~1.8 mW average dynamic power (§5.1).
+  EnergyModel em;
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 128, 16);
+  const auto counts = cm.infer_input(s);
+  const double mw = em.dynamic_power_mw(s, counts).total();
+  EXPECT_GT(mw, 0.5);
+  EXPECT_LT(mw, 4.0);
+}
+
+TEST(EnergyModel, ClassMemoryDominatesDynamicPower) {
+  // §4.3.4: the class memories consume the lion's share of the power.
+  EnergyModel em;
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 128, 26);
+  const auto b = em.dynamic_power_mw(s, cm.infer_input(s));
+  EXPECT_GT(b.class_mem / b.total(), 0.5);
+  EXPECT_LT(b.level_mem / b.total(), 0.15);
+}
+
+TEST(EnergyModel, BitWidthScalesClassEnergy) {
+  EnergyModel em;
+  CycleModel cm;
+  AppSpec s = spec_of(4096, 64, 8);
+  const auto counts = cm.infer_input(s);
+  const double e16 = em.dynamic_energy_j(s, counts).class_mem;
+  s.bit_width = 4;
+  const double e4 = em.dynamic_energy_j(s, counts).class_mem;
+  EXPECT_NEAR(e4, e16 / 4.0, e16 * 0.01);
+}
+
+TEST(EnergyModel, VosReducesTotalEnergy) {
+  EnergyModel em;
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 64, 8);
+  const auto counts = cm.infer_input(s).scaled(1000);
+  const double nominal = em.energy_j(s, counts);
+  const double scaled = em.energy_j(s, counts, vos_for_error_rate(0.02));
+  EXPECT_LT(scaled, nominal);
+  EXPECT_GT(scaled, nominal / 4.0);  // only the class component shrinks
+}
+
+TEST(EnergyModel, EnergyAdditiveInCounts) {
+  EnergyModel em;
+  CycleModel cm;
+  const AppSpec s = spec_of(2048, 32, 4);
+  const auto one = cm.infer_input(s);
+  EXPECT_NEAR(em.energy_j(s, one.scaled(10)), 10.0 * em.energy_j(s, one),
+              1e-15);
+}
+
+}  // namespace
+}  // namespace generic::arch

@@ -1,0 +1,90 @@
+#include "arch/power_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/generic_asic.h"
+#include "data/benchmarks.h"
+
+namespace generic::arch {
+namespace {
+
+AppSpec spec_of(std::size_t dims, std::size_t d, std::size_t nc) {
+  AppSpec s;
+  s.dims = dims;
+  s.features = d;
+  s.classes = nc;
+  return s;
+}
+
+TEST(PowerTrace, PhaseTotalsMatchEnergyModel) {
+  PowerTrace trace;
+  CycleModel cm;
+  EnergyModel em;
+  const AppSpec s = spec_of(2048, 64, 4);
+  const auto counts = cm.infer_input(s).scaled(100);
+  trace.record("burst", s, counts);
+  ASSERT_EQ(trace.samples().size(), 1u);
+  EXPECT_NEAR(trace.total_energy_j(), em.energy_j(s, counts), 1e-15);
+  EXPECT_DOUBLE_EQ(trace.total_seconds(), cm.seconds(counts));
+}
+
+TEST(PowerTrace, AveragePowerNearPaperBand) {
+  PowerTrace trace;
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 128, 16);
+  trace.record("inference", s, cm.infer_input(s).scaled(10));
+  const double mw = trace.samples().front().average_power_w() * 1e3;
+  EXPECT_GT(mw, 0.5);
+  EXPECT_LT(mw, 5.0);  // ~static floor + ~2 mW dynamic
+}
+
+TEST(PowerTrace, VosPhaseCheaper) {
+  PowerTrace trace;
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 64, 8);
+  const auto counts = cm.infer_input(s).scaled(50);
+  trace.record("nominal", s, counts);
+  trace.record("scaled", s, counts, vos_for_error_rate(0.02));
+  EXPECT_LT(trace.samples()[1].total_j(), trace.samples()[0].total_j());
+}
+
+TEST(PowerTrace, CsvWellFormed) {
+  PowerTrace trace;
+  CycleModel cm;
+  const AppSpec s = spec_of(1024, 32, 2);
+  trace.record("a", s, cm.infer_input(s));
+  trace.record("b", s, cm.train_init_input(s));
+  const std::string csv = trace.to_csv();
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("phase,seconds"), std::string::npos);
+  EXPECT_NE(csv.find("a,"), std::string::npos);
+  EXPECT_NE(csv.find("b,"), std::string::npos);
+  // 11 columns per row.
+  const auto first_row = csv.substr(csv.find("a,"));
+  const auto row = first_row.substr(0, first_row.find('\n'));
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 10);
+}
+
+TEST(PowerTrace, EndToEndWithBehavioralAsic) {
+  // Bracket real ASIC phases by diffing its counters.
+  const auto ds = data::make_benchmark("PAGE");
+  AppSpec spec = spec_of(1024, ds.num_features(), ds.num_classes);
+  GenericAsic asic(spec);
+  PowerTrace trace;
+
+  asic.train(ds.train_x, ds.train_y, 3);
+  trace.record("train", asic.spec(), asic.counts(), asic.vos());
+  asic.reset_counts();
+  for (int i = 0; i < 50; ++i) (void)asic.infer(ds.test_x[static_cast<std::size_t>(i)]);
+  trace.record("infer-burst", asic.spec(), asic.counts(), asic.vos());
+
+  ASSERT_EQ(trace.samples().size(), 2u);
+  EXPECT_GT(trace.samples()[0].total_j(), trace.samples()[1].total_j());
+  EXPECT_GT(trace.total_seconds(), 0.0);
+  // Trace total equals the ASIC's own accounting phase by phase.
+  EXPECT_NEAR(trace.samples()[1].total_j(), asic.energy_j(), 1e-12);
+}
+
+}  // namespace
+}  // namespace generic::arch

@@ -1,0 +1,88 @@
+#include "arch/sram.h"
+
+#include <gtest/gtest.h>
+
+namespace generic::arch {
+namespace {
+
+TEST(Sram, ConstructionValidation) {
+  EXPECT_THROW(Sram("x", 0, 8), std::invalid_argument);
+  EXPECT_THROW(Sram("x", 8, 0), std::invalid_argument);
+  Sram ok("ok", 16, 100);
+  EXPECT_EQ(ok.depth(), 16u);
+  EXPECT_EQ(ok.width_bits(), 100u);
+}
+
+TEST(Sram, WordRoundTrip) {
+  Sram mem("w", 8, 16);
+  mem.write_word(3, 0xBEEF);
+  EXPECT_EQ(mem.read_word(3), 0xBEEFu);
+  EXPECT_EQ(mem.read_word(0), 0u);
+}
+
+TEST(Sram, WidthMasksExtraBits) {
+  Sram mem("w", 4, 12);
+  mem.write_word(0, 0xFFFF);
+  EXPECT_EQ(mem.read_word(0), 0x0FFFu);
+}
+
+TEST(Sram, RowRoundTripWide) {
+  Sram mem("wide", 2, 130);
+  std::vector<std::uint64_t> row{0xAAAAAAAAAAAAAAAAULL,
+                                 0x5555555555555555ULL, 0x3ULL};
+  mem.write_row(1, row);
+  EXPECT_EQ(mem.read_row(1), row);
+}
+
+TEST(Sram, ReadBitsWrapsAroundRow) {
+  Sram mem("wrap", 1, 8);
+  mem.write_word(0, 0b10000001);
+  // Bits 6..9 wrap: positions 6,7,0,1 = 0,1,1,0.
+  EXPECT_EQ(mem.read_bits(0, 6, 4), 0b0110u);
+}
+
+TEST(Sram, ReadBitsValidation) {
+  Sram mem("v", 2, 64);
+  EXPECT_THROW(mem.read_bits(5, 0, 4), std::out_of_range);
+  EXPECT_THROW(mem.read_bits(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(mem.read_bits(0, 0, 65), std::invalid_argument);
+}
+
+TEST(Sram, AccessCounters) {
+  Sram mem("c", 4, 16);
+  mem.write_word(0, 1);
+  mem.write_word(1, 2);
+  (void)mem.read_word(0);
+  (void)mem.read_bits(1, 0, 8);
+  EXPECT_EQ(mem.writes(), 2u);
+  EXPECT_EQ(mem.reads(), 2u);
+  mem.reset_counters();
+  EXPECT_EQ(mem.writes(), 0u);
+  EXPECT_EQ(mem.reads(), 0u);
+}
+
+TEST(Sram, ReadUpsetsAreTransient) {
+  Sram mem("u", 1, 64);
+  mem.write_word(0, 0);
+  mem.set_read_upset_rate(0.5, 7);
+  int flips = 0;
+  for (int i = 0; i < 50; ++i) flips += mem.read_word(0) != 0;
+  EXPECT_GT(flips, 20);  // upsets visible on the read path...
+  mem.set_read_upset_rate(0.0, 7);
+  EXPECT_EQ(mem.read_word(0), 0u);  // ...but the cell contents survive
+}
+
+TEST(Sram, UpsetRateScalesWithProbability) {
+  Sram mem("r", 1, 64);
+  mem.write_word(0, 0);
+  mem.set_read_upset_rate(0.01, 11);
+  std::size_t bits = 0;
+  const int reads = 2000;
+  for (int i = 0; i < reads; ++i)
+    bits += static_cast<std::size_t>(__builtin_popcountll(mem.read_word(0)));
+  const double rate = static_cast<double>(bits) / (64.0 * reads);
+  EXPECT_NEAR(rate, 0.01, 0.004);
+}
+
+}  // namespace
+}  // namespace generic::arch

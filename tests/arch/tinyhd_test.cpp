@@ -1,0 +1,62 @@
+#include "arch/tinyhd.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/generic_asic.h"
+
+namespace generic::arch {
+namespace {
+
+AppSpec spec_of(std::size_t dims, std::size_t d, std::size_t nc) {
+  AppSpec s;
+  s.dims = dims;
+  s.features = d;
+  s.classes = nc;
+  return s;
+}
+
+TEST(TinyHd, NoNormOrDividerTraffic) {
+  TinyHdModel model;
+  const auto c = model.infer_counts(spec_of(4096, 64, 8));
+  EXPECT_EQ(c.norm_accesses, 0u);
+  EXPECT_EQ(c.divider_ops, 0u);
+  CycleModel cm;
+  EXPECT_LT(c.cycles, cm.infer_input(spec_of(4096, 64, 8)).cycles);
+}
+
+TEST(TinyHd, CheaperThanTrainableGenericPerInference) {
+  // The architectural claim behind Figure 9: an inference-only binary
+  // engine undercuts the trainable engine at nominal settings...
+  TinyHdModel tiny;
+  EnergyModel em;
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 120, 9);
+  const double tiny_e = tiny.energy_per_input_j(s);
+  const double generic_e = em.energy_j(s, cm.infer_input(s));
+  EXPECT_LT(tiny_e, generic_e);
+  EXPECT_GT(tiny_e, generic_e / 20.0);  // ...but not by free-lunch margins
+}
+
+TEST(TinyHd, StaticFloorWellBelowGeneric) {
+  TinyHdModel tiny;
+  EnergyModel em;
+  const AppSpec s = spec_of(4096, 64, 9);
+  EXPECT_LT(tiny.static_power_mw(s), em.static_power_mw(s).total());
+}
+
+TEST(TinyHd, EnergyScalesWithClasses) {
+  TinyHdModel tiny;
+  EXPECT_LT(tiny.energy_per_input_j(spec_of(4096, 64, 2)),
+            tiny.energy_per_input_j(spec_of(4096, 64, 26)));
+}
+
+TEST(TinyHd, LatencySlightlyBelowGeneric) {
+  TinyHdModel tiny;
+  CycleModel cm;
+  const AppSpec s = spec_of(4096, 64, 8);
+  EXPECT_LT(tiny.seconds_per_input(s),
+            cm.seconds(cm.infer_input(s)));
+}
+
+}  // namespace
+}  // namespace generic::arch

@@ -1,0 +1,56 @@
+#include "common/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace generic {
+namespace {
+
+TEST(Bitops, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(4096), 64u);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0ULL);
+  EXPECT_EQ(low_mask(1), 1ULL);
+  EXPECT_EQ(low_mask(8), 0xFFULL);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+  EXPECT_EQ(low_mask(100), ~0ULL);  // saturates beyond a word
+}
+
+TEST(Bitops, GetSetFlipAcrossWordBoundary) {
+  std::vector<std::uint64_t> words(3, 0);
+  set_bit(words.data(), 63, true);
+  set_bit(words.data(), 64, true);
+  set_bit(words.data(), 128, true);
+  EXPECT_TRUE(get_bit(words.data(), 63));
+  EXPECT_TRUE(get_bit(words.data(), 64));
+  EXPECT_TRUE(get_bit(words.data(), 128));
+  EXPECT_FALSE(get_bit(words.data(), 62));
+  EXPECT_FALSE(get_bit(words.data(), 65));
+  EXPECT_EQ(words[0], 1ULL << 63);
+  EXPECT_EQ(words[1], 1ULL);
+  EXPECT_EQ(words[2], 1ULL);
+
+  set_bit(words.data(), 64, false);
+  EXPECT_FALSE(get_bit(words.data(), 64));
+  flip_bit(words.data(), 64);
+  EXPECT_TRUE(get_bit(words.data(), 64));
+  flip_bit(words.data(), 64);
+  EXPECT_FALSE(get_bit(words.data(), 64));
+}
+
+TEST(Bitops, Popcount64) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(~0ULL), 64);
+  EXPECT_EQ(popcount64(0xF0F0F0F0F0F0F0F0ULL), 32);
+}
+
+}  // namespace
+}  // namespace generic

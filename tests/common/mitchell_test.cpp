@@ -1,0 +1,122 @@
+#include "common/mitchell.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace generic {
+namespace {
+
+TEST(MitchellLog2, ExactOnPowersOfTwo) {
+  for (int k = 0; k < 63; ++k) {
+    EXPECT_EQ(mitchell_log2(1ULL << k),
+              static_cast<std::int64_t>(k) << kMitchellFracBits)
+        << "k=" << k;
+  }
+}
+
+TEST(MitchellLog2, MonotoneNondecreasing) {
+  std::int64_t prev = mitchell_log2(1);
+  for (std::uint64_t x = 2; x < 5000; ++x) {
+    const std::int64_t cur = mitchell_log2(x);
+    EXPECT_GE(cur, prev) << "x=" << x;
+    prev = cur;
+  }
+}
+
+TEST(MitchellLog2, WithinKnownErrorBound) {
+  // Mitchell's log underestimates by at most ~0.0861 bits.
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t x = 1 + rng.below((1ULL << 40) - 1);
+    const double approx = static_cast<double>(mitchell_log2(x)) /
+                          static_cast<double>(1 << kMitchellFracBits);
+    const double exact = std::log2(static_cast<double>(x));
+    EXPECT_LE(approx, exact + 1e-4);
+    EXPECT_GE(approx, exact - 0.0862);
+  }
+}
+
+TEST(MitchellLog2Corrected, TightErrorBound) {
+  // The quadratic mantissa correction shrinks the worst-case error from
+  // ~0.086 bits to ~0.008 bits — what lets the ASIC's score comparator
+  // rank quantized-model margins reliably.
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t x = 1 + rng.below((1ULL << 44) - 1);
+    const double approx = static_cast<double>(mitchell_log2_corrected(x)) /
+                          static_cast<double>(1 << kMitchellFracBits);
+    const double exact = std::log2(static_cast<double>(x));
+    EXPECT_NEAR(approx, exact, 0.009) << x;
+  }
+}
+
+TEST(MitchellLog2Corrected, ExactOnPowersOfTwo) {
+  for (int k = 0; k < 50; ++k)
+    EXPECT_EQ(mitchell_log2_corrected(1ULL << k),
+              static_cast<std::int64_t>(k) << kMitchellFracBits);
+}
+
+TEST(MitchellLog2Corrected, MonotoneNondecreasing) {
+  std::int64_t prev = mitchell_log2_corrected(1);
+  for (std::uint64_t x = 2; x < 5000; ++x) {
+    const std::int64_t cur = mitchell_log2_corrected(x);
+    EXPECT_GE(cur, prev) << "x=" << x;
+    prev = cur;
+  }
+}
+
+TEST(MitchellDivide, ZeroNumerator) { EXPECT_EQ(mitchell_divide(0, 7), 0u); }
+
+TEST(MitchellDivide, ExactWhenBothPowersOfTwo) {
+  EXPECT_EQ(mitchell_divide(1024, 32), 32u);
+  EXPECT_EQ(mitchell_divide(8, 8), 1u);
+  EXPECT_EQ(mitchell_divide(1ULL << 40, 1ULL << 10), 1ULL << 30);
+}
+
+TEST(MitchellDivide, RelativeErrorWithinWorstCaseBound) {
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = 1 + rng.below(1ULL << 32);
+    const std::uint64_t b = 1 + rng.below(1ULL << 20);
+    const double approx = static_cast<double>(mitchell_divide(a, b));
+    const double exact = static_cast<double>(a) / static_cast<double>(b);
+    // Integer rounding adds up to 0.5/exact relative error on top of the
+    // Mitchell bound (~12.5% for division), so only large quotients are in
+    // scope — which matches the usage: ASIC scores are large integers.
+    if (exact < 64.0) continue;
+    const double rel = std::abs(approx - exact) / exact;
+    EXPECT_LE(rel, 0.14) << a << "/" << b;
+  }
+}
+
+TEST(MitchellLogRatio, OrdersQuotientsLikeExactDivision) {
+  // The ASIC compares class scores in the log domain; ranking must agree
+  // with exact division whenever quotients differ by more than the Mitchell
+  // error band (~11%).
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a1 = 1 + rng.below(1ULL << 30);
+    const std::uint64_t b1 = 1 + rng.below(1ULL << 15);
+    const std::uint64_t a2 = 1 + rng.below(1ULL << 30);
+    const std::uint64_t b2 = 1 + rng.below(1ULL << 15);
+    const double q1 = static_cast<double>(a1) / static_cast<double>(b1);
+    const double q2 = static_cast<double>(a2) / static_cast<double>(b2);
+    if (q1 > 1.30 * q2) {
+      EXPECT_GT(mitchell_log_ratio(a1, b1), mitchell_log_ratio(a2, b2));
+    } else if (q2 > 1.30 * q1) {
+      EXPECT_LT(mitchell_log_ratio(a1, b1), mitchell_log_ratio(a2, b2));
+    }
+  }
+}
+
+TEST(MitchellLogRatio, ZeroMapsToMinusInfinity) {
+  EXPECT_EQ(mitchell_log_ratio(0, 5), std::numeric_limits<std::int64_t>::min());
+}
+
+}  // namespace
+}  // namespace generic

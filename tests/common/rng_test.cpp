@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace generic {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng rng(11);
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[rng.below(5)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(23);
+  Rng c1 = parent.fork(1);
+  Rng parent2(23);
+  Rng c2 = parent2.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (c1.next_u64() == c2.next_u64());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, ShuffleIsUniformOnPairs) {
+  // Kolmogorov-style sanity: each element lands in each slot ~uniformly.
+  const int trials = 12000;
+  std::array<std::array<int, 4>, 4> slot_counts{};
+  Rng rng(31);
+  for (int t = 0; t < trials; ++t) {
+    std::array<int, 4> v{0, 1, 2, 3};
+    rng.shuffle(v);
+    for (int pos = 0; pos < 4; ++pos) slot_counts[v[pos]][pos]++;
+  }
+  for (const auto& row : slot_counts)
+    for (int c : row) EXPECT_NEAR(c, trials / 4, trials / 20);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+}  // namespace
+}  // namespace generic

@@ -1,0 +1,49 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace generic {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, StddevPopulation) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, GeomeanMultiplicative) {
+  const std::vector<double> xs{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-9);
+  const std::vector<double> one{42.0};
+  EXPECT_NEAR(geomean(one), 42.0, 1e-9);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -2, 8, 0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -2.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 8.0);
+}
+
+TEST(Stats, ArgmaxFirstTieWins) {
+  const std::vector<double> xs{1, 7, 7, 3};
+  EXPECT_EQ(argmax(xs), 1u);
+  EXPECT_EQ(argmax(std::vector<double>{}), static_cast<std::size_t>(-1));
+}
+
+}  // namespace
+}  // namespace generic

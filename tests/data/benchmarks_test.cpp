@@ -1,0 +1,110 @@
+#include "data/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace generic::data {
+namespace {
+
+class AllBenchmarksTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllBenchmarksTest, WellFormed) {
+  const auto ds = make_benchmark(GetParam());
+  EXPECT_EQ(ds.name, GetParam());
+  ASSERT_GT(ds.num_classes, 1u);
+  ASSERT_FALSE(ds.train_x.empty());
+  ASSERT_FALSE(ds.test_x.empty());
+  ASSERT_EQ(ds.train_x.size(), ds.train_y.size());
+  ASSERT_EQ(ds.test_x.size(), ds.test_y.size());
+  const std::size_t d = ds.num_features();
+  ASSERT_GT(d, 0u);
+  for (const auto& x : ds.train_x) ASSERT_EQ(x.size(), d);
+  for (const auto& x : ds.test_x) ASSERT_EQ(x.size(), d);
+  for (int y : ds.train_y) {
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, static_cast<int>(ds.num_classes));
+  }
+  // Every class appears in both splits.
+  std::set<int> train_classes(ds.train_y.begin(), ds.train_y.end());
+  std::set<int> test_classes(ds.test_y.begin(), ds.test_y.end());
+  EXPECT_EQ(train_classes.size(), ds.num_classes);
+  EXPECT_EQ(test_classes.size(), ds.num_classes);
+  // All values finite.
+  for (const auto& x : ds.train_x)
+    for (float v : x) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST_P(AllBenchmarksTest, DeterministicInSeed) {
+  const auto a = make_benchmark(GetParam(), 99);
+  const auto b = make_benchmark(GetParam(), 99);
+  ASSERT_EQ(a.train_x.size(), b.train_x.size());
+  EXPECT_EQ(a.train_x.front(), b.train_x.front());
+  EXPECT_EQ(a.train_y, b.train_y);
+  const auto c = make_benchmark(GetParam(), 100);
+  EXPECT_NE(a.train_x.front(), c.train_x.front());
+}
+
+TEST_P(AllBenchmarksTest, LabelsShuffled) {
+  // The assembly loop generates class-by-class; the final shuffle must mix
+  // them (first-k centroid seeding and SGD depend on it).
+  const auto ds = make_benchmark(GetParam());
+  bool mixed = false;
+  for (std::size_t i = 1; i < std::min<std::size_t>(ds.train_y.size(), 50); ++i)
+    if (ds.train_y[i] != ds.train_y[0]) mixed = true;
+  EXPECT_TRUE(mixed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, AllBenchmarksTest,
+                         ::testing::ValuesIn(benchmark_names()));
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("NOPE"), std::invalid_argument);
+}
+
+TEST(Benchmarks, ElevenDatasets) {
+  EXPECT_EQ(benchmark_names().size(), 11u);
+}
+
+TEST(Benchmarks, GenericConfigSkipsIdsOnOrderFreeTasks) {
+  EXPECT_FALSE(generic_config_for("LANG").use_ids);
+  EXPECT_FALSE(generic_config_for("DNA").use_ids);
+  EXPECT_TRUE(generic_config_for("MNIST").use_ids);
+  EXPECT_TRUE(generic_config_for("ISOLET").use_ids);
+  EXPECT_EQ(generic_config_for("MNIST").window, 3u);
+}
+
+TEST(Benchmarks, EegSamplesHaveWeakMeanSignal) {
+  // The EEG clone's defining property: only a weak linear signal in the
+  // per-feature means (motifs land at random offsets, so their average
+  // contribution per position stays well below the motif amplitude ~1.1).
+  const auto ds = make_benchmark("EEG");
+  const std::size_t d = ds.num_features();
+  std::vector<double> mean0(d, 0.0), mean1(d, 0.0);
+  std::size_t n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < ds.train_x.size(); ++i) {
+    auto& m = ds.train_y[i] == 0 ? mean0 : mean1;
+    (ds.train_y[i] == 0 ? n0 : n1)++;
+    for (std::size_t j = 0; j < d; ++j) m[j] += ds.train_x[i][j];
+  }
+  double max_gap = 0.0;
+  for (std::size_t j = 0; j < d; ++j)
+    max_gap = std::max(max_gap,
+                       std::abs(mean0[j] / static_cast<double>(n0) -
+                                mean1[j] / static_cast<double>(n1)));
+  EXPECT_LT(max_gap, 0.6);
+}
+
+TEST(Benchmarks, LangSymbolsWithinAlphabet) {
+  const auto ds = make_benchmark("LANG");
+  for (const auto& x : ds.train_x)
+    for (float v : x) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LT(v, 26.0f);
+    }
+}
+
+}  // namespace
+}  // namespace generic::data

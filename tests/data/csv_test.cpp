@@ -1,0 +1,105 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace generic::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+  void write(const std::string& p, const char* content) {
+    std::ofstream f(p, std::ios::trunc);
+    f << content;
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string make(const char* name, const char* content) {
+    const auto p = path(name);
+    write(p, content);
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(CsvTest, LoadLabeledBasic) {
+  const auto p = make("t1.csv", "1.0,2.0,0\n3.0,4.0,1\n5.5,6.5,1\n");
+  const auto s = load_labeled_csv(p);
+  ASSERT_EQ(s.x.size(), 3u);
+  EXPECT_EQ(s.x[0], (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(s.y, (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(s.num_classes, 2u);
+}
+
+TEST_F(CsvTest, HeaderAutoSkipped) {
+  const auto p = make("t2.csv", "feat_a,feat_b,label\n1,2,0\n3,4,1\n");
+  const auto s = load_labeled_csv(p);
+  EXPECT_EQ(s.x.size(), 2u);
+}
+
+TEST_F(CsvTest, ExplicitLabelColumn) {
+  const auto p = make("t3.csv", "2,1.5,2.5\n0,3.5,4.5\n");
+  const auto s = load_labeled_csv(p, 0);
+  EXPECT_EQ(s.y, (std::vector<int>{2, 0}));
+  EXPECT_EQ(s.x[0], (std::vector<float>{1.5f, 2.5f}));
+  EXPECT_EQ(s.num_classes, 3u);
+}
+
+TEST_F(CsvTest, MalformedContentRejected) {
+  EXPECT_THROW(load_labeled_csv(make("r1.csv", "1,2,0\n3,4\n")),
+               std::invalid_argument);  // ragged
+  EXPECT_THROW(load_labeled_csv(make("r2.csv", "1,abc,0\n")),
+               std::invalid_argument);  // non-numeric
+  EXPECT_THROW(load_labeled_csv(make("r3.csv", "1,2,-1\n")),
+               std::invalid_argument);  // negative label
+  EXPECT_THROW(load_labeled_csv(make("r4.csv", "1,2,0.5\n")),
+               std::invalid_argument);  // fractional label
+  EXPECT_THROW(load_labeled_csv(make("r5.csv", "5\n")),
+               std::invalid_argument);  // single column
+  EXPECT_THROW(load_labeled_csv(make("r6.csv", "a,b,c\n")),
+               std::invalid_argument);  // header only
+  EXPECT_THROW(load_labeled_csv(path("missing_file.csv")),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, UnlabeledRoundTrip) {
+  const auto p = make("u1.csv", "1.5, 2.5\n3.5,4.5\n");
+  const auto xs = load_unlabeled_csv(p);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[1], (std::vector<float>{3.5f, 4.5f}));
+}
+
+TEST_F(CsvTest, SaveLoadRoundTrip) {
+  const std::vector<std::vector<float>> x{{1.25f, -2.0f}, {0.0f, 3.5f}};
+  const std::vector<int> y{1, 0};
+  const auto p = path("rt.csv");
+  created_.push_back(p);
+  save_labeled_csv(p, x, y);
+  const auto s = load_labeled_csv(p);
+  EXPECT_EQ(s.x, x);
+  EXPECT_EQ(s.y, y);
+}
+
+TEST_F(CsvTest, ToDatasetStratifies) {
+  LabeledSamples s;
+  for (int c = 0; c < 2; ++c)
+    for (int i = 0; i < 40; ++i) {
+      s.x.push_back({static_cast<float>(c), static_cast<float>(i)});
+      s.y.push_back(c);
+    }
+  s.num_classes = 2;
+  const auto ds = to_dataset("t", std::move(s), 0.75);
+  EXPECT_EQ(ds.train_size(), 60u);
+  EXPECT_EQ(ds.test_size(), 20u);
+}
+
+}  // namespace
+}  // namespace generic::data

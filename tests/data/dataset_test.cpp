@@ -1,0 +1,55 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace generic::data {
+namespace {
+
+TEST(ShuffleXy, KeepsPairsTogether) {
+  std::vector<std::vector<float>> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back({static_cast<float>(i)});
+    ys.push_back(i);
+  }
+  Rng rng(3);
+  shuffle_xy(xs, ys, rng);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_EQ(static_cast<int>(xs[i][0]), ys[i]);
+  std::set<int> seen(ys.begin(), ys.end());
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(ShuffleXy, SizeMismatchThrows) {
+  std::vector<std::vector<float>> xs(3);
+  std::vector<int> ys(2);
+  Rng rng(1);
+  EXPECT_THROW(shuffle_xy(xs, ys, rng), std::invalid_argument);
+}
+
+TEST(SplitTrainTest, StratifiedSplit) {
+  std::vector<std::vector<float>> xs;
+  std::vector<int> ys;
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 100; ++i) {
+      xs.push_back({static_cast<float>(c)});
+      ys.push_back(c);
+    }
+  Rng rng(5);
+  const Dataset ds = split_train_test("t", 3, xs, ys, 0.75, rng);
+  EXPECT_EQ(ds.train_size(), 225u);
+  EXPECT_EQ(ds.test_size(), 75u);
+  // Per-class balance preserved on both sides.
+  for (int c = 0; c < 3; ++c) {
+    const auto train_c = std::count(ds.train_y.begin(), ds.train_y.end(), c);
+    const auto test_c = std::count(ds.test_y.begin(), ds.test_y.end(), c);
+    EXPECT_EQ(train_c, 75);
+    EXPECT_EQ(test_c, 25);
+  }
+}
+
+}  // namespace
+}  // namespace generic::data

@@ -1,0 +1,207 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/fcps.h"
+
+namespace generic::data {
+namespace {
+
+TEST(SmoothCurve, NormalizedShape) {
+  Rng rng(1);
+  const auto c = smooth_curve(128, 0.9, rng);
+  ASSERT_EQ(c.size(), 128u);
+  double mean = 0.0, max_abs = 0.0;
+  for (float v : c) {
+    mean += v;
+    max_abs = std::max(max_abs, static_cast<double>(std::abs(v)));
+  }
+  EXPECT_NEAR(mean / 128.0, 0.0, 1e-5);
+  EXPECT_NEAR(max_abs, 1.0, 1e-5);
+}
+
+TEST(SmoothCurve, SmoothnessControlsRoughness) {
+  Rng rng(2);
+  const auto smooth = smooth_curve(256, 0.98, rng);
+  const auto rough = smooth_curve(256, 0.0, rng);
+  auto total_variation = [](const std::vector<float>& v) {
+    double tv = 0.0;
+    for (std::size_t i = 1; i < v.size(); ++i)
+      tv += std::abs(v[i] - v[i - 1]);
+    return tv;
+  };
+  EXPECT_LT(total_variation(smooth), 0.5 * total_variation(rough));
+}
+
+TEST(Templates, NoiseControlsSpread) {
+  TemplateSpec spec;
+  spec.classes = 2;
+  spec.features = 64;
+  Rng rng(3);
+  const auto tmpls = make_templates(spec, rng);
+  ASSERT_EQ(tmpls.size(), 2u);
+  const auto clean = sample_template(tmpls[0], 0.0, rng);
+  EXPECT_EQ(clean, tmpls[0]);
+  const auto noisy = sample_template(tmpls[0], 0.5, rng);
+  double rms = 0.0;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    const double diff = noisy[i] - tmpls[0][i];
+    rms += diff * diff;
+  }
+  EXPECT_NEAR(std::sqrt(rms / 64.0), 0.5, 0.2);
+}
+
+TEST(Envelopes, SamplesAreZeroMeanWithEnvelopeVariance) {
+  VarianceSpec spec;
+  spec.classes = 1;
+  spec.features = 8;
+  Rng rng(5);
+  const auto envs = make_envelopes(spec, rng);
+  for (float e : envs[0]) {
+    EXPECT_GE(e, static_cast<float>(spec.min_sigma) - 1e-5f);
+    EXPECT_LE(e, static_cast<float>(spec.max_sigma) + 1e-5f);
+  }
+  std::vector<double> sum(8, 0.0), sum2(8, 0.0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto x = sample_envelope(envs[0], rng);
+    for (std::size_t j = 0; j < 8; ++j) {
+      sum[j] += x[j];
+      sum2[j] += static_cast<double>(x[j]) * x[j];
+    }
+  }
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(sum[j] / n, 0.0, 0.05);
+    EXPECT_NEAR(std::sqrt(sum2[j] / n), envs[0][j], 0.05);
+  }
+}
+
+TEST(Motifs, InsertedWithinHomeRegion) {
+  MotifSpec spec;
+  spec.classes = 4;
+  spec.features = 64;
+  spec.motif_len = 6;
+  spec.positional = true;
+  spec.background_noise = 0.0;
+  Rng rng(7);
+  const auto bank = make_motif_bank(spec, rng);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    ASSERT_LT(bank.home_lo[c], bank.home_hi[c] + 1);
+    ASSERT_LE(bank.home_hi[c], spec.features - spec.motif_len);
+    const auto x = sample_motifs(spec, bank, c, rng);
+    // With zero background noise, non-zero values only inside
+    // [home_lo, home_hi + motif_len).
+    for (std::size_t i = 0; i < bank.home_lo[c]; ++i)
+      EXPECT_EQ(x[i], 0.0f) << "class " << c << " idx " << i;
+    for (std::size_t i = bank.home_hi[c] + spec.motif_len; i < spec.features; ++i)
+      EXPECT_EQ(x[i], 0.0f) << "class " << c << " idx " << i;
+  }
+}
+
+TEST(Motifs, MotifTooLongThrows) {
+  MotifSpec spec;
+  spec.features = 8;
+  spec.motif_len = 8;
+  Rng rng(9);
+  EXPECT_THROW(make_motif_bank(spec, rng), std::invalid_argument);
+}
+
+TEST(Markov, SymbolsInRangeAndClassDependent) {
+  MarkovSpec spec;
+  spec.classes = 3;
+  spec.features = 2000;
+  spec.alphabet = 5;
+  spec.unigram_bias = 0.8;
+  spec.concentration = 0.1;
+  Rng rng(11);
+  const auto bank = make_markov_bank(spec, rng);
+  std::vector<std::vector<double>> hist(3, std::vector<double>(5, 0.0));
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto x = sample_markov(spec, bank, c, rng);
+    for (float v : x) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LT(v, 5.0f);
+      hist[c][static_cast<std::size_t>(v)] += 1.0;
+    }
+  }
+  // Different classes must have visibly different symbol compositions
+  // (rotated-Zipf unigram profiles).
+  double gap01 = 0.0, gap12 = 0.0;
+  for (std::size_t s = 0; s < 5; ++s) {
+    gap01 += std::abs(hist[0][s] - hist[1][s]);
+    gap12 += std::abs(hist[1][s] - hist[2][s]);
+  }
+  EXPECT_GT(gap01 / 2000.0, 0.15);
+  EXPECT_GT(gap12 / 2000.0, 0.15);
+}
+
+TEST(MixInto, WeightedSum) {
+  std::vector<float> a{1.0f, 2.0f};
+  mix_into(a, {10.0f, 20.0f}, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[1], 12.0f);
+  EXPECT_THROW(mix_into(a, {1.0f}, 1.0f), std::invalid_argument);
+}
+
+class FcpsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FcpsTest, WellFormedAndDeterministic) {
+  const auto a = make_fcps(GetParam(), 42);
+  EXPECT_EQ(a.name, GetParam());
+  ASSERT_GT(a.num_clusters, 1u);
+  ASSERT_GE(a.points.size(), a.num_clusters * 20);
+  ASSERT_EQ(a.points.size(), a.labels.size());
+  for (int l : a.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, static_cast<int>(a.num_clusters));
+  }
+  const auto b = make_fcps(GetParam(), 42);
+  EXPECT_EQ(a.points.front(), b.points.front());
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, FcpsTest,
+                         ::testing::ValuesIn(fcps_extended_names()));
+
+TEST(Fcps, ExtendedSupersetOfTable2Names) {
+  const auto& base = fcps_names();
+  const auto& ext = fcps_extended_names();
+  ASSERT_EQ(base.size(), 5u);
+  ASSERT_EQ(ext.size(), 8u);
+  for (std::size_t i = 0; i < base.size(); ++i) EXPECT_EQ(ext[i], base[i]);
+}
+
+TEST(Fcps, UnknownThrows) {
+  EXPECT_THROW(make_fcps("Octo"), std::invalid_argument);
+}
+
+TEST(Fcps, HeptaClustersAreSeparated) {
+  // Hepta is the easy FCPS case: both k-means and HDC should get NMI ~1,
+  // which requires genuinely separated blobs.
+  const auto ds = make_fcps("Hepta");
+  // Min inter-centroid distance 3 vs sigma 0.45: compute class centroids
+  // and verify separation.
+  std::vector<std::vector<double>> centroids(7, std::vector<double>(3, 0.0));
+  std::vector<std::size_t> counts(7, 0);
+  for (std::size_t i = 0; i < ds.points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(ds.labels[i]);
+    counts[c]++;
+    for (int d = 0; d < 3; ++d) centroids[c][static_cast<std::size_t>(d)] += ds.points[i][static_cast<std::size_t>(d)];
+  }
+  for (std::size_t c = 0; c < 7; ++c)
+    for (auto& v : centroids[c]) v /= static_cast<double>(counts[c]);
+  for (std::size_t a = 0; a < 7; ++a)
+    for (std::size_t b = a + 1; b < 7; ++b) {
+      double d2 = 0.0;
+      for (int d = 0; d < 3; ++d) {
+        const double diff = centroids[a][static_cast<std::size_t>(d)] - centroids[b][static_cast<std::size_t>(d)];
+        d2 += diff * diff;
+      }
+      EXPECT_GT(std::sqrt(d2), 2.0) << a << " vs " << b;
+    }
+}
+
+}  // namespace
+}  // namespace generic::data

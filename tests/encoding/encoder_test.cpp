@@ -1,0 +1,233 @@
+#include "encoding/encoders.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hdc/hypervector.h"
+
+namespace generic::enc {
+namespace {
+
+std::vector<std::vector<float>> unit_range_samples() {
+  return {{0.0f, 1.0f}, {0.5f, 0.25f}};
+}
+
+EncoderConfig small_cfg() {
+  EncoderConfig cfg;
+  cfg.dims = 2048;
+  cfg.levels = 16;
+  cfg.window = 3;
+  cfg.seed = 99;
+  return cfg;
+}
+
+class AllEncodersTest : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(AllEncodersTest, DeterministicAcrossInstances) {
+  const auto cfg = small_cfg();
+  auto e1 = make_encoder(GetParam(), cfg);
+  auto e2 = make_encoder(GetParam(), cfg);
+  const auto fit_data = unit_range_samples();
+  e1->fit(fit_data);
+  e2->fit(fit_data);
+  const std::vector<float> x{0.1f, 0.9f, 0.4f, 0.6f, 0.2f, 0.8f};
+  EXPECT_EQ(e1->encode(x), e2->encode(x));
+}
+
+TEST_P(AllEncodersTest, OutputHasConfiguredDims) {
+  const auto cfg = small_cfg();
+  auto e = make_encoder(GetParam(), cfg);
+  e->fit(unit_range_samples());
+  const std::vector<float> x{0.1f, 0.9f, 0.4f, 0.6f};
+  EXPECT_EQ(e->encode(x).size(), cfg.dims);
+}
+
+TEST_P(AllEncodersTest, DifferentInputsGiveDifferentCodes) {
+  auto e = make_encoder(GetParam(), small_cfg());
+  e->fit(unit_range_samples());
+  const std::vector<float> x{0.1f, 0.9f, 0.4f, 0.6f, 0.3f};
+  const std::vector<float> y{0.9f, 0.1f, 0.6f, 0.4f, 0.7f};
+  EXPECT_NE(e->encode(x), e->encode(y));
+}
+
+TEST_P(AllEncodersTest, SimilarInputsMoreSimilarThanDissimilar) {
+  auto e = make_encoder(GetParam(), small_cfg());
+  e->fit(unit_range_samples());
+  std::vector<float> base(24), near(24), far(24);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = 0.05f + 0.035f * static_cast<float>(i);
+    near[i] = base[i] + 0.02f;
+    far[i] = 1.0f - base[i];
+  }
+  const auto hb = e->encode(base);
+  const auto hn = e->encode(near);
+  const auto hf = e->encode(far);
+  EXPECT_GT(hdc::cosine(hb, hn), hdc::cosine(hb, hf));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllEncodersTest,
+                         ::testing::Values(EncoderKind::kRp,
+                                           EncoderKind::kLevelId,
+                                           EncoderKind::kNgram,
+                                           EncoderKind::kPermutation,
+                                           EncoderKind::kGeneric,
+                                           EncoderKind::kSymbolNgram),
+                         [](const auto& info) {
+                           std::string s{to_string(info.param)};
+                           for (auto& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST(GenericEncoder, WithoutIdsEqualsNgram) {
+  // Paper §3.1: setting the id hypervectors to {0} skips global binding;
+  // the encoding degenerates to pure windowed subsequence statistics.
+  auto cfg = small_cfg();
+  cfg.use_ids = false;
+  GenericEncoder gen(cfg);
+  NgramEncoder ngram(cfg);
+  const auto fit_data = unit_range_samples();
+  gen.fit(fit_data);
+  ngram.fit(fit_data);
+  const std::vector<float> x{0.1f, 0.7f, 0.3f, 0.9f, 0.5f, 0.2f};
+  EXPECT_EQ(gen.encode(x), ngram.encode(x));
+}
+
+TEST(GenericEncoder, IdsMakeShiftedInputsDistinct) {
+  // With ids, the same subsequence at a different global offset must map to
+  // a different code (global order is bound); without ids it must not.
+  auto cfg = small_cfg();
+  cfg.window = 3;
+  const std::vector<float> a{0.1f, 0.5f, 0.9f, 0.1f, 0.1f, 0.1f, 0.1f};
+  const std::vector<float> b{0.1f, 0.1f, 0.1f, 0.1f, 0.1f, 0.5f, 0.9f};
+  // shifted motif {0.1,0.5,0.9}
+  cfg.use_ids = true;
+  GenericEncoder with_ids(cfg);
+  with_ids.fit(unit_range_samples());
+  const double sim_ids =
+      hdc::cosine(with_ids.encode(a), with_ids.encode(b));
+  cfg.use_ids = false;
+  GenericEncoder no_ids(cfg);
+  no_ids.fit(unit_range_samples());
+  const double sim_free = hdc::cosine(no_ids.encode(a), no_ids.encode(b));
+  EXPECT_GT(sim_free, sim_ids + 0.1);
+}
+
+TEST(NgramEncoder, ShortInputYieldsZeroVector) {
+  auto cfg = small_cfg();
+  cfg.window = 5;
+  NgramEncoder e(cfg);
+  e.fit(unit_range_samples());
+  const std::vector<float> x{0.5f, 0.5f};  // shorter than the window
+  const auto h = e.encode(x);
+  for (auto v : h) EXPECT_EQ(v, 0);
+}
+
+TEST(NgramEncoder, WindowCountReflectedInL1Mass) {
+  // Each window contributes exactly one bipolar hypervector, so the sum of
+  // dimension parities equals d-n+1 windows (mod 2 per dimension), and the
+  // total L1 mass is bounded by (d-n+1).
+  auto cfg = small_cfg();
+  cfg.window = 3;
+  NgramEncoder e(cfg);
+  e.fit(unit_range_samples());
+  const std::vector<float> x{0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f, 0.7f, 0.8f};
+  const auto h = e.encode(x);
+  const int windows = static_cast<int>(x.size() - cfg.window + 1);
+  for (auto v : h) {
+    EXPECT_LE(std::abs(v), windows);
+    EXPECT_EQ((v - windows) % 2, 0);
+  }
+}
+
+TEST(RpEncoder, IsLinearInQuantizedFeatures) {
+  // RP is a linear map of the quantized features: encoding a vector whose
+  // bins are the element-wise sum of two others equals the sum of their
+  // encodings. This is the structural weakness Table 1 exposes on EEG.
+  EncoderConfig cfg = small_cfg();
+  cfg.levels = 8;
+  RpEncoder e(cfg);
+  const std::vector<std::vector<float>> range{{0.0f, 8.0f}};
+  e.fit(range);  // bins == floor(value) for values 0..7
+  const std::vector<float> a{1.2f, 2.2f, 0.2f};
+  const std::vector<float> b{2.2f, 1.2f, 3.2f};
+  const std::vector<float> sum{3.2f, 3.2f, 3.2f};
+  auto ha = e.encode(a);
+  auto hb = e.encode(b);
+  const auto hs = e.encode(sum);
+  hdc::add_into(ha, hb);
+  EXPECT_EQ(ha, hs);
+}
+
+TEST(PermutationEncoder, PositionSensitive) {
+  auto cfg = small_cfg();
+  PermutationEncoder e(cfg);
+  e.fit(unit_range_samples());
+  // Same multiset of values, different order -> dissimilar encodings.
+  // Extreme values are used so levels at swapped positions are themselves
+  // ~orthogonal and the remaining similarity is pure position leakage.
+  const std::vector<float> a{0.0f, 1.0f, 0.0f, 1.0f};
+  const std::vector<float> b{1.0f, 0.0f, 1.0f, 0.0f};
+  const double sim = hdc::cosine(e.encode(a), e.encode(b));
+  EXPECT_LT(sim, 0.35);
+}
+
+TEST(SymbolNgram, TreatsBinsAsCategorical) {
+  // Adjacent bins must be ~orthogonal for sym-ngram (independent items)
+  // but similar for level-based ngram (distance-preserving levels).
+  auto cfg = small_cfg();
+  cfg.window = 1;  // single-symbol windows isolate the item table
+  SymbolNgramEncoder sym(cfg);
+  NgramEncoder lvl(cfg);
+  const std::vector<std::vector<float>> range{{0.0f, 16.0f}};
+  sym.fit(range);
+  lvl.fit(range);
+  const std::vector<float> a(8, 7.5f);  // bin 7 everywhere
+  const std::vector<float> b(8, 8.5f);  // adjacent bin 8
+  EXPECT_LT(hdc::cosine(sym.encode(a), sym.encode(b)), 0.2);
+  EXPECT_GT(hdc::cosine(lvl.encode(a), lvl.encode(b)), 0.7);
+}
+
+TEST(EncoderFactory, NamesRoundTrip) {
+  for (auto kind :
+       {EncoderKind::kRp, EncoderKind::kLevelId, EncoderKind::kNgram,
+        EncoderKind::kPermutation, EncoderKind::kGeneric,
+        EncoderKind::kSymbolNgram}) {
+    auto e = make_encoder(kind, small_cfg());
+    EXPECT_EQ(e->name(), to_string(kind));
+  }
+}
+
+TEST(Encoder, FitRangeMatchesFitOnThatRange) {
+  // fit_range is the deserialization/deployment path: it must configure
+  // the quantizer identically to fitting on data spanning the same range.
+  auto cfg = small_cfg();
+  GenericEncoder by_data(cfg);
+  const std::vector<std::vector<float>> span_data{{-2.0f, 3.0f}};
+  by_data.fit(span_data);
+  GenericEncoder by_range(cfg);
+  by_range.fit_range(-2.0f, 3.0f);
+  const std::vector<float> x{-1.0f, 0.0f, 1.0f, 2.5f, -1.7f};
+  EXPECT_EQ(by_data.encode(x), by_range.encode(x));
+}
+
+TEST(GenericEncoder, InputShorterThanWindowIsZero) {
+  auto cfg = small_cfg();
+  cfg.window = 4;
+  GenericEncoder e(cfg);
+  e.fit(unit_range_samples());
+  const std::vector<float> x{0.5f, 0.5f};
+  for (auto v : e.encode(x)) EXPECT_EQ(v, 0);
+}
+
+TEST(Encoder, ZeroWindowRejected) {
+  auto cfg = small_cfg();
+  cfg.window = 0;
+  EXPECT_THROW(NgramEncoder{cfg}, std::invalid_argument);
+  EXPECT_THROW(GenericEncoder{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace generic::enc

@@ -1,0 +1,102 @@
+#include "hdc/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace generic::hdc {
+namespace {
+
+TEST(Threshold, SignConvention) {
+  const IntHV v{3, -2, 0, -7, 1};
+  const auto b = threshold(v);
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));  // >= 0
+  EXPECT_FALSE(b.bit(3));
+  EXPECT_TRUE(b.bit(4));
+  const auto shifted = threshold(v, 2);
+  EXPECT_TRUE(shifted.bit(0));
+  EXPECT_FALSE(shifted.bit(4));
+}
+
+TEST(Majority, OddSetIsExactVote) {
+  Rng rng(5);
+  std::vector<BinaryHV> members;
+  for (int i = 0; i < 5; ++i) members.push_back(BinaryHV::random(256, rng));
+  const auto maj = majority(members);
+  for (std::size_t d = 0; d < 256; ++d) {
+    int votes = 0;
+    for (const auto& m : members) votes += m.bit(d) ? 1 : -1;
+    EXPECT_EQ(maj.bit(d), votes >= 0) << d;  // no ties with odd count
+  }
+}
+
+TEST(Majority, SingleMemberIsIdentity) {
+  Rng rng(7);
+  const auto a = BinaryHV::random(512, rng);
+  const std::vector<BinaryHV> one{a};
+  EXPECT_EQ(majority(one), a);
+  EXPECT_THROW(majority(std::span<const BinaryHV>{}), std::invalid_argument);
+}
+
+TEST(Majority, OutputCloserToMembersThanOutsider) {
+  Rng rng(9);
+  std::vector<BinaryHV> members;
+  for (int i = 0; i < 7; ++i) members.push_back(BinaryHV::random(4096, rng));
+  const auto maj = majority(members);
+  const auto outsider = BinaryHV::random(4096, rng);
+  for (const auto& m : members)
+    EXPECT_GT(hamming_similarity(maj, m),
+              hamming_similarity(maj, outsider) + 0.2);
+}
+
+TEST(WeightedAccumulate, MatchesRepeatedAccumulate) {
+  Rng rng(11);
+  const auto hv = BinaryHV::random(256, rng);
+  IntHV a(256, 0), b(256, 0);
+  weighted_accumulate(a, hv, 5);
+  for (int i = 0; i < 5; ++i) hv.accumulate_into(b);
+  EXPECT_EQ(a, b);
+  weighted_accumulate(a, hv, -5);
+  for (auto v : a) EXPECT_EQ(v, 0);
+  weighted_accumulate(a, hv, 0);
+  for (auto v : a) EXPECT_EQ(v, 0);
+}
+
+TEST(HammingSimilarity, RangeAndIdentities) {
+  Rng rng(13);
+  const auto a = BinaryHV::random(2048, rng);
+  EXPECT_DOUBLE_EQ(hamming_similarity(a, a), 1.0);
+  BinaryHV inv = a;
+  for (std::size_t i = 0; i < inv.dims(); ++i) inv.flip(i);
+  EXPECT_DOUBLE_EQ(hamming_similarity(a, inv), -1.0);
+  const auto b = BinaryHV::random(2048, rng);
+  EXPECT_NEAR(hamming_similarity(a, b), 0.0, 0.1);
+  // Equals normalized bipolar dot.
+  EXPECT_NEAR(hamming_similarity(a, b),
+              static_cast<double>(a.dot(b)) / 2048.0, 1e-12);
+}
+
+TEST(BindSequence, MatchesManualNgram) {
+  Rng rng(17);
+  std::vector<BinaryHV> symbols;
+  for (int i = 0; i < 3; ++i) symbols.push_back(BinaryHV::random(512, rng));
+  const auto bound = bind_sequence(symbols);
+  const auto manual =
+      symbols[0].rotated(2) ^ symbols[1].rotated(1) ^ symbols[2];
+  EXPECT_EQ(bound, manual);
+}
+
+TEST(BindSequence, OrderSensitive) {
+  Rng rng(19);
+  std::vector<BinaryHV> ab{BinaryHV::random(2048, rng),
+                           BinaryHV::random(2048, rng)};
+  std::vector<BinaryHV> ba{ab[1], ab[0]};
+  EXPECT_LT(std::abs(hamming_similarity(bind_sequence(ab),
+                                        bind_sequence(ba))),
+            0.15);
+}
+
+}  // namespace
+}  // namespace generic::hdc

@@ -1,0 +1,118 @@
+#include "hwmodel/device.h"
+
+#include <gtest/gtest.h>
+
+namespace generic::hw {
+namespace {
+
+// Representative Table-1-scale application: d=120 features, D=4K, 9
+// classes, 1300 train samples.
+constexpr std::size_t kD = 120, kDims = 4096, kN = 3, kC = 9, kTrain = 1300;
+
+TEST(Workload, HdcInferenceDominatedByBitOps) {
+  const auto w = hdc_inference(kD, kDims, kN, kC);
+  EXPECT_GT(w.simple_ops, 10.0 * w.macs);
+  EXPECT_DOUBLE_EQ(w.data_passes, 1.0);
+}
+
+TEST(Workload, HdcTrainingScalesWithEpochs) {
+  const auto w10 = hdc_training(kD, kDims, kN, kC, 10);
+  const auto w20 = hdc_training(kD, kDims, kN, kC, 20);
+  EXPECT_NEAR(w20.simple_ops, 2.0 * w10.simple_ops, 1e-6);
+  EXPECT_DOUBLE_EQ(w20.data_passes, 20.0);
+}
+
+TEST(Workload, ShortInputHasNoWindows) {
+  const auto w = hdc_inference(2, kDims, 3, kC);
+  EXPECT_DOUBLE_EQ(w.simple_ops, 0.0);
+}
+
+TEST(Workload, RfInferenceIsTiniestMl) {
+  const auto rf = ml_inference(ml::MlKind::kRandomForest, kD, kC, kTrain);
+  for (auto kind : {ml::MlKind::kMlp, ml::MlKind::kDnn, ml::MlKind::kSvm,
+                    ml::MlKind::kKnn}) {
+    EXPECT_LT(rf.macs, ml_inference(kind, kD, kC, kTrain).macs)
+        << ml::to_string(kind);
+  }
+}
+
+TEST(Workload, DnnCostsMoreThanMlp) {
+  EXPECT_GT(ml_training(ml::MlKind::kDnn, kD, kC, kTrain).macs,
+            ml_training(ml::MlKind::kMlp, kD, kC, kTrain).macs);
+  EXPECT_GT(ml_inference(ml::MlKind::kDnn, kD, kC, kTrain).macs,
+            ml_inference(ml::MlKind::kMlp, kD, kC, kTrain).macs);
+}
+
+TEST(Workload, KmeansPassesIncludeRestarts) {
+  const auto w = kmeans_per_input(3, 4, 30, 10);
+  EXPECT_DOUBLE_EQ(w.data_passes, 300.0);
+}
+
+TEST(Device, EnergyAndTimePositive) {
+  for (const auto& dev : {raspberry_pi(), desktop_cpu(), edge_gpu()}) {
+    const auto w = hdc_inference(kD, kDims, kN, kC);
+    EXPECT_GT(energy_j(dev, w), 0.0) << dev.name;
+    EXPECT_GT(time_s(dev, w), 0.0) << dev.name;
+  }
+}
+
+TEST(Device, EgpuWinsHdcByPaperMargins) {
+  // §3.3: eGPU improves GENERIC inference energy 134x vs R-Pi and ~70x vs
+  // CPU; time 252x / 30x. Check order-of-magnitude agreement.
+  const auto w = hdc_inference(kD, kDims, kN, kC);
+  const double e_rpi = energy_j(raspberry_pi(), w);
+  const double e_cpu = energy_j(desktop_cpu(), w);
+  const double e_gpu = energy_j(edge_gpu(), w);
+  EXPECT_GT(e_rpi / e_gpu, 40.0);
+  EXPECT_LT(e_rpi / e_gpu, 400.0);
+  EXPECT_GT(e_cpu / e_gpu, 20.0);
+  EXPECT_LT(e_cpu / e_gpu, 250.0);
+  const double t_rpi = time_s(raspberry_pi(), w);
+  const double t_gpu = time_s(edge_gpu(), w);
+  EXPECT_GT(t_rpi / t_gpu, 80.0);
+  EXPECT_LT(t_rpi / t_gpu, 800.0);
+}
+
+TEST(Device, ConventionalMlCheaperThanHdcOnAllDevices) {
+  // §3.3 observation (i): ML consumes less energy than HDC on conventional
+  // hardware, on every device.
+  for (const auto& dev : {raspberry_pi(), desktop_cpu(), edge_gpu()}) {
+    const double hdc = energy_j(dev, hdc_inference(kD, kDims, kN, kC));
+    const double mlp =
+        energy_j(dev, ml_inference(ml::MlKind::kMlp, kD, kC, kTrain));
+    EXPECT_LT(mlp, hdc) << dev.name;
+  }
+}
+
+TEST(Device, RfIsMostEfficientConventionalBaselineOnCpu) {
+  const auto dev = desktop_cpu();
+  const double rf =
+      energy_j(dev, ml_inference(ml::MlKind::kRandomForest, kD, kC, kTrain));
+  for (auto kind : {ml::MlKind::kMlp, ml::MlKind::kDnn, ml::MlKind::kSvm,
+                    ml::MlKind::kKnn, ml::MlKind::kLogReg}) {
+    EXPECT_LE(rf, energy_j(dev, ml_inference(kind, kD, kC, kTrain)))
+        << ml::to_string(kind);
+  }
+}
+
+TEST(Device, KmeansOnFcpsIsOverheadDominated) {
+  // §5.3: k-means burns hundreds of microseconds and millijoules per input
+  // on three features because of framework passes, not math.
+  const auto w = kmeans_per_input(3, 4);
+  const auto dev = desktop_cpu();
+  const double overhead_only = w.data_passes * dev.overhead_energy_j;
+  EXPECT_GT(overhead_only / energy_j(dev, w), 0.8);
+  const double us = time_s(dev, w) * 1e6;
+  EXPECT_GT(us, 50.0);
+  EXPECT_LT(us, 2000.0);
+}
+
+TEST(Device, PublishedAcceleratorAnchorsOrdered) {
+  // Figure 9: Datta et al. [10] costs more per input than tiny-HD [8].
+  EXPECT_GT(datta_hd_processor_energy_per_input_j(),
+            tiny_hd_energy_per_input_j());
+  EXPECT_GT(tiny_hd_energy_per_input_j(), 0.0);
+}
+
+}  // namespace
+}  // namespace generic::hw

@@ -1,0 +1,66 @@
+// Additional device cost-model properties: time monotonicity, overhead
+// accounting, and the train/infer relationship the figures rely on.
+#include <gtest/gtest.h>
+
+#include "hwmodel/device.h"
+
+namespace generic::hw {
+namespace {
+
+TEST(TimeModel, MonotoneInWorkload) {
+  const auto dev = desktop_cpu();
+  Workload small;
+  small.macs = 1e4;
+  Workload big = small;
+  big.macs = 1e7;
+  EXPECT_LT(time_s(dev, small), time_s(dev, big));
+  EXPECT_LT(energy_j(dev, small), energy_j(dev, big));
+}
+
+TEST(TimeModel, OverheadFloorsSmallWork) {
+  const auto dev = desktop_cpu();
+  Workload tiny;
+  tiny.macs = 1.0;
+  EXPECT_GE(time_s(dev, tiny), dev.overhead_time_s);
+  EXPECT_GE(energy_j(dev, tiny), dev.overhead_energy_j);
+}
+
+TEST(TimeModel, ZeroPassesChargedAsOne) {
+  const auto dev = raspberry_pi();
+  Workload w;
+  w.macs = 100;
+  w.data_passes = 0.0;  // defensive input
+  EXPECT_NEAR(energy_j(dev, w),
+              100 * dev.mac_energy_j + dev.overhead_energy_j, 1e-12);
+}
+
+TEST(TimeModel, TrainingCostsMoreThanInferencePerInput) {
+  for (auto kind : {ml::MlKind::kMlp, ml::MlKind::kDnn, ml::MlKind::kSvm,
+                    ml::MlKind::kRandomForest, ml::MlKind::kLogReg}) {
+    const auto t = ml_training(kind, 64, 8, 1000);
+    const auto i = ml_inference(kind, 64, 8, 1000);
+    EXPECT_GT(t.macs + t.data_passes, i.macs + i.data_passes)
+        << ml::to_string(kind);
+  }
+  EXPECT_GT(hdc_training(64, 4096, 3, 8, 20).simple_ops,
+            hdc_inference(64, 4096, 3, 8).simple_ops);
+}
+
+TEST(TimeModel, ImpliedWallPowersArePhysical) {
+  // Energy/time must imply believable device powers (0.1 W - 40 W) on a
+  // representative heavy workload.
+  Workload w = hdc_inference(120, 4096, 3, 9);
+  for (const auto& dev : {raspberry_pi(), desktop_cpu(), edge_gpu()}) {
+    const double watts = energy_j(dev, w) / time_s(dev, w);
+    EXPECT_GT(watts, 0.1) << dev.name;
+    EXPECT_LT(watts, 40.0) << dev.name;
+  }
+}
+
+TEST(TimeModel, KnnTrainIsMemorizationOnly) {
+  const auto w = ml_training(ml::MlKind::kKnn, 64, 8, 1000);
+  EXPECT_LT(w.macs, 100.0);
+}
+
+}  // namespace
+}  // namespace generic::hw

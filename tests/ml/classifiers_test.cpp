@@ -1,0 +1,192 @@
+// Behavioural tests for the from-scratch ML comparators: each must learn a
+// clearly learnable problem and expose its structural blind spots (e.g.
+// trees vs rotated boundaries are out of scope; we only guarantee the
+// qualitative contracts the Table 1 harness relies on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/knn.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace generic::ml {
+namespace {
+
+/// Two Gaussian blobs, linearly separable.
+void make_blobs(Matrix& x, std::vector<int>& y, std::size_t n_per_class,
+                double sep, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      const double cx = c == 0 ? -sep : sep;
+      x.push_back({static_cast<float>(cx + rng.normal()),
+                   static_cast<float>(rng.normal())});
+      y.push_back(static_cast<int>(c));
+    }
+}
+
+/// XOR-style checkerboard: not linearly separable.
+void make_xor(Matrix& x, std::vector<int>& y, std::size_t n,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const float b = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x.push_back({a, b});
+    y.push_back((a > 0) != (b > 0) ? 1 : 0);
+  }
+}
+
+class AllClassifiersTest : public ::testing::TestWithParam<MlKind> {};
+
+TEST_P(AllClassifiersTest, LearnsLinearlySeparableBlobs) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(x, y, 150, 2.0, 42);
+  auto clf = make_classifier(GetParam());
+  clf->train(x, y, 2);
+  Matrix tx;
+  std::vector<int> ty;
+  make_blobs(tx, ty, 50, 2.0, 43);
+  EXPECT_GT(clf->accuracy(tx, ty), 0.9) << to_string(GetParam());
+}
+
+TEST_P(AllClassifiersTest, NameMatchesKind) {
+  EXPECT_EQ(make_classifier(GetParam())->name(), to_string(GetParam()));
+}
+
+TEST_P(AllClassifiersTest, PredictBeforeTrainThrows) {
+  auto clf = make_classifier(GetParam());
+  const std::vector<float> x{0.0f, 0.0f};
+  EXPECT_THROW((void)clf->predict(x), std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllClassifiersTest,
+                         ::testing::Values(MlKind::kMlp, MlKind::kDnn,
+                                           MlKind::kSvm,
+                                           MlKind::kRandomForest,
+                                           MlKind::kLogReg, MlKind::kKnn),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Mlp, SolvesXor) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 600, 7);
+  MlpConfig cfg;
+  cfg.hidden = {32};
+  cfg.epochs = 60;
+  Mlp mlp(cfg);
+  mlp.train(x, y, 2);
+  Matrix tx;
+  std::vector<int> ty;
+  make_xor(tx, ty, 200, 8);
+  EXPECT_GT(mlp.accuracy(tx, ty), 0.9);
+}
+
+TEST(Mlp, ProbabilitiesSumToOne) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(x, y, 50, 1.0, 3);
+  Mlp mlp(MlpConfig{});
+  mlp.train(x, y, 2);
+  const auto p = mlp.predict_proba(x[0]);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-5);
+  EXPECT_GE(p[0], 0.0f);
+  EXPECT_GE(p[1], 0.0f);
+}
+
+TEST(Svm, RffSolvesXorLinearCannot) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 800, 11);
+  Matrix tx;
+  std::vector<int> ty;
+  make_xor(tx, ty, 200, 12);
+
+  SvmConfig rbf;
+  rbf.gamma = 2.0;
+  Svm svm_rbf(rbf);
+  svm_rbf.train(x, y, 2);
+  EXPECT_GT(svm_rbf.accuracy(tx, ty), 0.85);
+
+  SvmConfig lin;
+  lin.fourier_dims = 0;  // plain linear SVM
+  Svm svm_lin(lin);
+  svm_lin.train(x, y, 2);
+  EXPECT_LT(svm_lin.accuracy(tx, ty), 0.7);  // structurally impossible
+}
+
+TEST(Svm, DecisionFunctionRanksPredictedClassFirst) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(x, y, 100, 2.0, 13);
+  Svm svm{SvmConfig{}};
+  svm.train(x, y, 2);
+  const auto margins = svm.decision_function(x[0]);
+  ASSERT_EQ(margins.size(), 2u);
+  const int pred = svm.predict(x[0]);
+  EXPECT_GE(margins[static_cast<std::size_t>(pred)],
+            margins[static_cast<std::size_t>(1 - pred)]);
+}
+
+TEST(DecisionTree, PerfectlyFitsAxisAlignedSplit) {
+  Matrix x{{0.1f}, {0.2f}, {0.8f}, {0.9f}};
+  std::vector<int> y{0, 0, 1, 1};
+  DecisionTree tree{TreeConfig{}};
+  tree.train(x, y, 2);
+  EXPECT_EQ(tree.predict(std::vector<float>{0.0f}), 0);
+  EXPECT_EQ(tree.predict(std::vector<float>{1.0f}), 1);
+  EXPECT_GE(tree.node_count(), 3u);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, MaxDepthBoundsTree) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 400, 17);
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.features_per_split = 2;
+  DecisionTree tree(cfg);
+  tree.train(x, y, 2);
+  EXPECT_LE(tree.depth(), 4u);  // root at depth 1
+}
+
+TEST(RandomForest, BeatsSingleShallowTreeOnXor) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 800, 19);
+  Matrix tx;
+  std::vector<int> ty;
+  make_xor(tx, ty, 300, 20);
+  RandomForest rf{ForestConfig{}};
+  rf.train(x, y, 2);
+  EXPECT_EQ(rf.num_trees(), 30u);
+  EXPECT_GT(rf.accuracy(tx, ty), 0.9);
+}
+
+TEST(Knn, ExactNeighborVote) {
+  Matrix x{{0.0f}, {0.1f}, {1.0f}, {1.1f}, {1.2f}};
+  std::vector<int> y{0, 0, 1, 1, 1};
+  Knn knn(3);
+  knn.train(x, y, 2);
+  EXPECT_EQ(knn.predict(std::vector<float>{0.05f}), 0);
+  EXPECT_EQ(knn.predict(std::vector<float>{1.05f}), 1);
+}
+
+TEST(Classifiers, TrainRejectsBadInput) {
+  auto clf = make_classifier(MlKind::kMlp);
+  Matrix x{{0.0f}};
+  std::vector<int> y{0, 1};
+  EXPECT_THROW(clf->train(x, y, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace generic::ml

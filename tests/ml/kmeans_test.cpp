@@ -1,0 +1,107 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/fcps.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+
+namespace generic::ml {
+namespace {
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(31);
+  Matrix pts;
+  std::vector<int> truth;
+  const std::vector<std::pair<float, float>> centers{{0, 0}, {10, 0}, {0, 10}};
+  for (std::size_t c = 0; c < centers.size(); ++c)
+    for (int i = 0; i < 60; ++i) {
+      pts.push_back({centers[c].first + static_cast<float>(rng.normal()),
+                     centers[c].second + static_cast<float>(rng.normal())});
+      truth.push_back(static_cast<int>(c));
+    }
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto res = kmeans(pts, cfg);
+  EXPECT_NEAR(normalized_mutual_information(truth, res.labels), 1.0, 1e-6);
+  EXPECT_GT(res.iterations, 0u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const auto ds = data::make_fcps("Tetra");
+  KMeansConfig cfg;
+  cfg.k = 2;
+  const double inertia2 = kmeans(ds.points, cfg).inertia;
+  cfg.k = 4;
+  const double inertia4 = kmeans(ds.points, cfg).inertia;
+  EXPECT_LT(inertia4, inertia2);
+}
+
+TEST(KMeans, DeterministicInSeed) {
+  const auto ds = data::make_fcps("Hepta");
+  KMeansConfig cfg;
+  cfg.k = 7;
+  const auto a = kmeans(ds.points, cfg);
+  const auto b = kmeans(ds.points, cfg);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(KMeans, LabelsInRangeAndAssignConsistent) {
+  const auto ds = data::make_fcps("TwoDiamonds");
+  KMeansConfig cfg;
+  cfg.k = 2;
+  const auto res = kmeans(ds.points, cfg);
+  ASSERT_EQ(res.labels.size(), ds.points.size());
+  for (std::size_t i = 0; i < ds.points.size(); ++i) {
+    ASSERT_GE(res.labels[i], 0);
+    ASSERT_LT(res.labels[i], 2);
+    EXPECT_EQ(res.labels[i], kmeans_assign(res.centroids, ds.points[i]));
+  }
+}
+
+TEST(KMeans, BadArgumentsThrow) {
+  Matrix pts{{0.0f}, {1.0f}};
+  KMeansConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(kmeans(pts, cfg), std::invalid_argument);
+  cfg.k = 3;
+  EXPECT_THROW(kmeans(pts, cfg), std::invalid_argument);
+  EXPECT_THROW(kmeans(Matrix{}, KMeansConfig{}), std::invalid_argument);
+}
+
+TEST(KMeans, HeptaNmiNearOne) {
+  // Table 2 anchor: K-means on Hepta scores 1.0 in the paper.
+  const auto ds = data::make_fcps("Hepta");
+  KMeansConfig cfg;
+  cfg.k = 7;
+  const auto res = kmeans(ds.points, cfg);
+  EXPECT_GT(normalized_mutual_information(ds.labels, res.labels), 0.95);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  Matrix x{{1.0f, 10.0f}, {3.0f, 30.0f}, {5.0f, 50.0f}};
+  StandardScaler scaler;
+  scaler.fit(x);
+  const auto t = scaler.transform_all(x);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (const auto& row : t) mean += row[j];
+    mean /= 3.0;
+    for (const auto& row : t) var += (row[j] - mean) * (row[j] - mean);
+    EXPECT_NEAR(mean, 0.0, 1e-6);
+    EXPECT_NEAR(var / 3.0, 1.0, 1e-5);
+  }
+}
+
+TEST(StandardScaler, ConstantFeatureDoesNotBlowUp) {
+  Matrix x{{1.0f, 7.0f}, {2.0f, 7.0f}};
+  StandardScaler scaler;
+  scaler.fit(x);
+  const auto t = scaler.transform(x[0]);
+  EXPECT_TRUE(std::isfinite(t[1]));
+  EXPECT_FLOAT_EQ(t[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace generic::ml

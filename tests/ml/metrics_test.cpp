@@ -1,0 +1,79 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace generic::ml {
+namespace {
+
+TEST(Accuracy, Basics) {
+  const std::vector<int> t{0, 1, 2, 1};
+  const std::vector<int> p{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy_score(t, p), 0.75);
+  EXPECT_THROW(accuracy_score(t, std::vector<int>{0}), std::invalid_argument);
+}
+
+TEST(Entropy, UniformAndDegenerate) {
+  const std::vector<int> uniform{0, 1, 2, 3};
+  EXPECT_NEAR(entropy(uniform), std::log(4.0), 1e-12);
+  const std::vector<int> single{5, 5, 5};
+  EXPECT_DOUBLE_EQ(entropy(single), 0.0);
+}
+
+TEST(MutualInformation, IdenticalLabelingsEqualEntropy) {
+  const std::vector<int> a{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(mutual_information(a, a), entropy(a), 1e-12);
+}
+
+TEST(MutualInformation, IndependentLabelingsNearZero) {
+  // b alternates independently of a's block structure.
+  std::vector<int> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(i < 200 ? 0 : 1);
+    b.push_back(i % 2);
+  }
+  EXPECT_NEAR(mutual_information(a, b), 0.0, 1e-9);
+}
+
+TEST(Nmi, PermutationInvariant) {
+  // NMI must not care about cluster ids, only the partition.
+  const std::vector<int> t{0, 0, 1, 1, 2, 2};
+  const std::vector<int> renamed{2, 2, 0, 0, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(t, renamed), 1.0, 1e-12);
+}
+
+TEST(Nmi, RangeAndDegradation) {
+  const std::vector<int> t{0, 0, 0, 1, 1, 1};
+  const std::vector<int> perfect{1, 1, 1, 0, 0, 0};
+  const std::vector<int> partial{0, 0, 1, 1, 1, 1};
+  const std::vector<int> junk{0, 1, 0, 1, 0, 1};
+  const double s_perfect = normalized_mutual_information(t, perfect);
+  const double s_partial = normalized_mutual_information(t, partial);
+  const double s_junk = normalized_mutual_information(t, junk);
+  EXPECT_NEAR(s_perfect, 1.0, 1e-12);
+  EXPECT_GT(s_perfect, s_partial);
+  EXPECT_GT(s_partial, s_junk);
+  EXPECT_GE(s_junk, 0.0);
+}
+
+TEST(Nmi, SingleClusterConventions) {
+  const std::vector<int> one{0, 0, 0};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(one, one), 1.0);
+  const std::vector<int> split{0, 1, 2};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(one, split), 0.0);
+}
+
+TEST(ConfusionMatrix, CountsLandInCells) {
+  const std::vector<int> t{0, 0, 1, 1};
+  const std::vector<int> p{0, 1, 1, 1};
+  const auto m = confusion_matrix(t, p, 2);
+  EXPECT_EQ(m[0][0], 1u);
+  EXPECT_EQ(m[0][1], 1u);
+  EXPECT_EQ(m[1][0], 0u);
+  EXPECT_EQ(m[1][1], 2u);
+}
+
+}  // namespace
+}  // namespace generic::ml

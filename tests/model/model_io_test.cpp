@@ -1,0 +1,111 @@
+#include "model/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/benchmarks.h"
+#include "encoding/encoders.h"
+#include "model/pipeline.h"
+
+namespace generic::model {
+namespace {
+
+struct Trained {
+  data::Dataset ds = data::make_benchmark("PAGE");
+  enc::GenericEncoder encoder;
+  HdcClassifier clf;
+
+  Trained()
+      : encoder([] {
+          enc::EncoderConfig cfg;
+          cfg.dims = 1024;
+          return cfg;
+        }()),
+        clf(1024, 5) {
+    encoder.fit(ds.train_x);
+    const auto train = encode_all(encoder, ds.train_x);
+    clf = HdcClassifier(1024, ds.num_classes);
+    clf.fit(train, ds.train_y, 5);
+  }
+};
+
+TEST(ModelIo, RoundTripPreservesPredictions) {
+  Trained t;
+  const auto blob = serialize_model(t.encoder, t.clf);
+  const SavedModel loaded = deserialize_model(blob);
+
+  EXPECT_EQ(loaded.encoder_config.dims, 1024u);
+  EXPECT_EQ(loaded.encoder_config.window, 3u);
+  EXPECT_TRUE(loaded.quantizer_fitted);
+
+  enc::GenericEncoder enc2(loaded.encoder_config);
+  enc2.fit_range(loaded.quantizer_lo, loaded.quantizer_hi);
+  for (std::size_t i = 0; i < t.ds.test_x.size(); ++i) {
+    const auto q = enc2.encode(t.ds.test_x[i]);
+    ASSERT_EQ(loaded.classifier.predict(q),
+              t.clf.predict(t.encoder.encode(t.ds.test_x[i])))
+        << "sample " << i;
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesNormsAndBitWidth) {
+  Trained t;
+  t.clf.quantize(8);
+  const auto loaded = deserialize_model(serialize_model(t.encoder, t.clf));
+  EXPECT_EQ(loaded.classifier.bit_width(), 8);
+  for (std::size_t c = 0; c < t.clf.num_classes(); ++c) {
+    EXPECT_EQ(loaded.classifier.class_vector(c), t.clf.class_vector(c));
+    for (std::size_t k = 0; k < t.clf.num_chunks(); ++k)
+      EXPECT_EQ(loaded.classifier.chunk_norm(c, k), t.clf.chunk_norm(c, k));
+  }
+}
+
+TEST(ModelIo, CorruptionDetected) {
+  Trained t;
+  auto blob = serialize_model(t.encoder, t.clf);
+  // Flip a byte in the middle: CRC must catch it.
+  blob[blob.size() / 2] ^= 0x40;
+  EXPECT_THROW(deserialize_model(blob), std::invalid_argument);
+}
+
+TEST(ModelIo, TruncationDetected) {
+  Trained t;
+  auto blob = serialize_model(t.encoder, t.clf);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(deserialize_model(blob), std::invalid_argument);
+}
+
+TEST(ModelIo, BadMagicDetected) {
+  Trained t;
+  auto blob = serialize_model(t.encoder, t.clf);
+  blob[0] = 'X';
+  EXPECT_THROW(deserialize_model(blob), std::invalid_argument);
+}
+
+TEST(ModelIo, EmptyBlobRejected) {
+  EXPECT_THROW(deserialize_model({}), std::invalid_argument);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  Trained t;
+  const auto path =
+      (std::filesystem::temp_directory_path() / "generic_model_io_test.ghdc")
+          .string();
+  save_model_file(path, t.encoder, t.clf);
+  const auto loaded = load_model_file(path);
+  EXPECT_EQ(loaded.classifier.num_classes(), t.clf.num_classes());
+  EXPECT_EQ(loaded.classifier.class_vector(0), t.clf.class_vector(0));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_model_file(path), std::runtime_error);
+}
+
+TEST(ModelIo, Crc32KnownVector) {
+  // CRC-32("123456789") == 0xCBF43926 — the classic check value.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace generic::model

@@ -1,0 +1,45 @@
+// Minimal flag parsing shared by the CLI tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace generic::tools {
+
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
+
+inline std::string flag_value(int argc, char** argv, std::string_view key,
+                              std::string_view fallback = "") {
+  const std::string prefix = std::string(key) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0)
+      return std::string(arg.substr(prefix.size()));
+  }
+  return std::string(fallback);
+}
+
+inline std::size_t flag_size(int argc, char** argv, std::string_view key,
+                             std::size_t fallback) {
+  const std::string v = flag_value(argc, argv, key);
+  return v.empty() ? fallback : static_cast<std::size_t>(std::stoull(v));
+}
+
+inline double flag_double(int argc, char** argv, std::string_view key,
+                          double fallback) {
+  const std::string v = flag_value(argc, argv, key);
+  return v.empty() ? fallback : std::stod(v);
+}
+
+[[noreturn]] inline void usage_exit(const char* text) {
+  std::fputs(text, stderr);
+  std::exit(2);
+}
+
+}  // namespace generic::tools

@@ -1,0 +1,63 @@
+// generic-infer: classify a CSV with a saved GENERIC model.
+//
+//   generic_infer --model=m.ghdc --data=samples.csv
+//                 [--labeled] [--label-col=-1] [--binary]
+//
+// With --labeled, the last column (or --label-col) holds ground truth and
+// accuracy is reported; otherwise one prediction per line is printed.
+// --binary runs the packed 1-bit fast path (model::BinaryModel).
+#include <cstdio>
+
+#include "data/csv.h"
+#include "encoding/encoders.h"
+#include "model/binary_model.h"
+#include "model/model_io.h"
+#include "tools/cli_util.h"
+
+using namespace generic;
+
+int main(int argc, char** argv) {
+  const std::string model_path = tools::flag_value(argc, argv, "--model");
+  const std::string data_path = tools::flag_value(argc, argv, "--data");
+  if (model_path.empty() || data_path.empty())
+    tools::usage_exit(
+        "usage: generic_infer --model=m.ghdc --data=samples.csv\n"
+        "       [--labeled] [--label-col=-1] [--binary]\n");
+
+  try {
+    const auto saved = model::load_model_file(model_path);
+    enc::GenericEncoder encoder(saved.encoder_config);
+    if (!saved.quantizer_fitted)
+      throw std::runtime_error("model was saved with an unfitted encoder");
+    encoder.fit_range(saved.quantizer_lo, saved.quantizer_hi);
+
+    const bool labeled = tools::has_flag(argc, argv, "--labeled");
+    const bool binary = tools::has_flag(argc, argv, "--binary");
+    std::unique_ptr<model::BinaryModel> fast;
+    if (binary) fast = std::make_unique<model::BinaryModel>(saved.classifier);
+    auto predict = [&](const std::vector<float>& x) {
+      const auto q = encoder.encode(x);
+      return binary ? fast->predict(q) : saved.classifier.predict(q);
+    };
+
+    if (labeled) {
+      const auto samples = data::load_labeled_csv(
+          data_path,
+          static_cast<int>(tools::flag_double(argc, argv, "--label-col", -1)));
+      std::size_t hits = 0;
+      for (std::size_t i = 0; i < samples.x.size(); ++i)
+        hits += predict(samples.x[i]) == samples.y[i];
+      std::printf("accuracy: %.2f%% (%zu/%zu)%s\n",
+                  100.0 * static_cast<double>(hits) /
+                      static_cast<double>(samples.x.size()),
+                  hits, samples.x.size(), binary ? " [1-bit fast path]" : "");
+    } else {
+      const auto xs = data::load_unlabeled_csv(data_path);
+      for (const auto& x : xs) std::printf("%d\n", predict(x));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
