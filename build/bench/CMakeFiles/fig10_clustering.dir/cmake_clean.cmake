@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_clustering.dir/fig10_clustering.cpp.o"
+  "CMakeFiles/fig10_clustering.dir/fig10_clustering.cpp.o.d"
+  "fig10_clustering"
+  "fig10_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

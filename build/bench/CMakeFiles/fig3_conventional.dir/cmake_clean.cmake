@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_conventional.dir/fig3_conventional.cpp.o"
+  "CMakeFiles/fig3_conventional.dir/fig3_conventional.cpp.o.d"
+  "fig3_conventional"
+  "fig3_conventional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_conventional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dimension.dir/fig5_dimension.cpp.o"
+  "CMakeFiles/fig5_dimension.dir/fig5_dimension.cpp.o.d"
+  "fig5_dimension"
+  "fig5_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_training.dir/fig8_training.cpp.o"
+  "CMakeFiles/fig8_training.dir/fig8_training.cpp.o.d"
+  "fig8_training"
+  "fig8_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

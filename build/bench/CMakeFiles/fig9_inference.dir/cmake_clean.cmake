@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_inference.dir/fig9_inference.cpp.o"
+  "CMakeFiles/fig9_inference.dir/fig9_inference.cpp.o.d"
+  "fig9_inference"
+  "fig9_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

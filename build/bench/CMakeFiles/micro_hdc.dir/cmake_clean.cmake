@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hdc.dir/micro_hdc.cpp.o"
+  "CMakeFiles/micro_hdc.dir/micro_hdc.cpp.o.d"
+  "micro_hdc"
+  "micro_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

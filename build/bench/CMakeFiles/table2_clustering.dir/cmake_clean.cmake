@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_clustering.dir/table2_clustering.cpp.o"
+  "CMakeFiles/table2_clustering.dir/table2_clustering.cpp.o.d"
+  "table2_clustering"
+  "table2_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cycle_model.cpp" "src/arch/CMakeFiles/generic_arch.dir/cycle_model.cpp.o" "gcc" "src/arch/CMakeFiles/generic_arch.dir/cycle_model.cpp.o.d"
+  "/root/repo/src/arch/energy_model.cpp" "src/arch/CMakeFiles/generic_arch.dir/energy_model.cpp.o" "gcc" "src/arch/CMakeFiles/generic_arch.dir/energy_model.cpp.o.d"
+  "/root/repo/src/arch/generic_asic.cpp" "src/arch/CMakeFiles/generic_arch.dir/generic_asic.cpp.o" "gcc" "src/arch/CMakeFiles/generic_arch.dir/generic_asic.cpp.o.d"
+  "/root/repo/src/arch/microarch.cpp" "src/arch/CMakeFiles/generic_arch.dir/microarch.cpp.o" "gcc" "src/arch/CMakeFiles/generic_arch.dir/microarch.cpp.o.d"
+  "/root/repo/src/arch/power_trace.cpp" "src/arch/CMakeFiles/generic_arch.dir/power_trace.cpp.o" "gcc" "src/arch/CMakeFiles/generic_arch.dir/power_trace.cpp.o.d"
+  "/root/repo/src/arch/sram.cpp" "src/arch/CMakeFiles/generic_arch.dir/sram.cpp.o" "gcc" "src/arch/CMakeFiles/generic_arch.dir/sram.cpp.o.d"
+  "/root/repo/src/arch/tinyhd.cpp" "src/arch/CMakeFiles/generic_arch.dir/tinyhd.cpp.o" "gcc" "src/arch/CMakeFiles/generic_arch.dir/tinyhd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/generic_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/generic_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdc/CMakeFiles/generic_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/generic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/generic_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_arch.dir/cycle_model.cpp.o"
+  "CMakeFiles/generic_arch.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/generic_arch.dir/energy_model.cpp.o"
+  "CMakeFiles/generic_arch.dir/energy_model.cpp.o.d"
+  "CMakeFiles/generic_arch.dir/generic_asic.cpp.o"
+  "CMakeFiles/generic_arch.dir/generic_asic.cpp.o.d"
+  "CMakeFiles/generic_arch.dir/microarch.cpp.o"
+  "CMakeFiles/generic_arch.dir/microarch.cpp.o.d"
+  "CMakeFiles/generic_arch.dir/power_trace.cpp.o"
+  "CMakeFiles/generic_arch.dir/power_trace.cpp.o.d"
+  "CMakeFiles/generic_arch.dir/sram.cpp.o"
+  "CMakeFiles/generic_arch.dir/sram.cpp.o.d"
+  "CMakeFiles/generic_arch.dir/tinyhd.cpp.o"
+  "CMakeFiles/generic_arch.dir/tinyhd.cpp.o.d"
+  "libgeneric_arch.a"
+  "libgeneric_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

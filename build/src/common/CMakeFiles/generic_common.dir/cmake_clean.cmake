@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_common.dir/mitchell.cpp.o"
+  "CMakeFiles/generic_common.dir/mitchell.cpp.o.d"
+  "CMakeFiles/generic_common.dir/quantizer.cpp.o"
+  "CMakeFiles/generic_common.dir/quantizer.cpp.o.d"
+  "CMakeFiles/generic_common.dir/rng.cpp.o"
+  "CMakeFiles/generic_common.dir/rng.cpp.o.d"
+  "CMakeFiles/generic_common.dir/stats.cpp.o"
+  "CMakeFiles/generic_common.dir/stats.cpp.o.d"
+  "libgeneric_common.a"
+  "libgeneric_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

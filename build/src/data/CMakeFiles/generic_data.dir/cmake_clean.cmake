@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_data.dir/benchmarks.cpp.o"
+  "CMakeFiles/generic_data.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/generic_data.dir/csv.cpp.o"
+  "CMakeFiles/generic_data.dir/csv.cpp.o.d"
+  "CMakeFiles/generic_data.dir/dataset.cpp.o"
+  "CMakeFiles/generic_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/generic_data.dir/fcps.cpp.o"
+  "CMakeFiles/generic_data.dir/fcps.cpp.o.d"
+  "CMakeFiles/generic_data.dir/generators.cpp.o"
+  "CMakeFiles/generic_data.dir/generators.cpp.o.d"
+  "libgeneric_data.a"
+  "libgeneric_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

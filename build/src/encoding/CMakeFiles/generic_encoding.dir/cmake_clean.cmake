@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_encoding.dir/encoders.cpp.o"
+  "CMakeFiles/generic_encoding.dir/encoders.cpp.o.d"
+  "libgeneric_encoding.a"
+  "libgeneric_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdc/hypervector.cpp" "src/hdc/CMakeFiles/generic_hdc.dir/hypervector.cpp.o" "gcc" "src/hdc/CMakeFiles/generic_hdc.dir/hypervector.cpp.o.d"
+  "/root/repo/src/hdc/item_memory.cpp" "src/hdc/CMakeFiles/generic_hdc.dir/item_memory.cpp.o" "gcc" "src/hdc/CMakeFiles/generic_hdc.dir/item_memory.cpp.o.d"
+  "/root/repo/src/hdc/ops.cpp" "src/hdc/CMakeFiles/generic_hdc.dir/ops.cpp.o" "gcc" "src/hdc/CMakeFiles/generic_hdc.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/generic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_hdc.dir/hypervector.cpp.o"
+  "CMakeFiles/generic_hdc.dir/hypervector.cpp.o.d"
+  "CMakeFiles/generic_hdc.dir/item_memory.cpp.o"
+  "CMakeFiles/generic_hdc.dir/item_memory.cpp.o.d"
+  "CMakeFiles/generic_hdc.dir/ops.cpp.o"
+  "CMakeFiles/generic_hdc.dir/ops.cpp.o.d"
+  "libgeneric_hdc.a"
+  "libgeneric_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/device.cpp" "src/hwmodel/CMakeFiles/generic_hwmodel.dir/device.cpp.o" "gcc" "src/hwmodel/CMakeFiles/generic_hwmodel.dir/device.cpp.o.d"
+  "/root/repo/src/hwmodel/workload.cpp" "src/hwmodel/CMakeFiles/generic_hwmodel.dir/workload.cpp.o" "gcc" "src/hwmodel/CMakeFiles/generic_hwmodel.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/generic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/generic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

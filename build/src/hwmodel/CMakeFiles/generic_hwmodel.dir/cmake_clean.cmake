@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_hwmodel.dir/device.cpp.o"
+  "CMakeFiles/generic_hwmodel.dir/device.cpp.o.d"
+  "CMakeFiles/generic_hwmodel.dir/workload.cpp.o"
+  "CMakeFiles/generic_hwmodel.dir/workload.cpp.o.d"
+  "libgeneric_hwmodel.a"
+  "libgeneric_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

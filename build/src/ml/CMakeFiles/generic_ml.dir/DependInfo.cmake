@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/generic_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/generic_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/generic_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "src/ml/CMakeFiles/generic_ml.dir/logreg.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/logreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/generic_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/generic_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/generic_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/generic_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/generic_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/generic_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/generic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

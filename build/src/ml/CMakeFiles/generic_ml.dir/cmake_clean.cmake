@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_ml.dir/classifier.cpp.o"
+  "CMakeFiles/generic_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/generic_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/knn.cpp.o"
+  "CMakeFiles/generic_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/logreg.cpp.o"
+  "CMakeFiles/generic_ml.dir/logreg.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/metrics.cpp.o"
+  "CMakeFiles/generic_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/mlp.cpp.o"
+  "CMakeFiles/generic_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/generic_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/scaler.cpp.o"
+  "CMakeFiles/generic_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/generic_ml.dir/svm.cpp.o"
+  "CMakeFiles/generic_ml.dir/svm.cpp.o.d"
+  "libgeneric_ml.a"
+  "libgeneric_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

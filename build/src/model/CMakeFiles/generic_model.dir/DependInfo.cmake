@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/binary_model.cpp" "src/model/CMakeFiles/generic_model.dir/binary_model.cpp.o" "gcc" "src/model/CMakeFiles/generic_model.dir/binary_model.cpp.o.d"
+  "/root/repo/src/model/hdc_classifier.cpp" "src/model/CMakeFiles/generic_model.dir/hdc_classifier.cpp.o" "gcc" "src/model/CMakeFiles/generic_model.dir/hdc_classifier.cpp.o.d"
+  "/root/repo/src/model/hdc_cluster.cpp" "src/model/CMakeFiles/generic_model.dir/hdc_cluster.cpp.o" "gcc" "src/model/CMakeFiles/generic_model.dir/hdc_cluster.cpp.o.d"
+  "/root/repo/src/model/model_io.cpp" "src/model/CMakeFiles/generic_model.dir/model_io.cpp.o" "gcc" "src/model/CMakeFiles/generic_model.dir/model_io.cpp.o.d"
+  "/root/repo/src/model/pipeline.cpp" "src/model/CMakeFiles/generic_model.dir/pipeline.cpp.o" "gcc" "src/model/CMakeFiles/generic_model.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdc/CMakeFiles/generic_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/generic_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/generic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/generic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_model.dir/binary_model.cpp.o"
+  "CMakeFiles/generic_model.dir/binary_model.cpp.o.d"
+  "CMakeFiles/generic_model.dir/hdc_classifier.cpp.o"
+  "CMakeFiles/generic_model.dir/hdc_classifier.cpp.o.d"
+  "CMakeFiles/generic_model.dir/hdc_cluster.cpp.o"
+  "CMakeFiles/generic_model.dir/hdc_cluster.cpp.o.d"
+  "CMakeFiles/generic_model.dir/model_io.cpp.o"
+  "CMakeFiles/generic_model.dir/model_io.cpp.o.d"
+  "CMakeFiles/generic_model.dir/pipeline.cpp.o"
+  "CMakeFiles/generic_model.dir/pipeline.cpp.o.d"
+  "libgeneric_model.a"
+  "libgeneric_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeneric_model.a"
+)

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/asic_state_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/asic_state_test.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/cycle_model_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/cycle_model_test.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/energy_model_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/energy_model_test.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/generic_asic_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/generic_asic_test.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/microarch_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/microarch_test.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/power_trace_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/power_trace_test.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/sram_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/sram_test.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/tinyhd_test.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/tinyhd_test.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/benchmarks_test.cpp" "tests/CMakeFiles/test_data.dir/data/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/data/csv_test.cpp" "tests/CMakeFiles/test_data.dir/data/csv_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/csv_test.cpp.o.d"
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/test_data.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/generators_test.cpp" "tests/CMakeFiles/test_data.dir/data/generators_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/generators_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/generic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdc/CMakeFiles/generic_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/generic_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/generic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/generic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/generic_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/generic_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/generic_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdc.dir/hdc/hypervector_test.cpp.o"
+  "CMakeFiles/test_hdc.dir/hdc/hypervector_test.cpp.o.d"
+  "CMakeFiles/test_hdc.dir/hdc/item_memory_test.cpp.o"
+  "CMakeFiles/test_hdc.dir/hdc/item_memory_test.cpp.o.d"
+  "CMakeFiles/test_hdc.dir/hdc/ops_test.cpp.o"
+  "CMakeFiles/test_hdc.dir/hdc/ops_test.cpp.o.d"
+  "CMakeFiles/test_hdc.dir/hdc/properties_test.cpp.o"
+  "CMakeFiles/test_hdc.dir/hdc/properties_test.cpp.o.d"
+  "test_hdc"
+  "test_hdc.pdb"
+  "test_hdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwmodel.dir/hwmodel/device_test.cpp.o"
+  "CMakeFiles/test_hwmodel.dir/hwmodel/device_test.cpp.o.d"
+  "CMakeFiles/test_hwmodel.dir/hwmodel/time_model_test.cpp.o"
+  "CMakeFiles/test_hwmodel.dir/hwmodel/time_model_test.cpp.o.d"
+  "test_hwmodel"
+  "test_hwmodel.pdb"
+  "test_hwmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

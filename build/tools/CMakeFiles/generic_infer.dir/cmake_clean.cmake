@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_infer.dir/generic_infer.cpp.o"
+  "CMakeFiles/generic_infer.dir/generic_infer.cpp.o.d"
+  "generic_infer"
+  "generic_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_train.dir/generic_train.cpp.o"
+  "CMakeFiles/generic_train.dir/generic_train.cpp.o.d"
+  "generic_train"
+  "generic_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
