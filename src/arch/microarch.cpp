@@ -29,6 +29,7 @@ MicroArchSim::MicroArchSim(const AppSpec& spec,
     : spec_(spec),
       hw_(hw),
       active_dims_(spec.dims),
+      chunk_ok_(spec.dims / hw.chunk, true),
       encoder_(encoder),
       feature_mem_("feature", hw.max_features, 8),
       level_mem_("level", hw.levels, spec.dims),
@@ -86,12 +87,36 @@ void MicroArchSim::set_active_dims(std::size_t dims) {
   active_dims_ = dims;
 }
 
+void MicroArchSim::set_block_mask(const std::vector<bool>& chunk_ok) {
+  if (chunk_ok.size() != spec_.dims / hw_.chunk)
+    throw std::invalid_argument(
+        "MicroArchSim: block mask must have one entry per 128-dim chunk");
+  bool any_active = false;
+  for (std::size_t k = 0; k * hw_.chunk < active_dims_ && !any_active; ++k)
+    any_active = chunk_ok[k];
+  if (!any_active)
+    throw std::invalid_argument(
+        "MicroArchSim: block mask disables every active chunk");
+  chunk_ok_ = chunk_ok;
+}
+
+void MicroArchSim::clear_block_mask() {
+  chunk_ok_.assign(spec_.dims / hw_.chunk, true);
+}
+
 std::size_t MicroArchSim::stash_base() const {
   return (spec_.dims / hw_.m) * spec_.classes;
 }
 
 std::size_t MicroArchSim::copy_base() const {
   return stash_base() + spec_.dims / hw_.m;
+}
+
+void MicroArchSim::require_full_mask(const char* what) const {
+  for (bool ok : chunk_ok_)
+    if (!ok)
+      throw std::logic_error(std::string("MicroArchSim: ") + what +
+                             " requires a full block mask");
 }
 
 void MicroArchSim::require_temp_rows() const {
@@ -129,6 +154,9 @@ std::uint64_t MicroArchSim::run_frontend(std::span<const float> sample) {
     // Base dimension of this pass; slices start n-1 bits below so the
     // register stack can serve every window offset.
     const std::size_t base = p * m;
+    // Masked (faulty) block: the controller skips the whole pass, exactly
+    // like the trailing passes under dimension reduction.
+    if (!chunk_ok_[base / hw_.chunk]) continue;
     const std::size_t slice_start = (base + dims - (n - 1)) % dims;
 
     std::vector<std::int32_t> partial(m, 0);
@@ -201,9 +229,11 @@ int MicroArchSim::finalize(std::uint64_t& cycles) {
   std::int64_t best_log = std::numeric_limits<std::int64_t>::min();
   for (std::size_t c = 0; c < spec_.classes; ++c) {
     std::int64_t norm = 0;
-    for (std::size_t j = 0; j < chunks_active; ++j)
+    for (std::size_t j = 0; j < chunks_active; ++j) {
+      if (!chunk_ok_[j]) continue;
       norm += static_cast<std::int64_t>(
           norm_mem_.read_bits(c * chunks_total + j, 0, 48));
+    }
     const std::int64_t dot = scores_[c];
     int sign;
     std::int64_t log_score;
@@ -279,6 +309,7 @@ MicroArchSim::Result MicroArchSim::train_step(std::span<const float> sample,
   require_temp_rows();
   if (active_dims_ != spec_.dims)
     throw std::logic_error("MicroArchSim: training runs at full dimensions");
+  require_full_mask("training");
 
   Result res;
   res.cycles = run_frontend(sample);
@@ -302,6 +333,7 @@ MicroArchSim::Result MicroArchSim::cluster_step(std::span<const float> sample) {
   require_temp_rows();
   if (active_dims_ != spec_.dims)
     throw std::logic_error("MicroArchSim: clustering runs at full dimensions");
+  require_full_mask("clustering");
 
   Result res;
   res.cycles = run_frontend(sample);

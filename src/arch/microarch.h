@@ -74,6 +74,18 @@ class MicroArchSim {
   /// cover chunk multiples — pass a 128-multiple for exact norms).
   void set_active_dims(std::size_t dims);
 
+  /// Skip an arbitrary subset of 128-dim blocks: passes whose chunk is
+  /// masked are dropped from the encode/search pipeline and their norm2
+  /// rows from the finalize sum — the §4.3.3 dimension-reduction datapath
+  /// reused for graceful degradation when BlockGuard flags faulty blocks.
+  /// `chunk_ok` has one entry per 128-dim chunk; at least one chunk inside
+  /// the active dimension range must stay enabled. Training and clustering
+  /// require a full (all-true) mask.
+  void set_block_mask(const std::vector<bool>& chunk_ok);
+
+  /// Restore the full (all-blocks-enabled) mask.
+  void clear_block_mask();
+
   // Fault-injection access to every array.
   Sram& feature_memory() { return feature_mem_; }
   Sram& level_memory() { return level_mem_; }
@@ -96,10 +108,12 @@ class MicroArchSim {
   std::size_t stash_base() const;
   std::size_t copy_base() const;
   void require_temp_rows() const;
+  void require_full_mask(const char* what) const;
 
   AppSpec spec_;
   ArchConstants hw_;
   std::size_t active_dims_;
+  std::vector<bool> chunk_ok_;  ///< per-128-dim-chunk enable (degradation)
   const enc::GenericEncoder& encoder_;
 
   Sram feature_mem_;

@@ -14,12 +14,17 @@ Sram::Sram(std::string name, std::size_t depth, std::size_t width_bits)
   if (depth == 0 || width_bits == 0)
     throw std::invalid_argument("Sram: zero-sized array");
   data_.assign(depth * words_per_row_, 0ULL);
+  dead_rows_.assign(depth, false);
 }
 
 void Sram::write_row(std::size_t row, const std::vector<std::uint64_t>& bits) {
   if (row >= depth_) throw std::out_of_range("Sram::write_row: " + name_);
   if (bits.size() != words_per_row_)
     throw std::invalid_argument("Sram::write_row: word count");
+  if (dead_rows_[row]) {
+    ++writes_;  // the access happens; the cells just don't hold it
+    return;
+  }
   for (std::size_t w = 0; w < words_per_row_; ++w) {
     std::uint64_t v = bits[w];
     // Mask the last word to the row width.
@@ -40,6 +45,7 @@ std::uint64_t Sram::maybe_upset(std::uint64_t word, std::size_t bits) {
 std::vector<std::uint64_t> Sram::read_row(std::size_t row) {
   if (row >= depth_) throw std::out_of_range("Sram::read_row: " + name_);
   ++reads_;
+  if (dead_rows_[row]) return std::vector<std::uint64_t>(words_per_row_, 0ULL);
   std::vector<std::uint64_t> out(words_per_row_);
   for (std::size_t w = 0; w < words_per_row_; ++w) {
     const std::size_t bits = (w + 1 == words_per_row_ &&
@@ -57,6 +63,7 @@ std::uint64_t Sram::read_bits(std::size_t row, std::size_t start,
   if (count == 0 || count > 64)
     throw std::invalid_argument("Sram::read_bits: count in [1, 64]");
   ++reads_;
+  if (dead_rows_[row]) return 0;
   const std::uint64_t* rowp = &data_[row * words_per_row_];
   std::uint64_t out = 0;
   for (std::size_t i = 0; i < count; ++i) {
@@ -82,5 +89,19 @@ void Sram::set_read_upset_rate(double rate, std::uint64_t seed) {
   upset_rate_ = rate;
   fault_rng_ = Rng(seed);
 }
+
+void Sram::reseed(std::uint64_t seed) { fault_rng_ = Rng(seed); }
+
+void Sram::mark_dead_row(std::size_t row) {
+  if (row >= depth_) throw std::out_of_range("Sram::mark_dead_row: " + name_);
+  dead_rows_[row] = true;
+}
+
+bool Sram::row_is_dead(std::size_t row) const {
+  if (row >= depth_) throw std::out_of_range("Sram::row_is_dead: " + name_);
+  return dead_rows_[row];
+}
+
+void Sram::clear_dead_rows() { dead_rows_.assign(depth_, false); }
 
 }  // namespace generic::arch

@@ -42,6 +42,22 @@ class Sram {
   /// of read-path failures under voltage over-scaling.
   void set_read_upset_rate(double rate, std::uint64_t seed);
 
+  /// Re-seed the fault RNG without touching the rate: two banks reseeded
+  /// with the same value replay the identical upset pattern (determinism
+  /// contract of the fault campaign; see tests/arch/sram_test.cpp).
+  void reseed(std::uint64_t seed);
+
+  double read_upset_rate() const { return upset_rate_; }
+
+  /// Permanently kill a row: reads return all zeros, writes are dropped —
+  /// the model of a manufacturing-defect / worn-out SRAM row backing the
+  /// resilience campaign's dead-block fault kind.
+  void mark_dead_row(std::size_t row);
+  bool row_is_dead(std::size_t row) const;
+  /// Revive all dead rows (their pre-death contents reappear; dropped
+  /// writes stay lost).
+  void clear_dead_rows();
+
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   void reset_counters() {
@@ -57,6 +73,7 @@ class Sram {
   std::size_t width_bits_;
   std::size_t words_per_row_;
   std::vector<std::uint64_t> data_;
+  std::vector<bool> dead_rows_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   double upset_rate_ = 0.0;

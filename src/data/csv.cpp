@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -33,30 +34,64 @@ bool parse_float(const std::string& s, float& out) {
   return true;
 }
 
-std::vector<std::vector<std::string>> read_rows(const std::string& path) {
+/// A data row plus its 1-based line number in the file (for error
+/// messages that point at the offending line, header included).
+struct CsvRow {
+  std::vector<std::string> fields;
+  std::size_t line = 0;
+};
+
+std::vector<CsvRow> read_rows(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open CSV: " + path);
-  std::vector<std::vector<std::string>> rows;
+  std::vector<CsvRow> rows;
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(f, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    rows.push_back(split_fields(line));
+    rows.push_back({split_fields(line), line_no});
   }
   if (rows.empty()) throw std::invalid_argument("empty CSV: " + path);
   // Header detection: skip the first row when its first cell is not
-  // numeric.
+  // numeric. The header (or, absent one, the first data row) fixes the
+  // expected field count for the whole file.
+  const std::size_t cols = rows.front().fields.size();
   float probe;
-  if (!parse_float(rows.front().front(), probe))
+  if (!parse_float(rows.front().fields.front(), probe))
     rows.erase(rows.begin());
-  if (rows.empty()) throw std::invalid_argument("CSV has only a header: " + path);
+  if (rows.empty())
+    throw std::invalid_argument("CSV has only a header: " + path);
+  for (const auto& r : rows)
+    if (r.fields.size() != cols)
+      throw std::invalid_argument(
+          "CSV line " + std::to_string(r.line) + " has " +
+          std::to_string(r.fields.size()) + " fields, expected " +
+          std::to_string(cols) + ": " + path);
   return rows;
+}
+
+/// Parse one cell, rejecting unparseable and non-finite (NaN/Inf) values
+/// with the file position in the message.
+float parse_cell(const std::string& s, std::size_t line, std::size_t col,
+                 const std::string& path) {
+  float v;
+  if (!parse_float(s, v))
+    throw std::invalid_argument("non-numeric cell at line " +
+                                std::to_string(line) + ", column " +
+                                std::to_string(col + 1) + ": " + path);
+  if (!std::isfinite(v))
+    throw std::invalid_argument("non-finite value (NaN/Inf) at line " +
+                                std::to_string(line) + ", column " +
+                                std::to_string(col + 1) + ": " + path);
+  return v;
 }
 
 }  // namespace
 
 LabeledSamples load_labeled_csv(const std::string& path, int label_column) {
   const auto rows = read_rows(path);
-  const std::size_t cols = rows.front().size();
+  const std::size_t cols = rows.front().fields.size();
   if (cols < 2)
     throw std::invalid_argument("labelled CSV needs >= 2 columns: " + path);
   const std::size_t label_idx =
@@ -66,21 +101,18 @@ LabeledSamples load_labeled_csv(const std::string& path, int label_column) {
 
   LabeledSamples out;
   int max_label = -1;
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    if (rows[r].size() != cols)
-      throw std::invalid_argument("ragged CSV row " + std::to_string(r));
+  for (const auto& row : rows) {
     std::vector<float> x;
     x.reserve(cols - 1);
     int label = -1;
     for (std::size_t c = 0; c < cols; ++c) {
-      float v;
-      if (!parse_float(rows[r][c], v))
-        throw std::invalid_argument("non-numeric cell at row " +
-                                    std::to_string(r));
+      const float v = parse_cell(row.fields[c], row.line, c, path);
       if (c == label_idx) {
         label = static_cast<int>(v);
         if (label < 0 || static_cast<float>(label) != v)
-          throw std::invalid_argument("labels must be non-negative integers");
+          throw std::invalid_argument(
+              "labels must be non-negative integers (line " +
+              std::to_string(row.line) + "): " + path);
       } else {
         x.push_back(v);
       }
@@ -95,16 +127,12 @@ LabeledSamples load_labeled_csv(const std::string& path, int label_column) {
 
 std::vector<std::vector<float>> load_unlabeled_csv(const std::string& path) {
   const auto rows = read_rows(path);
-  const std::size_t cols = rows.front().size();
+  const std::size_t cols = rows.front().fields.size();
   std::vector<std::vector<float>> out;
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    if (rows[r].size() != cols)
-      throw std::invalid_argument("ragged CSV row " + std::to_string(r));
+  for (const auto& row : rows) {
     std::vector<float> x(cols);
     for (std::size_t c = 0; c < cols; ++c)
-      if (!parse_float(rows[r][c], x[c]))
-        throw std::invalid_argument("non-numeric cell at row " +
-                                    std::to_string(r));
+      x[c] = parse_cell(row.fields[c], row.line, c, path);
     out.push_back(std::move(x));
   }
   return out;

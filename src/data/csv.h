@@ -21,8 +21,10 @@ struct LabeledSamples {
 
 /// Parse a labelled CSV. `label_column` counts from 0; -1 means the last
 /// column. Throws std::runtime_error on I/O failure and
-/// std::invalid_argument on malformed content (ragged rows, non-numeric
-/// cells, negative labels).
+/// std::invalid_argument on malformed content — rows whose field count
+/// differs from the header/first row, non-numeric or non-finite (NaN/Inf)
+/// cells, negative labels — with the offending 1-based file line in the
+/// message.
 LabeledSamples load_labeled_csv(const std::string& path,
                                 int label_column = -1);
 

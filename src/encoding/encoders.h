@@ -74,6 +74,11 @@ class GenericEncoder final : public Encoder {
   const hdc::SeededItemMemory& id_memory() const { return ids_; }
   const hdc::LevelMemory& level_memory() const { return levels_; }
 
+  /// Mutable memory access for fault-injection studies (resilience::inject
+  /// corrupts level rows / the id seed in place).
+  hdc::SeededItemMemory& mutable_id_memory() { return ids_; }
+  hdc::LevelMemory& mutable_level_memory() { return levels_; }
+
  private:
   hdc::SeededItemMemory ids_;
   hdc::LevelMemory levels_;

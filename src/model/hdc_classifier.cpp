@@ -144,6 +144,43 @@ double HdcClassifier::score(const hdc::IntHV& query, std::size_t cls,
   return num / static_cast<double>(n2);
 }
 
+double HdcClassifier::score_masked(const hdc::IntHV& query, std::size_t cls,
+                                   const std::vector<bool>& chunk_ok) const {
+  if (query.size() != dims_)
+    throw std::invalid_argument("score_masked: query dimension mismatch");
+  if (chunk_ok.size() != num_chunks_)
+    throw std::invalid_argument("score_masked: mask size mismatch");
+  const auto& c = classes_.at(cls);
+  std::int64_t dot = 0;
+  std::int64_t n2 = 0;
+  for (std::size_t k = 0; k < num_chunks_; ++k) {
+    if (!chunk_ok[k]) continue;
+    for (std::size_t j = k * chunk_; j < (k + 1) * chunk_; ++j)
+      dot += static_cast<std::int64_t>(query[j]) * c[j];
+    n2 += chunk_norms_[cls][k];
+  }
+  if (n2 == 0) return 0.0;
+  const double num =
+      static_cast<double>(dot) * static_cast<double>(std::abs(dot));
+  return num / static_cast<double>(n2);
+}
+
+int HdcClassifier::predict_masked(const hdc::IntHV& query,
+                                  const std::vector<bool>& chunk_ok) const {
+  if (std::find(chunk_ok.begin(), chunk_ok.end(), true) == chunk_ok.end())
+    throw std::invalid_argument("predict_masked: all chunks masked");
+  int best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const double s = score_masked(query, c, chunk_ok);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
 int HdcClassifier::predict(const hdc::IntHV& query) const {
   return predict_reduced(query, dims_, NormMode::kUpdated);
 }

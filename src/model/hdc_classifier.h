@@ -86,6 +86,20 @@ class HdcClassifier {
   double score(const hdc::IntHV& query, std::size_t cls,
                std::size_t dims_used, NormMode mode) const;
 
+  /// Predicted class using only the chunks whose `chunk_ok` entry is true
+  /// (size num_chunks()). The generalization of predict_reduced() to an
+  /// arbitrary block subset: the degradation path for models with faulty
+  /// 128-dim blocks (see resilience::BlockGuard) skips the damaged blocks
+  /// in both the dot product and the norm, exactly like §4.3.3 on-demand
+  /// dimension reduction with Updated norms. At least one chunk must be
+  /// enabled.
+  int predict_masked(const hdc::IntHV& query,
+                     const std::vector<bool>& chunk_ok) const;
+
+  /// Masked-score of one class over the enabled chunks only.
+  double score_masked(const hdc::IntHV& query, std::size_t cls,
+                      const std::vector<bool>& chunk_ok) const;
+
   /// Quantize class elements to `bit_width` bits (two's complement),
   /// rescaling by the model's max magnitude; recomputes norms.
   void quantize(int bit_width);

@@ -121,6 +121,16 @@ SavedModel deserialize_model(const std::vector<std::uint8_t>& blob) {
   const auto bit_width = r.get<std::int32_t>();
   if (dims == 0 || classes == 0 || chunk == 0 || dims % chunk != 0)
     throw std::invalid_argument("model blob inconsistent geometry");
+  if (bit_width < 1 || bit_width > 16)
+    throw std::invalid_argument("model blob bad bit width");
+  // Size the payload before allocating: a corrupt (or crafted) header must
+  // not be able to demand an arbitrary allocation.
+  if (dims > (1ULL << 26) || classes > (1ULL << 20))
+    throw std::invalid_argument("model blob implausible geometry");
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(dims) * classes * sizeof(std::int32_t);
+  if (want != body - r.position())
+    throw std::invalid_argument("model blob payload size mismatch");
 
   out.classifier = HdcClassifier(dims, classes, chunk);
   for (std::size_t c = 0; c < classes; ++c) {

@@ -1,0 +1,174 @@
+#include "resilience/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+#include "resilience/block_guard.h"
+
+namespace generic::resilience {
+namespace {
+
+/// Seed for one (kind, rate, trial) cell: a splitmix64 hash of the indices
+/// so trial seeds are independent of sweep order and grid shape.
+std::uint64_t trial_seed(std::uint64_t base, std::size_t kind_index,
+                         std::size_t rate_index, std::size_t trial) {
+  std::uint64_t sm = base;
+  sm ^= splitmix64(sm) + 0x9E3779B97F4A7C15ULL * (kind_index + 1);
+  sm ^= splitmix64(sm) + 0xBF58476D1CE4E5B9ULL * (rate_index + 1);
+  sm ^= splitmix64(sm) + 0x94D049BB133111EBULL * (trial + 1);
+  return splitmix64(sm);
+}
+
+double evaluate(const model::HdcClassifier& clf,
+                std::span<const hdc::IntHV> encoded,
+                std::span<const int> labels) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < encoded.size(); ++i)
+    hits += clf.predict(encoded[i]) == labels[i];
+  return static_cast<double>(hits) / static_cast<double>(encoded.size());
+}
+
+double evaluate_masked(const model::HdcClassifier& clf,
+                       const std::vector<bool>& ok,
+                       std::span<const hdc::IntHV> encoded,
+                       std::span<const int> labels) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < encoded.size(); ++i)
+    hits += clf.predict_masked(encoded[i], ok) == labels[i];
+  return static_cast<double>(hits) / static_cast<double>(encoded.size());
+}
+
+/// Fixed-format double for the JSON output: enough digits to round-trip
+/// an accuracy, no locale dependence.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const model::HdcClassifier& model,
+                            std::span<const hdc::IntHV> encoded,
+                            std::span<const int> labels,
+                            const CampaignConfig& cfg) {
+  if (encoded.size() != labels.size() || encoded.empty())
+    throw std::invalid_argument("run_campaign: bad evaluation set");
+  if (cfg.trials == 0 || cfg.kinds.empty() || cfg.rates.empty())
+    throw std::invalid_argument("run_campaign: empty sweep");
+
+  CampaignResult res;
+  res.seed = cfg.seed;
+  res.trials = cfg.trials;
+  res.dims = model.dims();
+  res.classes = model.num_classes();
+  res.chunk = model.dims() / model.num_chunks();
+  res.bit_width = model.bit_width();
+  res.degrade = cfg.degrade;
+  res.samples = encoded.size();
+  res.baseline_accuracy = evaluate(model, encoded, labels);
+
+  std::optional<BlockGuard> guard;
+  if (cfg.degrade) guard = BlockGuard::commission(model);
+
+  for (std::size_t ki = 0; ki < cfg.kinds.size(); ++ki) {
+    for (std::size_t ri = 0; ri < cfg.rates.size(); ++ri) {
+      CampaignCell cell;
+      cell.kind = cfg.kinds[ki];
+      cell.rate = cfg.rates[ri];
+      std::vector<double> accs;
+      accs.reserve(cfg.trials);
+      double lo = 1.0, hi = 0.0;
+      double masked_sum = 0.0;
+      for (std::size_t t = 0; t < cfg.trials; ++t) {
+        Rng rng(trial_seed(cfg.seed, ki, ri, t));
+        model::HdcClassifier faulty = model;
+        inject(faulty, FaultSpec{cell.kind, cell.rate}, rng);
+        double acc;
+        if (cfg.degrade) {
+          const auto ok = guard->scan(faulty);
+          const auto masked = static_cast<std::size_t>(
+              std::count(ok.begin(), ok.end(), false));
+          masked_sum += static_cast<double>(masked);
+          // When every block is flagged (saturating corruption) masking
+          // would leave nothing to score; fall back to raw inference.
+          acc = masked == ok.size()
+                    ? evaluate(faulty, encoded, labels)
+                    : evaluate_masked(faulty, ok, encoded, labels);
+        } else {
+          acc = evaluate(faulty, encoded, labels);
+        }
+        accs.push_back(acc);
+        lo = std::min(lo, acc);
+        hi = std::max(hi, acc);
+      }
+      const auto n = static_cast<double>(cfg.trials);
+      double sum = 0.0;
+      for (double a : accs) sum += a;
+      cell.mean_accuracy = sum / n;
+      // Two-pass variance: exact zero for identical trials, unlike the
+      // cancellation-prone E[x^2] - E[x]^2 form.
+      double ss = 0.0;
+      for (double a : accs) ss += (a - cell.mean_accuracy) * (a - cell.mean_accuracy);
+      cell.stddev_accuracy = std::sqrt(ss / n);
+      cell.min_accuracy = lo;
+      cell.max_accuracy = hi;
+      cell.mean_blocks_masked = masked_sum / n;
+      res.cells.push_back(cell);
+    }
+  }
+  return res;
+}
+
+std::string campaign_to_json(const CampaignResult& result) {
+  std::string out;
+  out.reserve(1024 + result.cells.size() * 192);
+  out += "{\n";
+  out += "  \"schema\": \"generic.fault_campaign.v1\",\n";
+  out += "  \"seed\": " + std::to_string(result.seed) + ",\n";
+  out += "  \"trials\": " + std::to_string(result.trials) + ",\n";
+  out += "  \"dims\": " + std::to_string(result.dims) + ",\n";
+  out += "  \"classes\": " + std::to_string(result.classes) + ",\n";
+  out += "  \"chunk\": " + std::to_string(result.chunk) + ",\n";
+  out += "  \"bit_width\": " + std::to_string(result.bit_width) + ",\n";
+  out += std::string("  \"degrade\": ") +
+         (result.degrade ? "true" : "false") + ",\n";
+  out += "  \"samples\": " + std::to_string(result.samples) + ",\n";
+  out += "  \"baseline_accuracy\": ";
+  append_double(out, result.baseline_accuracy);
+  out += ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& c = result.cells[i];
+    out += "    {\"fault\": \"";
+    out += fault_kind_name(c.kind);
+    out += "\", \"rate\": ";
+    append_double(out, c.rate);
+    out += ", \"mean_accuracy\": ";
+    append_double(out, c.mean_accuracy);
+    out += ", \"stddev_accuracy\": ";
+    append_double(out, c.stddev_accuracy);
+    out += ", \"min_accuracy\": ";
+    append_double(out, c.min_accuracy);
+    out += ", \"max_accuracy\": ";
+    append_double(out, c.max_accuracy);
+    out += ", \"mean_blocks_masked\": ";
+    append_double(out, c.mean_blocks_masked);
+    out += i + 1 < result.cells.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void write_campaign_json(const std::string& path,
+                         const CampaignResult& result) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << campaign_to_json(result);
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace generic::resilience

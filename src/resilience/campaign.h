@@ -1,0 +1,93 @@
+// Monte Carlo fault-injection campaign over a trained HdcClassifier.
+//
+// Sweeps fault kind x rate; each grid cell runs `trials` independent
+// seeded trials: copy the model, inject the fault population, evaluate
+// accuracy on a fixed encoded test set, and aggregate mean / stddev /
+// min / max. With `degrade` enabled each trial additionally runs the
+// BlockGuard detect-and-mask policy before evaluation, so the output
+// quantifies both raw resilience (the paper's voltage-over-scaling
+// argument, Figure 6) and the recovered accuracy of the degradation path.
+//
+// Determinism contract: every trial's fault pattern derives from
+// (cfg.seed, kind index, rate index, trial index) alone, so the same
+// configuration always produces byte-identical JSON — asserted by
+// tests/resilience/campaign_test.cpp and relied on by the bench harness.
+//
+// JSON schema (see docs/resilience.md):
+//   {
+//     "schema": "generic.fault_campaign.v1",
+//     "seed": ..., "trials": ..., "dims": ..., "classes": ...,
+//     "bit_width": ..., "chunk": ..., "degrade": true|false,
+//     "samples": ..., "baseline_accuracy": ...,
+//     "cells": [
+//       {"fault": "transient", "rate": ..., "mean_accuracy": ...,
+//        "stddev_accuracy": ..., "min_accuracy": ..., "max_accuracy": ...,
+//        "mean_blocks_masked": ...}, ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdc/hypervector.h"
+#include "model/hdc_classifier.h"
+#include "resilience/fault_model.h"
+
+namespace generic::resilience {
+
+struct CampaignConfig {
+  std::vector<FaultKind> kinds{FaultKind::kTransient, FaultKind::kStuckAt0,
+                               FaultKind::kStuckAt1, FaultKind::kDeadBlock};
+  /// Per-bit (or per-block for kDeadBlock) fault rates to sweep.
+  std::vector<double> rates{0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.1};
+  std::size_t trials = 5;
+  std::uint64_t seed = 0xFA17;
+  /// Run BlockGuard detection + masked inference inside each trial.
+  bool degrade = false;
+};
+
+struct CampaignCell {
+  FaultKind kind = FaultKind::kTransient;
+  double rate = 0.0;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+  /// Mean number of blocks masked per trial (0 unless cfg.degrade).
+  double mean_blocks_masked = 0.0;
+};
+
+struct CampaignResult {
+  std::uint64_t seed = 0;
+  std::size_t trials = 0;
+  std::size_t dims = 0;
+  std::size_t classes = 0;
+  std::size_t chunk = 0;
+  int bit_width = 0;
+  bool degrade = false;
+  std::size_t samples = 0;
+  double baseline_accuracy = 0.0;  ///< fault-free accuracy of the model
+  std::vector<CampaignCell> cells;  ///< kinds x rates, kind-major order
+};
+
+/// Run the campaign. `encoded` / `labels` are the fixed evaluation set
+/// (encode once, reuse across all trials). The input model is never
+/// mutated; every trial works on a copy.
+CampaignResult run_campaign(const model::HdcClassifier& model,
+                            std::span<const hdc::IntHV> encoded,
+                            std::span<const int> labels,
+                            const CampaignConfig& cfg);
+
+/// Render a result as pretty-printed JSON. Pure function of the result —
+/// same result, byte-identical string.
+std::string campaign_to_json(const CampaignResult& result);
+
+/// Write campaign_to_json() to a file; throws std::runtime_error on I/O
+/// failure.
+void write_campaign_json(const std::string& path,
+                         const CampaignResult& result);
+
+}  // namespace generic::resilience

@@ -1,0 +1,92 @@
+// Composable fault model for the §4.3 resilience studies.
+//
+// GENERIC's low-power story rests on HDC tolerating memory errors: voltage
+// over-scaling (§4.3.4) makes SRAM cells unreliable on purpose, and real
+// silicon additionally ships with manufacturing defects (stuck cells, dead
+// rows) that only get worse near threshold. This module gives every layer
+// of the stack one seeded, deterministic way to inject those failure modes:
+//
+//   kTransient  — independent bit flips at a per-bit rate, the classic
+//                 voltage-over-scaling upset model (matches
+//                 HdcClassifier::inject_bit_flips / Sram read upsets);
+//   kStuckAt0 / kStuckAt1
+//               — permanent cell defects: each bit is forced to 0/1 with
+//                 the given per-bit probability (manufacturing faults,
+//                 aging), so rewriting the model does not heal them;
+//   kDeadBlock  — an entire 128-dimension block (one norm2 chunk, i.e. one
+//                 class-memory row span per class) reads as zero: the model
+//                 of a dead SRAM row / failed bank segment.
+//
+// Faults target the three memories of the datapath:
+//   * class memory      — inject(HdcClassifier&, ...)
+//   * accumulators      — inject(IntHV&, ...), e.g. encoded queries
+//   * item/level memory — inject(BinaryHV&, ...), e.g. level rows, id seed
+//
+// Everything is driven by an explicit Rng so a (spec, seed) pair always
+// produces the identical fault pattern — the property the campaign runner
+// (campaign.h) and the determinism tests build on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "hdc/hypervector.h"
+#include "model/hdc_classifier.h"
+
+namespace generic::resilience {
+
+enum class FaultKind {
+  kTransient,  ///< independent bit flips at `rate` per bit
+  kStuckAt0,   ///< each bit stuck to 0 with probability `rate`
+  kStuckAt1,   ///< each bit stuck to 1 with probability `rate`
+  kDeadBlock,  ///< each 128-dim block dead (reads 0) with probability `rate`
+};
+
+/// Stable short name used in campaign JSON ("transient", "stuck_at_0", ...).
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Parse a fault_kind_name(); throws std::invalid_argument on unknown names.
+FaultKind fault_kind_from_name(std::string_view name);
+
+/// One fault population: a kind plus its rate. For the per-bit kinds `rate`
+/// is the per-bit probability; for kDeadBlock it is the per-block
+/// probability. Compose several FaultSpecs by applying them in sequence.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTransient;
+  double rate = 0.0;
+};
+
+/// Corrupt a bit-packed bipolar hypervector (item/level memory row).
+/// kDeadBlock zeroes whole `block`-dimension spans (bits read 0 == -1).
+void inject(hdc::BinaryHV& hv, const FaultSpec& spec, Rng& rng,
+            std::size_t block = 128);
+
+/// Corrupt a bundled accumulator. Elements are treated as `bit_width`-bit
+/// two's-complement words exactly as the class SRAM stores them (bipolar
+/// encoding for bit_width == 1, matching HdcClassifier::inject_bit_flips).
+/// kDeadBlock zeroes whole `block`-element spans.
+void inject(hdc::IntHV& acc, const FaultSpec& spec, Rng& rng, int bit_width,
+            std::size_t block = 128);
+
+/// Corrupt a classifier's class memory. Per-bit kinds draw one Bernoulli
+/// per stored bit; kDeadBlock kills the same chunk across *all* classes
+/// (a dead norm2-chunk-aligned row span serves every class row in it).
+/// Chunk norms are intentionally left stale — the ASIC keeps them in the
+/// separate, nominally-powered norm2 memory — which is exactly what lets
+/// BlockGuard detect the damage.
+void inject(model::HdcClassifier& clf, const FaultSpec& spec, Rng& rng);
+
+/// Deterministically kill an explicit set of chunk-aligned blocks across
+/// all classes (for targeted experiments and tests).
+void inject_dead_blocks(model::HdcClassifier& clf,
+                        const std::vector<std::size_t>& chunks);
+
+/// The per-block decision the classifier-level kDeadBlock inject() makes:
+/// one Bernoulli(rate) draw per chunk. Exposed so callers can learn the
+/// ground-truth dead set by replaying the same rng state.
+std::vector<std::size_t> sample_dead_chunks(std::size_t num_chunks,
+                                            double rate, Rng& rng);
+
+}  // namespace generic::resilience

@@ -72,6 +72,50 @@ TEST(Sram, ReadUpsetsAreTransient) {
   EXPECT_EQ(mem.read_word(0), 0u);  // ...but the cell contents survive
 }
 
+TEST(Sram, WordAccessOutOfRangeThrows) {
+  Sram mem("b", 4, 16);
+  EXPECT_THROW((void)mem.read_word(4), std::out_of_range);
+  EXPECT_THROW(mem.write_word(4, 1), std::out_of_range);
+  EXPECT_THROW((void)mem.read_row(7), std::out_of_range);
+  EXPECT_THROW(mem.write_row(7, {0}), std::out_of_range);
+}
+
+TEST(Sram, ReseedReplaysIdenticalUpsetPattern) {
+  Sram mem("s", 2, 64);
+  mem.write_word(0, 0);
+  mem.write_word(1, 0);
+  mem.set_read_upset_rate(0.1, 42);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 20; ++i) first.push_back(mem.read_word(i % 2));
+  mem.reseed(42);  // rewind the fault stream, keep the rate
+  EXPECT_EQ(mem.read_upset_rate(), 0.1);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(mem.read_word(i % 2), first[static_cast<std::size_t>(i)]) << i;
+  // A different seed diverges somewhere in the window.
+  mem.reseed(43);
+  bool diverged = false;
+  for (int i = 0; i < 20 && !diverged; ++i)
+    diverged = mem.read_word(i % 2) != first[static_cast<std::size_t>(i)];
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Sram, DeadRowsReadZeroAndDropWrites) {
+  Sram mem("d", 4, 64);
+  mem.write_word(2, 0xABCD);
+  mem.mark_dead_row(2);
+  EXPECT_TRUE(mem.row_is_dead(2));
+  EXPECT_FALSE(mem.row_is_dead(1));
+  EXPECT_EQ(mem.read_word(2), 0u);
+  EXPECT_EQ(mem.read_bits(2, 0, 16), 0u);
+  const auto writes_before = mem.writes();
+  mem.write_word(2, 0x1234);  // dropped, but still counted as an access
+  EXPECT_EQ(mem.writes(), writes_before + 1);
+  EXPECT_EQ(mem.read_word(2), 0u);
+  mem.clear_dead_rows();
+  EXPECT_EQ(mem.read_word(2), 0xABCDu);  // pre-death contents reappear
+  EXPECT_THROW(mem.mark_dead_row(4), std::out_of_range);
+}
+
 TEST(Sram, UpsetRateScalesWithProbability) {
   Sram mem("r", 1, 64);
   mem.write_word(0, 0);

@@ -70,6 +70,67 @@ TEST_F(CsvTest, MalformedContentRejected) {
                std::runtime_error);
 }
 
+TEST_F(CsvTest, NonFiniteValuesRejected) {
+  EXPECT_THROW(load_labeled_csv(make("n1.csv", "1,nan,0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(load_labeled_csv(make("n2.csv", "1,inf,0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(load_labeled_csv(make("n3.csv", "1,-inf,0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(load_labeled_csv(make("n4.csv", "1,1e40,0\n")),
+               std::invalid_argument);  // overflows float to +inf
+  EXPECT_THROW(load_unlabeled_csv(make("n5.csv", "1,nan\n")),
+               std::invalid_argument);
+}
+
+TEST_F(CsvTest, ErrorsCarryFileLineNumbers) {
+  try {
+    load_labeled_csv(make("e1.csv", "a,b,c\n1,2,0\n3,nan,1\n"));
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    // Line 3 of the file (header counts), column 2.
+    EXPECT_NE(std::string(e.what()).find("line 3, column 2"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+  try {
+    load_labeled_csv(make("e2.csv", "1,2,0\n\n3,x,1\n"));
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    // Blank line 2 is skipped but still counted.
+    EXPECT_NE(std::string(e.what()).find("line 3, column 2"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("non-numeric"), std::string::npos);
+  }
+  try {
+    load_labeled_csv(make("e3.csv", "1,2,-1\n"));
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CsvTest, FieldCountFixedByHeader) {
+  // The header has 3 fields, so a 4-field data row is ragged even though
+  // all data rows agree with each other.
+  try {
+    load_labeled_csv(make("f1.csv", "a,b,c\n1,2,3,0\n4,5,6,1\n"));
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("has 4 fields, expected 3"),
+              std::string::npos)
+        << e.what();
+  }
+  // Without a header the first data row fixes the count.
+  EXPECT_THROW(load_labeled_csv(make("f2.csv", "1,2,0\n1,2,3,0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(load_unlabeled_csv(make("f3.csv", "1,2\n1\n")),
+               std::invalid_argument);
+}
+
 TEST_F(CsvTest, UnlabeledRoundTrip) {
   const auto p = make("u1.csv", "1.5, 2.5\n3.5,4.5\n");
   const auto xs = load_unlabeled_csv(p);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "data/benchmarks.h"
@@ -62,30 +63,84 @@ TEST(ModelIo, RoundTripPreservesNormsAndBitWidth) {
   }
 }
 
-TEST(ModelIo, CorruptionDetected) {
+/// Recompute and overwrite the CRC footer after mutating the body, so the
+/// corruption tests can reach the checks *behind* the CRC gate (magic,
+/// version, geometry) with a blob that passes integrity verification.
+void reseal(std::vector<std::uint8_t>& blob) {
+  const std::size_t body = blob.size() - sizeof(std::uint32_t);
+  const std::uint32_t crc = crc32(blob.data(), body);
+  std::memcpy(blob.data() + body, &crc, sizeof(crc));
+}
+
+/// Run deserialize_model and capture the failure message ("" if it
+/// unexpectedly succeeds) — the corruption suite asserts each corruption
+/// class yields its own distinct diagnostic.
+std::string failure_message(const std::vector<std::uint8_t>& blob) {
+  try {
+    (void)deserialize_model(blob);
+    return "";
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+}
+
+TEST(ModelIo, SingleByteCorruptionCaughtByCrc) {
   Trained t;
   auto blob = serialize_model(t.encoder, t.clf);
-  // Flip a byte in the middle: CRC must catch it.
   blob[blob.size() / 2] ^= 0x40;
-  EXPECT_THROW(deserialize_model(blob), std::invalid_argument);
+  EXPECT_EQ(failure_message(blob), "model blob CRC mismatch");
+}
+
+TEST(ModelIo, EveryHeaderBytePositionIsCovered) {
+  // Flip each byte of the header region one at a time; the CRC footer
+  // must catch all of them — no blind spots.
+  Trained t;
+  const auto golden = serialize_model(t.encoder, t.clf);
+  for (std::size_t i = 0; i < 64; ++i) {
+    auto blob = golden;
+    blob[i] ^= 0x01;
+    EXPECT_EQ(failure_message(blob), "model blob CRC mismatch") << "byte " << i;
+  }
 }
 
 TEST(ModelIo, TruncationDetected) {
   Trained t;
   auto blob = serialize_model(t.encoder, t.clf);
   blob.resize(blob.size() / 2);
-  EXPECT_THROW(deserialize_model(blob), std::invalid_argument);
+  EXPECT_EQ(failure_message(blob), "model blob CRC mismatch");
+  blob.resize(3);  // below the smallest possible well-formed blob
+  EXPECT_EQ(failure_message(blob), "model blob too small");
+}
+
+TEST(ModelIo, TruncatedButResealedPayloadDetected) {
+  // Chop off payload bytes and re-seal: integrity passes, but the header
+  // promises more payload than the blob holds.
+  Trained t;
+  auto blob = serialize_model(t.encoder, t.clf);
+  blob.resize(blob.size() - 128);
+  blob.resize(blob.size() + sizeof(std::uint32_t));  // room for the footer
+  reseal(blob);
+  EXPECT_EQ(failure_message(blob), "model blob payload size mismatch");
 }
 
 TEST(ModelIo, BadMagicDetected) {
   Trained t;
   auto blob = serialize_model(t.encoder, t.clf);
   blob[0] = 'X';
-  EXPECT_THROW(deserialize_model(blob), std::invalid_argument);
+  reseal(blob);
+  EXPECT_EQ(failure_message(blob), "model blob bad magic");
+}
+
+TEST(ModelIo, UnsupportedVersionDetected) {
+  Trained t;
+  auto blob = serialize_model(t.encoder, t.clf);
+  ++blob[4];  // version u32 lives right after the 4-byte magic
+  reseal(blob);
+  EXPECT_EQ(failure_message(blob), "model blob unsupported version");
 }
 
 TEST(ModelIo, EmptyBlobRejected) {
-  EXPECT_THROW(deserialize_model({}), std::invalid_argument);
+  EXPECT_EQ(failure_message({}), "model blob too small");
 }
 
 TEST(ModelIo, FileRoundTrip) {

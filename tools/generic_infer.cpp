@@ -2,16 +2,27 @@
 //
 //   generic_infer --model=m.ghdc --data=samples.csv
 //                 [--labeled] [--label-col=-1] [--binary]
+//                 [--fault-campaign [--fault-kinds=transient,dead_block]
+//                  [--fault-rates=0,1e-4,1e-3,1e-2] [--fault-trials=5]
+//                  [--fault-seed=64023] [--degrade] [--fault-out=c.json]]
 //
 // With --labeled, the last column (or --label-col) holds ground truth and
 // accuracy is reported; otherwise one prediction per line is printed.
 // --binary runs the packed 1-bit fast path (model::BinaryModel).
+//
+// --fault-campaign (implies labelled data) runs the Monte Carlo
+// fault-injection campaign of resilience::run_campaign on the loaded
+// model against the CSV and prints (or writes with --fault-out) the
+// deterministic JSON accuracy surface — see docs/resilience.md.
 #include <cstdio>
+#include <sstream>
 
 #include "data/csv.h"
 #include "encoding/encoders.h"
 #include "model/binary_model.h"
 #include "model/model_io.h"
+#include "model/pipeline.h"
+#include "resilience/campaign.h"
 #include "tools/cli_util.h"
 
 using namespace generic;
@@ -22,7 +33,10 @@ int main(int argc, char** argv) {
   if (model_path.empty() || data_path.empty())
     tools::usage_exit(
         "usage: generic_infer --model=m.ghdc --data=samples.csv\n"
-        "       [--labeled] [--label-col=-1] [--binary]\n");
+        "       [--labeled] [--label-col=-1] [--binary]\n"
+        "       [--fault-campaign [--fault-kinds=...] [--fault-rates=...]\n"
+        "        [--fault-trials=5] [--fault-seed=64023] [--degrade]\n"
+        "        [--fault-out=campaign.json]]\n");
 
   try {
     const auto saved = model::load_model_file(model_path);
@@ -30,6 +44,44 @@ int main(int argc, char** argv) {
     if (!saved.quantizer_fitted)
       throw std::runtime_error("model was saved with an unfitted encoder");
     encoder.fit_range(saved.quantizer_lo, saved.quantizer_hi);
+
+    if (tools::has_flag(argc, argv, "--fault-campaign")) {
+      const auto samples = data::load_labeled_csv(
+          data_path,
+          static_cast<int>(tools::flag_double(argc, argv, "--label-col", -1)));
+      const auto encoded = model::encode_all(encoder, samples.x);
+
+      resilience::CampaignConfig cc;
+      cc.trials = tools::flag_size(argc, argv, "--fault-trials", 5);
+      cc.seed = static_cast<std::uint64_t>(
+          tools::flag_size(argc, argv, "--fault-seed", 64023));
+      cc.degrade = tools::has_flag(argc, argv, "--degrade");
+      const std::string kinds = tools::flag_value(argc, argv, "--fault-kinds");
+      if (!kinds.empty()) {
+        cc.kinds.clear();
+        std::stringstream ss(kinds);
+        for (std::string item; std::getline(ss, item, ',');)
+          cc.kinds.push_back(resilience::fault_kind_from_name(item));
+      }
+      const std::string rates = tools::flag_value(argc, argv, "--fault-rates");
+      if (!rates.empty()) {
+        cc.rates.clear();
+        std::stringstream ss(rates);
+        for (std::string item; std::getline(ss, item, ',');)
+          cc.rates.push_back(std::stod(item));
+      }
+
+      const auto result = resilience::run_campaign(saved.classifier, encoded,
+                                                   samples.y, cc);
+      const std::string out = tools::flag_value(argc, argv, "--fault-out");
+      if (out.empty()) {
+        std::fputs(resilience::campaign_to_json(result).c_str(), stdout);
+      } else {
+        resilience::write_campaign_json(out, result);
+        std::fprintf(stderr, "campaign JSON written to %s\n", out.c_str());
+      }
+      return 0;
+    }
 
     const bool labeled = tools::has_flag(argc, argv, "--labeled");
     const bool binary = tools::has_flag(argc, argv, "--binary");
