@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +42,34 @@ inline std::string flag_value(int argc, char** argv, std::string_view key,
     if (arg.rfind(prefix, 0) == 0) return std::string(arg.substr(prefix.size()));
   }
   return std::string(fallback);
+}
+
+/// Integer value of `--key=value`, or `fallback` when absent/non-numeric.
+inline std::size_t flag_size(int argc, char** argv, std::string_view key,
+                             std::size_t fallback) {
+  const std::string v = flag_value(argc, argv, key, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Pool lane count from --threads=N (supports the space-separated
+/// `--threads N` spelling too). Default 1 — every bench stays serial, and
+/// therefore byte-identical to its pre-parallel output, unless asked.
+inline std::size_t threads_flag(int argc, char** argv) {
+  const std::size_t eq = flag_size(argc, argv, "--threads", 0);
+  if (eq != 0) return eq;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads") {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(argv[i + 1], &end, 10);
+      if (end != argv[i + 1] && *end == '\0' && parsed > 0)
+        return static_cast<std::size_t>(parsed);
+    }
+  }
+  return 1;
 }
 
 inline void print_rule(std::size_t width) {

@@ -6,12 +6,20 @@
 //
 //   fault_campaign [--quick] [--dataset=FACE] [--bw=8] [--trials=5]
 //                  [--seed=64023] [--degrade] [--out=campaign.json]
+//                  [--threads=N] [--target=class|level|id_seed]
 //
 // The qualitative claim this reproduces: HDC accuracy degrades gracefully
 // — monotonically, with no cliff — as the bit-error rate rises through
 // 1e-3 (the voltage-over-scaling argument of §4.3.4), and the BlockGuard
 // detect-and-mask policy (--degrade) recovers most of the loss for
 // block-structured faults.
+//
+// --target selects which datapath SRAM the campaign corrupts: the class
+// memory (default, run_campaign) or the encoder's level memory / rotating
+// id seed (run_encoder_campaign, which re-encodes every trial through the
+// damaged memory). --threads fans Monte Carlo trials (class memory) or the
+// per-trial re-encoding (encoder targets) across a pool; the JSON is
+// byte-identical for any thread count.
 #include <cstdio>
 #include <vector>
 
@@ -35,6 +43,18 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(
       std::stoull(bench::flag_value(argc, argv, "--seed", "64023")));
   const std::string out_path = bench::flag_value(argc, argv, "--out", "");
+  const std::string target_name =
+      bench::flag_value(argc, argv, "--target", "class");
+
+  resilience::FaultTarget target = resilience::FaultTarget::kClassMemory;
+  if (target_name == "level") {
+    target = resilience::FaultTarget::kLevelMemory;
+  } else if (target_name == "id_seed") {
+    target = resilience::FaultTarget::kIdSeed;
+  } else if (target_name != "class") {
+    std::fprintf(stderr, "error: --target must be class, level, or id_seed\n");
+    return 1;
+  }
 
   const auto ds = data::make_benchmark(name);
   enc::EncoderConfig cfg;
@@ -51,13 +71,19 @@ int main(int argc, char** argv) {
   cc.trials = trials;
   cc.seed = seed;
   cc.degrade = bench::has_flag(argc, argv, "--degrade");
+  cc.threads = bench::threads_flag(argc, argv);
   cc.rates = {0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 0.03, 0.07};
 
   const auto result =
-      resilience::run_campaign(clf, test, ds.test_y, cc);
+      target == resilience::FaultTarget::kClassMemory
+          ? resilience::run_campaign(clf, test, ds.test_y, cc)
+          : resilience::run_encoder_campaign(encoder, clf, ds.test_x,
+                                             ds.test_y, cc, target);
 
-  std::printf("Fault campaign: %s, D=%zu, %db model, %zu trials/cell%s\n",
+  std::printf("Fault campaign: %s, D=%zu, %db model, %zu trials/cell, "
+              "target=%s%s\n",
               name.c_str(), dims, bw, trials,
+              std::string(resilience::fault_target_name(target)).c_str(),
               cc.degrade ? ", detect+mask degradation ON" : "");
   std::printf("baseline accuracy: %.2f%%\n\n", 100.0 * result.baseline_accuracy);
   std::printf("%-12s", "rate");

@@ -10,61 +10,97 @@
 // Expected shape: GENERIC wins energy by 2-3 orders of magnitude against
 // everything (paper: 528x vs RF, 1257x vs DNN, 694x vs eGPU-HDC) while RF
 // remains ~an order of magnitude faster in wall-clock (paper: 12x).
+// `--threads N` fans the per-application ASIC training runs out across a
+// worker pool; each application fills an indexed slot, so the table is
+// byte-identical to the serial run for any thread count.
 #include <cstdio>
 #include <vector>
 
 #include "arch/generic_asic.h"
 #include "bench/bench_util.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "data/benchmarks.h"
 #include "hwmodel/device.h"
 
 using namespace generic;
 
+namespace {
+
+struct AppResult {
+  double asic_e = 0.0, asic_t = 0.0;
+  double rf_e = 0.0, rf_t = 0.0, svm_e = 0.0, svm_t = 0.0;
+  double dnn_e = 0.0, dnn_t = 0.0, hdc_e = 0.0, hdc_t = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bool quick = bench::has_flag(argc, argv, "--quick");
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const std::size_t dims = quick ? 2048 : 4096;
   const std::size_t epochs = quick ? 5 : 20;
 
-  std::vector<double> asic_e, asic_t;
-  std::vector<double> rf_e, rf_t, svm_e, svm_t, dnn_e, dnn_t, hdc_e, hdc_t;
+  const auto& names = data::benchmark_names();
+  std::vector<AppResult> results(names.size());
+  ThreadPool pool(threads);
 
   bench::Timer timer;
-  for (const auto& name : data::benchmark_names()) {
-    const auto ds = data::make_benchmark(name);
-    arch::AppSpec spec;
-    spec.dims = dims;
-    spec.features = ds.num_features();
-    spec.classes = ds.num_classes;
-    const auto gcfg = data::generic_config_for(name);
-    spec.window = gcfg.window;
-    spec.use_ids = gcfg.use_ids;
+  pool.parallel_for(names.size(), [&](std::size_t begin, std::size_t end,
+                                      std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& name = names[i];
+      const auto ds = data::make_benchmark(name);
+      arch::AppSpec spec;
+      spec.dims = dims;
+      spec.features = ds.num_features();
+      spec.classes = ds.num_classes;
+      const auto gcfg = data::generic_config_for(name);
+      spec.window = gcfg.window;
+      spec.use_ids = gcfg.use_ids;
 
-    arch::GenericAsic asic(spec);
-    asic.train(ds.train_x, ds.train_y, epochs);
-    const double inputs = static_cast<double>(ds.train_size());
-    asic_e.push_back(asic.energy_j() / inputs);
-    asic_t.push_back(asic.elapsed_seconds() / inputs);
+      AppResult& out = results[i];
+      arch::GenericAsic asic(spec);
+      asic.train(ds.train_x, ds.train_y, epochs);
+      const double inputs = static_cast<double>(ds.train_size());
+      out.asic_e = asic.energy_j() / inputs;
+      out.asic_t = asic.elapsed_seconds() / inputs;
 
-    const std::size_t d = ds.num_features();
-    const std::size_t nc = ds.num_classes;
-    const std::size_t n = ds.train_size();
-    rf_e.push_back(hw::energy_j(hw::desktop_cpu(),
-                                hw::ml_training(ml::MlKind::kRandomForest, d, nc, n)));
-    rf_t.push_back(hw::time_s(hw::desktop_cpu(),
-                              hw::ml_training(ml::MlKind::kRandomForest, d, nc, n)));
-    svm_e.push_back(hw::energy_j(hw::desktop_cpu(),
-                                 hw::ml_training(ml::MlKind::kSvm, d, nc, n)));
-    svm_t.push_back(hw::time_s(hw::desktop_cpu(),
-                               hw::ml_training(ml::MlKind::kSvm, d, nc, n)));
-    dnn_e.push_back(hw::energy_j(hw::edge_gpu(),
-                                 hw::ml_training(ml::MlKind::kDnn, d, nc, n)));
-    dnn_t.push_back(hw::time_s(hw::edge_gpu(),
-                               hw::ml_training(ml::MlKind::kDnn, d, nc, n)));
-    hdc_e.push_back(hw::energy_j(hw::edge_gpu(),
-                                 hw::hdc_training(d, 4096, 3, nc, epochs)));
-    hdc_t.push_back(hw::time_s(hw::edge_gpu(),
-                               hw::hdc_training(d, 4096, 3, nc, epochs)));
+      const std::size_t d = ds.num_features();
+      const std::size_t nc = ds.num_classes;
+      const std::size_t n = ds.train_size();
+      out.rf_e = hw::energy_j(
+          hw::desktop_cpu(), hw::ml_training(ml::MlKind::kRandomForest, d, nc, n));
+      out.rf_t = hw::time_s(
+          hw::desktop_cpu(), hw::ml_training(ml::MlKind::kRandomForest, d, nc, n));
+      out.svm_e = hw::energy_j(hw::desktop_cpu(),
+                               hw::ml_training(ml::MlKind::kSvm, d, nc, n));
+      out.svm_t = hw::time_s(hw::desktop_cpu(),
+                             hw::ml_training(ml::MlKind::kSvm, d, nc, n));
+      out.dnn_e = hw::energy_j(hw::edge_gpu(),
+                               hw::ml_training(ml::MlKind::kDnn, d, nc, n));
+      out.dnn_t = hw::time_s(hw::edge_gpu(),
+                             hw::ml_training(ml::MlKind::kDnn, d, nc, n));
+      out.hdc_e = hw::energy_j(hw::edge_gpu(),
+                               hw::hdc_training(d, 4096, 3, nc, epochs));
+      out.hdc_t = hw::time_s(hw::edge_gpu(),
+                             hw::hdc_training(d, 4096, 3, nc, epochs));
+    }
+  });
+
+  std::vector<double> asic_e, asic_t;
+  std::vector<double> rf_e, rf_t, svm_e, svm_t, dnn_e, dnn_t, hdc_e, hdc_t;
+  for (const auto& r : results) {
+    asic_e.push_back(r.asic_e);
+    asic_t.push_back(r.asic_t);
+    rf_e.push_back(r.rf_e);
+    rf_t.push_back(r.rf_t);
+    svm_e.push_back(r.svm_e);
+    svm_t.push_back(r.svm_t);
+    dnn_e.push_back(r.dnn_e);
+    dnn_t.push_back(r.dnn_t);
+    hdc_e.push_back(r.hdc_e);
+    hdc_t.push_back(r.hdc_t);
   }
 
   struct Row {

@@ -10,12 +10,15 @@
 //
 // Flags: --quick (fewer dims/epochs), --hdc-only, --ml-only,
 //        --datasets=NAME1,NAME2  (default: all eleven)
+//        --threads=N  (fan datasets across a pool; table bytes are
+//                      identical to the serial run for any N)
 #include <cstdio>
 #include <map>
 #include <sstream>
 
 #include "bench/bench_util.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "data/benchmarks.h"
 #include "encoding/encoders.h"
 #include "ml/classifier.h"
@@ -34,12 +37,21 @@ std::vector<std::string> parse_datasets(const std::string& csv) {
   return out;
 }
 
+/// One dataset's table row: its accuracy per column (header order) and the
+/// formatted row text, buffered so rows print in dataset order regardless
+/// of which thread finished first.
+struct RowResult {
+  std::vector<double> hdc_pcts, ml_pcts;
+  std::string line;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = bench::has_flag(argc, argv, "--quick");
   const bool hdc_only = bench::has_flag(argc, argv, "--hdc-only");
   const bool ml_only = bench::has_flag(argc, argv, "--ml-only");
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const auto datasets =
       parse_datasets(bench::flag_value(argc, argv, "--datasets", ""));
 
@@ -70,37 +82,59 @@ int main(int argc, char** argv) {
   std::map<std::string, std::vector<double>> columns;
   bench::Timer total;
 
-  for (const auto& name : datasets) {
-    const auto ds = data::make_benchmark(name);
-    std::printf("%-8s", ds.name.c_str());
-    std::fflush(stdout);
+  std::vector<RowResult> rows_out(datasets.size());
+  ThreadPool pool(threads);
+  pool.parallel_for(datasets.size(), [&](std::size_t begin, std::size_t end,
+                                         std::size_t) {
+    for (std::size_t di = begin; di < end; ++di) {
+      const auto& name = datasets[di];
+      const auto ds = data::make_benchmark(name);
+      RowResult& row = rows_out[di];
+      char cell[16];
+      std::snprintf(cell, sizeof(cell), "%-8s", ds.name.c_str());
+      row.line = cell;
 
-    if (!ml_only) {
-      for (auto kind : hdc_kinds) {
-        enc::EncoderConfig cfg;
-        cfg.dims = dims;
-        const auto gcfg = data::generic_config_for(name);
-        cfg.window = gcfg.window;
-        if (kind == enc::EncoderKind::kGeneric) cfg.use_ids = gcfg.use_ids;
-        auto encoder = enc::make_encoder(kind, cfg);
-        const auto res = model::run_hdc_classification(*encoder, ds, epochs);
-        const double pct = 100.0 * res.test_accuracy;
-        columns[std::string(enc::to_string(kind))].push_back(pct);
-        std::printf(" %8.1f%%", pct);
-        std::fflush(stdout);
+      if (!ml_only) {
+        for (auto kind : hdc_kinds) {
+          enc::EncoderConfig cfg;
+          cfg.dims = dims;
+          const auto gcfg = data::generic_config_for(name);
+          cfg.window = gcfg.window;
+          if (kind == enc::EncoderKind::kGeneric) cfg.use_ids = gcfg.use_ids;
+          auto encoder = enc::make_encoder(kind, cfg);
+          const auto res = model::run_hdc_classification(*encoder, ds, epochs);
+          const double pct = 100.0 * res.test_accuracy;
+          row.hdc_pcts.push_back(pct);
+          std::snprintf(cell, sizeof(cell), " %8.1f%%", pct);
+          row.line += cell;
+        }
       }
-    }
-    if (!hdc_only) {
-      for (auto kind : ml_kinds) {
-        auto clf = ml::make_classifier(kind);
-        clf->train(ds.train_x, ds.train_y, ds.num_classes);
-        const double pct = 100.0 * clf->accuracy(ds.test_x, ds.test_y);
-        columns[std::string(ml::to_string(kind))].push_back(pct);
-        std::printf(" %8.1f%%", pct);
-        std::fflush(stdout);
+      if (!hdc_only) {
+        for (auto kind : ml_kinds) {
+          auto clf = ml::make_classifier(kind);
+          clf->train(ds.train_x, ds.train_y, ds.num_classes);
+          const double pct = 100.0 * clf->accuracy(ds.test_x, ds.test_y);
+          row.ml_pcts.push_back(pct);
+          std::snprintf(cell, sizeof(cell), " %8.1f%%", pct);
+          row.line += cell;
+        }
       }
+      row.line += "\n";
     }
-    std::printf("\n");
+  });
+
+  // Rows print — and columns accumulate — in dataset order, so the table
+  // and the Mean/STDV aggregates match the serial run byte for byte.
+  for (const auto& row : rows_out) {
+    std::fputs(row.line.c_str(), stdout);
+    if (!ml_only)
+      for (std::size_t k = 0; k < hdc_kinds.size(); ++k)
+        columns[std::string(enc::to_string(hdc_kinds[k]))].push_back(
+            row.hdc_pcts[k]);
+    if (!hdc_only)
+      for (std::size_t k = 0; k < ml_kinds.size(); ++k)
+        columns[std::string(ml::to_string(ml_kinds[k]))].push_back(
+            row.ml_pcts[k]);
   }
 
   // Aggregate rows, in the same column order as the header.

@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <memory>
+
+namespace generic {
+namespace {
+
+/// Set while this thread is executing chunks of some job; a nested
+/// parallel_for from such a thread runs inline instead of re-entering the
+/// pool (which would deadlock waiting for the lane it occupies).
+thread_local bool t_inside_job = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t lanes) {
+  if (lanes == 0) lanes = std::thread::hardware_concurrency();
+  lanes_ = lanes == 0 ? 1 : lanes;
+  workers_.reserve(lanes_ - 1);
+  for (std::size_t i = 0; i + 1 < lanes_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> ThreadPool::chunk_grid(
+    std::size_t n, std::size_t parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> grid;
+  if (n == 0) return grid;
+  if (parts == 0) parts = 1;
+  parts = std::min(parts, n);
+  grid.reserve(parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;  // first `extra` chunks get +1
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < parts; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    grid.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return grid;
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  const bool was_inside = t_inside_job;
+  t_inside_job = true;
+  const std::size_t total = job.chunks.size();
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= total) break;
+    try {
+      const auto [begin, end] = job.chunks[c];
+      (*job.fn)(begin, end, c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  t_inside_job = was_inside;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  Job job;
+  job.fn = &fn;
+  job.chunks = chunk_grid(n, lanes_);
+
+  // Serial fast path: one lane, a one-chunk grid, or a nested call from a
+  // worker lane. Same chunk grid, same chunk order, no synchronization.
+  if (lanes_ == 1 || job.chunks.size() == 1 || t_inside_job) {
+    run_chunks(job);
+    if (job.error) std::rethrow_exception(job.error);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+
+  run_chunks(job);  // the caller is a lane too
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job.done.load(std::memory_order_acquire) == job.chunks.size() &&
+           attached_ == 0;
+  });
+  job_ = nullptr;
+  lock.unlock();
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = job_generation_;
+      job = job_;
+      ++attached_;
+    }
+    run_chunks(*job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --attached_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_storage() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(1);
+  return pool;
+}
+}  // namespace
+
+ThreadPool& global_pool() { return *global_pool_storage(); }
+
+void set_global_threads(std::size_t lanes) {
+  auto& slot = global_pool_storage();
+  const std::size_t want = lanes == 0 ? 1 : lanes;
+  if (slot->lanes() != want) slot = std::make_unique<ThreadPool>(want);
+}
+
+}  // namespace generic

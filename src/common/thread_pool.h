@@ -1,0 +1,106 @@
+// Fixed-size worker pool with a chunked, deterministic parallel_for.
+//
+// Design goals, in priority order (docs/parallelism.md):
+//  1. Determinism — chunk boundaries are a pure function of (n, lanes);
+//     every chunk knows its index, so callers write results into indexed
+//     slots or merge per-chunk partials in fixed chunk order. Which OS
+//     thread executes a chunk is scheduling noise that never reaches the
+//     results. There is deliberately no work stealing: stealing changes
+//     nothing observable here (chunks are claimed from one atomic cursor)
+//     and keeping the model trivial keeps the determinism argument trivial.
+//  2. Zero surprises at the edges — a pool of 1 lane (or n == 0/1) runs
+//     inline on the caller with no synchronization at all, so the serial
+//     path *is* the parallel path with lanes = 1; nested parallel_for from
+//     inside a worker also degrades to inline execution instead of
+//     deadlocking.
+//  3. Exceptions propagate — the first exception thrown by any chunk is
+//     captured and rethrown on the calling thread after the job drains.
+//
+// The caller participates in the job, so a pool constructed with N lanes
+// runs chunks on up to N threads total (N-1 workers + the caller).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace generic {
+
+class ThreadPool {
+ public:
+  /// A pool with `lanes` execution lanes (caller + lanes-1 workers).
+  /// lanes == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t lanes = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t lanes() const { return lanes_; }
+
+  /// Deterministic chunk grid: split [0, n) into at most `parts` contiguous
+  /// chunks of near-equal size (the first n % parts chunks get one extra
+  /// element). Pure function of (n, parts) — the contract every batched API
+  /// builds its "fixed chunk order" reduction on.
+  static std::vector<std::pair<std::size_t, std::size_t>> chunk_grid(
+      std::size_t n, std::size_t parts);
+
+  /// Run fn(begin, end, chunk_index) over the chunk_grid(n, lanes()).
+  /// Chunks are claimed from a single atomic cursor; all lanes (including
+  /// the caller) execute chunks until the grid drains. Blocks until every
+  /// chunk finished; rethrows the first chunk exception.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Map i -> fn(i) for i in [0, n), results in index order. fn must be
+  /// const-callable from multiple threads; each slot is written exactly
+  /// once, so no synchronization is needed beyond the pool's own barrier.
+  template <typename T, typename Fn>
+  std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+    });
+    return out;
+  }
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  std::size_t lanes_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a job
+  std::condition_variable done_cv_;   // caller waits for the job to drain
+  Job* job_ = nullptr;
+  std::uint64_t job_generation_ = 0;  // wakes workers exactly once per job
+  std::size_t attached_ = 0;  // workers currently holding a Job pointer
+  bool stop_ = false;
+};
+
+/// Process-wide default pool used by the `--threads N` plumbing. Starts
+/// with 1 lane (fully serial); set_global_threads() resizes it. Not
+/// thread-safe against concurrent resizing — resize once at startup.
+ThreadPool& global_pool();
+void set_global_threads(std::size_t lanes);
+
+}  // namespace generic

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/quantizer.h"
+#include "common/thread_pool.h"
 #include "hdc/hypervector.h"
 
 namespace generic::enc {
@@ -53,6 +54,19 @@ class Encoder {
 
   /// Encode one raw feature vector into a bundled hypervector.
   virtual hdc::IntHV encode(std::span<const float> sample) const = 0;
+
+  /// Encode a batch, fanning samples out across `pool` in deterministic
+  /// index order: out[i] == encode(samples[i]) bit-for-bit regardless of
+  /// the pool's lane count (every sample's encoding is independent and
+  /// encode() is const). This is the engine's batched ingestion path.
+  std::vector<hdc::IntHV> encode_batch(
+      std::span<const std::vector<float>> samples, ThreadPool& pool) const;
+
+  /// encode_batch through the process-wide pool (see set_global_threads).
+  std::vector<hdc::IntHV> encode_batch(
+      std::span<const std::vector<float>> samples) const {
+    return encode_batch(samples, global_pool());
+  }
 
   virtual std::string_view name() const = 0;
 

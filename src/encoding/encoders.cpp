@@ -9,6 +9,17 @@ void Encoder::fit(std::span<const std::vector<float>> samples) {
   quantizer_.fit(samples);
 }
 
+std::vector<hdc::IntHV> Encoder::encode_batch(
+    std::span<const std::vector<float>> samples, ThreadPool& pool) const {
+  std::vector<hdc::IntHV> out(samples.size());
+  pool.parallel_for(samples.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i)
+                        out[i] = encode(samples[i]);
+                    });
+  return out;
+}
+
 std::string_view to_string(EncoderKind kind) {
   switch (kind) {
     case EncoderKind::kRp: return "rp";

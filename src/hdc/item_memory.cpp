@@ -8,6 +8,10 @@ ItemMemory::ItemMemory(std::size_t dims, std::uint64_t seed)
     : dims_(dims), seed_(seed) {}
 
 const BinaryHV& ItemMemory::get(std::size_t key) const {
+  // The lock covers both the growth and the read: deque::push_back never
+  // invalidates existing elements, but indexing concurrently with growth is
+  // still a data race. Returned references stay valid after unlock.
+  std::lock_guard<std::mutex> lock(mu_);
   if (key >= table_.size()) {
     // Extend deterministically: entry k always comes from stream seed_+k,
     // independent of access order.

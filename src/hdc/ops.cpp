@@ -1,5 +1,6 @@
 #include "hdc/ops.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace generic::hdc {
@@ -39,6 +40,70 @@ BinaryHV bind_sequence(std::span<const BinaryHV> symbols) {
   for (std::size_t i = n - 1; i-- > 0;)
     out ^= symbols[i].rotated(n - 1 - i);
   return out;
+}
+
+namespace {
+
+/// popcount(a ^ b) over one word span; the compiler unrolls/vectorizes the
+/// fixed-stride loop, and the 4-way accumulators break the popcount
+/// dependency chain.
+std::size_t xor_popcount_span(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  std::size_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<std::size_t>(popcount64(a[i] ^ b[i]));
+    s1 += static_cast<std::size_t>(popcount64(a[i + 1] ^ b[i + 1]));
+    s2 += static_cast<std::size_t>(popcount64(a[i + 2] ^ b[i + 2]));
+    s3 += static_cast<std::size_t>(popcount64(a[i + 3] ^ b[i + 3]));
+  }
+  for (; i < n; ++i)
+    s0 += static_cast<std::size_t>(popcount64(a[i] ^ b[i]));
+  return s0 + s1 + s2 + s3;
+}
+
+}  // namespace
+
+std::size_t hamming_blocked(const BinaryHV& a, const BinaryHV& b) {
+  if (a.dims() != b.dims())
+    throw std::invalid_argument("hamming_blocked: dimension mismatch");
+  const auto wa = a.words();
+  const auto wb = b.words();
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < wa.size(); t += kHammingTileWords) {
+    const std::size_t len = std::min(kHammingTileWords, wa.size() - t);
+    total += xor_popcount_span(wa.data() + t, wb.data() + t, len);
+  }
+  return total;
+}
+
+std::vector<std::size_t> hamming_many(const BinaryHV& query,
+                                      std::span<const BinaryHV> refs) {
+  std::vector<std::size_t> out(refs.size(), 0);
+  const auto qw = query.words();
+  // Tile-major: one query tile is streamed against every row before the
+  // next tile is touched, so the query words stay cache-resident even when
+  // refs holds thousands of rows.
+  for (std::size_t t = 0; t < qw.size(); t += kHammingTileWords) {
+    const std::size_t len = std::min(kHammingTileWords, qw.size() - t);
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      if (refs[r].dims() != query.dims())
+        throw std::invalid_argument("hamming_many: dimension mismatch");
+      out[r] +=
+          xor_popcount_span(qw.data() + t, refs[r].words().data() + t, len);
+    }
+  }
+  return out;
+}
+
+std::size_t nearest_hamming(const BinaryHV& query,
+                            std::span<const BinaryHV> refs) {
+  if (refs.empty()) throw std::invalid_argument("nearest_hamming: empty");
+  const auto dists = hamming_many(query, refs);
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < dists.size(); ++r)
+    if (dists[r] < dists[best]) best = r;
+  return best;
 }
 
 }  // namespace generic::hdc

@@ -105,6 +105,88 @@ void HdcClassifier::fit(std::span<const hdc::IntHV> encoded,
     if (retrain_epoch(encoded, labels) == 0) break;
 }
 
+void HdcClassifier::train_batch(std::span<const hdc::IntHV> encoded,
+                                std::span<const int> labels,
+                                ThreadPool& pool) {
+  if (encoded.size() != labels.size())
+    throw std::invalid_argument("train_batch: size mismatch");
+  const auto grid = ThreadPool::chunk_grid(encoded.size(), pool.lanes());
+  // One private set of class accumulators per chunk; parallel_for hands
+  // chunk c exactly grid[c], so partials[c] is written by a single lane.
+  std::vector<std::vector<hdc::IntHV>> partials(
+      grid.size(), std::vector<hdc::IntHV>(num_classes_, hdc::IntHV(dims_, 0)));
+  pool.parallel_for(encoded.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t c) {
+                      auto& local = partials[c];
+                      for (std::size_t i = begin; i < end; ++i)
+                        hdc::add_into(
+                            local.at(static_cast<std::size_t>(labels[i])),
+                            encoded[i]);
+                    });
+  for (auto& cls : classes_) std::fill(cls.begin(), cls.end(), 0);
+  // Fixed chunk-index merge order; integer addition makes the result
+  // independent of the split anyway — byte-identical to train_init().
+  for (const auto& local : partials)
+    for (std::size_t c = 0; c < num_classes_; ++c)
+      hdc::add_into(classes_[c], local[c]);
+  recompute_norms();
+}
+
+std::size_t HdcClassifier::retrain_epoch_parallel(
+    std::span<const hdc::IntHV> encoded, std::span<const int> labels,
+    ThreadPool& pool) {
+  if (encoded.size() != labels.size())
+    throw std::invalid_argument("retrain_epoch_parallel: size mismatch");
+  std::vector<double> scores(num_classes_, 0.0);
+  std::size_t updates = 0;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    // Fan the per-class scoring out; each class's score is computed by the
+    // exact expression predict() uses, so the fixed-order argmax below
+    // reproduces predict(encoded[i]) bit-for-bit.
+    pool.parallel_for(num_classes_,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t c = begin; c < end; ++c)
+                          scores[c] =
+                              score(encoded[i], c, dims_, NormMode::kUpdated);
+                      });
+    int pred = 0;
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      if (scores[c] > best) {
+        best = scores[c];
+        pred = static_cast<int>(c);
+      }
+    }
+    const int truth = labels[i];
+    if (pred == truth) continue;
+    ++updates;
+    hdc::add_into(classes_.at(static_cast<std::size_t>(pred)), encoded[i], -1);
+    hdc::add_into(classes_.at(static_cast<std::size_t>(truth)), encoded[i], +1);
+    recompute_norms(static_cast<std::size_t>(pred));
+    recompute_norms(static_cast<std::size_t>(truth));
+  }
+  return updates;
+}
+
+void HdcClassifier::fit_parallel(std::span<const hdc::IntHV> encoded,
+                                 std::span<const int> labels,
+                                 std::size_t epochs, ThreadPool& pool) {
+  train_batch(encoded, labels, pool);
+  for (std::size_t e = 0; e < epochs; ++e)
+    if (retrain_epoch_parallel(encoded, labels, pool) == 0) break;
+}
+
+std::vector<int> HdcClassifier::predict_batch(
+    std::span<const hdc::IntHV> queries, ThreadPool& pool) const {
+  std::vector<int> out(queries.size(), 0);
+  pool.parallel_for(queries.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i)
+                        out[i] = predict(queries[i]);
+                    });
+  return out;
+}
+
 void HdcClassifier::recompute_norms() {
   for (std::size_t c = 0; c < num_classes_; ++c) recompute_norms(c);
 }

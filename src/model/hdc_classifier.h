@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "hdc/hypervector.h"
 
 namespace generic::model {
@@ -58,6 +59,37 @@ class HdcClassifier {
   /// early when an epoch makes no update.
   void fit(std::span<const hdc::IntHV> encoded, std::span<const int> labels,
            std::size_t epochs);
+
+  // ---- Batched / parallel engine (docs/parallelism.md) ----
+  //
+  // Every method below is bit-identical to its serial counterpart for any
+  // pool lane count: sample fan-out writes indexed slots, and integer
+  // accumulator merges happen on the caller in fixed chunk order. The
+  // determinism contract is asserted by tests/model/test_parallel_determinism.
+
+  /// Parallel train_init: samples fan out in chunks, each chunk bundles
+  /// into its own per-class partial accumulators, and the partials are
+  /// merged in chunk-index order (integer adds — exact for any split).
+  void train_batch(std::span<const hdc::IntHV> encoded,
+                   std::span<const int> labels, ThreadPool& pool);
+
+  /// One retraining epoch equal to retrain_epoch(): samples stay strictly
+  /// sequential (each update feeds the next prediction), but the per-class
+  /// scoring of every sample fans out across the pool with a fixed-order
+  /// argmax on the caller.
+  std::size_t retrain_epoch_parallel(std::span<const hdc::IntHV> encoded,
+                                     std::span<const int> labels,
+                                     ThreadPool& pool);
+
+  /// Parallel fit(): train_batch + retrain_epoch_parallel epochs.
+  void fit_parallel(std::span<const hdc::IntHV> encoded,
+                    std::span<const int> labels, std::size_t epochs,
+                    ThreadPool& pool);
+
+  /// Batched inference: out[i] == predict(queries[i]); queries fan out
+  /// across the pool against the shared read-only model.
+  std::vector<int> predict_batch(std::span<const hdc::IntHV> queries,
+                                 ThreadPool& pool) const;
 
   /// Online adaptation: score one labelled encoding and, on a
   /// misprediction, apply the same subtract/add update as retraining.

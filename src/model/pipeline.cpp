@@ -10,6 +10,12 @@ std::vector<hdc::IntHV> encode_all(
   return out;
 }
 
+std::vector<hdc::IntHV> encode_all(const enc::Encoder& enc,
+                                   const std::vector<std::vector<float>>& xs,
+                                   ThreadPool& pool) {
+  return enc.encode_batch(xs, pool);
+}
+
 HdcRunResult run_hdc_classification(enc::Encoder& enc,
                                     const data::Dataset& ds,
                                     std::size_t epochs) {
@@ -32,6 +38,29 @@ HdcRunResult run_hdc_classification(enc::Encoder& enc,
     res.predictions.push_back(p);
     hits += p == ds.test_y[i];
   }
+  res.test_accuracy =
+      static_cast<double>(hits) / static_cast<double>(test_enc.size());
+  return res;
+}
+
+HdcRunResult run_hdc_classification(enc::Encoder& enc, const data::Dataset& ds,
+                                    std::size_t epochs, ThreadPool& pool) {
+  enc.fit(ds.train_x);
+  const auto train_enc = enc.encode_batch(ds.train_x, pool);
+  const auto test_enc = enc.encode_batch(ds.test_x, pool);
+
+  HdcClassifier model(enc.dims(), ds.num_classes);
+  model.train_batch(train_enc, ds.train_y, pool);
+  std::size_t epoch = 0;
+  for (; epoch < epochs; ++epoch)
+    if (model.retrain_epoch_parallel(train_enc, ds.train_y, pool) == 0) break;
+
+  HdcRunResult res;
+  res.epochs_run = epoch;
+  res.predictions = model.predict_batch(test_enc, pool);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < res.predictions.size(); ++i)
+    hits += res.predictions[i] == ds.test_y[i];
   res.test_accuracy =
       static_cast<double>(hits) / static_cast<double>(test_enc.size());
   return res;

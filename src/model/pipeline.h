@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "encoding/encoder.h"
 #include "model/hdc_classifier.h"
@@ -16,6 +17,11 @@ namespace generic::model {
 /// Encode every sample of `xs` with `enc` (already fitted).
 std::vector<hdc::IntHV> encode_all(
     const enc::Encoder& enc, const std::vector<std::vector<float>>& xs);
+
+/// Pooled variant: fan samples across `pool`; bit-identical output.
+std::vector<hdc::IntHV> encode_all(const enc::Encoder& enc,
+                                   const std::vector<std::vector<float>>& xs,
+                                   ThreadPool& pool);
 
 struct HdcRunResult {
   double test_accuracy = 0.0;
@@ -28,5 +34,11 @@ struct HdcRunResult {
 HdcRunResult run_hdc_classification(enc::Encoder& enc,
                                     const data::Dataset& ds,
                                     std::size_t epochs = 20);
+
+/// Pooled end-to-end run: encode_batch + train_batch/retrain_epoch_parallel
+/// + predict_batch. Produces byte-identical HdcRunResult (accuracy, epoch
+/// count and every prediction) to the serial overload for any lane count.
+HdcRunResult run_hdc_classification(enc::Encoder& enc, const data::Dataset& ds,
+                                    std::size_t epochs, ThreadPool& pool);
 
 }  // namespace generic::model

@@ -50,7 +50,51 @@ void append_double(std::string& out, double v) {
   out += buf;
 }
 
+/// Per-trial outcome collected by the Monte Carlo fan-out.
+struct TrialOutcome {
+  double accuracy = 0.0;
+  double blocks_masked = 0.0;
+};
+
+/// Reduce one cell's trials in trial-index order. Min/max/mean/stddev over
+/// the same values in the same order — byte-identical statistics whether
+/// the trials ran serially or across a pool.
+CampaignCell aggregate_cell(FaultKind kind, double rate,
+                            const std::vector<TrialOutcome>& trials) {
+  CampaignCell cell;
+  cell.kind = kind;
+  cell.rate = rate;
+  const auto n = static_cast<double>(trials.size());
+  double lo = 1.0, hi = 0.0, sum = 0.0, masked_sum = 0.0;
+  for (const auto& t : trials) {
+    lo = std::min(lo, t.accuracy);
+    hi = std::max(hi, t.accuracy);
+    sum += t.accuracy;
+    masked_sum += t.blocks_masked;
+  }
+  cell.mean_accuracy = sum / n;
+  // Two-pass variance: exact zero for identical trials, unlike the
+  // cancellation-prone E[x^2] - E[x]^2 form.
+  double ss = 0.0;
+  for (const auto& t : trials)
+    ss += (t.accuracy - cell.mean_accuracy) * (t.accuracy - cell.mean_accuracy);
+  cell.stddev_accuracy = std::sqrt(ss / n);
+  cell.min_accuracy = lo;
+  cell.max_accuracy = hi;
+  cell.mean_blocks_masked = masked_sum / n;
+  return cell;
+}
+
 }  // namespace
+
+std::string_view fault_target_name(FaultTarget target) {
+  switch (target) {
+    case FaultTarget::kClassMemory: return "class_memory";
+    case FaultTarget::kLevelMemory: return "level_memory";
+    case FaultTarget::kIdSeed: return "id_seed";
+  }
+  return "?";
+}
 
 CampaignResult run_campaign(const model::HdcClassifier& model,
                             std::span<const hdc::IntHV> encoded,
@@ -75,50 +119,115 @@ CampaignResult run_campaign(const model::HdcClassifier& model,
   std::optional<BlockGuard> guard;
   if (cfg.degrade) guard = BlockGuard::commission(model);
 
+  // Monte Carlo fan-out: each trial is a pure function of its
+  // (kind, rate, trial) indices — a private Rng, a private model copy, a
+  // read-only evaluation set — so trials spread across the pool freely and
+  // aggregate_cell() reduces them in trial-index order.
+  ThreadPool pool(cfg.threads == 0 ? 1 : cfg.threads);
+
   for (std::size_t ki = 0; ki < cfg.kinds.size(); ++ki) {
     for (std::size_t ri = 0; ri < cfg.rates.size(); ++ri) {
-      CampaignCell cell;
-      cell.kind = cfg.kinds[ki];
-      cell.rate = cfg.rates[ri];
-      std::vector<double> accs;
-      accs.reserve(cfg.trials);
-      double lo = 1.0, hi = 0.0;
-      double masked_sum = 0.0;
+      const FaultKind kind = cfg.kinds[ki];
+      const double rate = cfg.rates[ri];
+      const auto trials = pool.parallel_map<TrialOutcome>(
+          cfg.trials, [&](std::size_t t) {
+            Rng rng(trial_seed(cfg.seed, ki, ri, t));
+            model::HdcClassifier faulty = model;
+            inject(faulty, FaultSpec{kind, rate}, rng);
+            TrialOutcome out;
+            if (cfg.degrade) {
+              const auto ok = guard->scan(faulty);
+              const auto masked = static_cast<std::size_t>(
+                  std::count(ok.begin(), ok.end(), false));
+              out.blocks_masked = static_cast<double>(masked);
+              // When every block is flagged (saturating corruption) masking
+              // would leave nothing to score; fall back to raw inference.
+              out.accuracy = masked == ok.size()
+                                 ? evaluate(faulty, encoded, labels)
+                                 : evaluate_masked(faulty, ok, encoded, labels);
+            } else {
+              out.accuracy = evaluate(faulty, encoded, labels);
+            }
+            return out;
+          });
+      res.cells.push_back(aggregate_cell(kind, rate, trials));
+    }
+  }
+  return res;
+}
+
+CampaignResult run_encoder_campaign(enc::GenericEncoder& encoder,
+                                    const model::HdcClassifier& model,
+                                    std::span<const std::vector<float>> samples,
+                                    std::span<const int> labels,
+                                    const CampaignConfig& cfg,
+                                    FaultTarget target) {
+  if (samples.size() != labels.size() || samples.empty())
+    throw std::invalid_argument("run_encoder_campaign: bad evaluation set");
+  if (cfg.trials == 0 || cfg.kinds.empty() || cfg.rates.empty())
+    throw std::invalid_argument("run_encoder_campaign: empty sweep");
+  if (target == FaultTarget::kClassMemory)
+    throw std::invalid_argument(
+        "run_encoder_campaign: use run_campaign for the class memory");
+  if (cfg.degrade)
+    throw std::invalid_argument(
+        "run_encoder_campaign: BlockGuard degrades the class memory only");
+
+  ThreadPool pool(cfg.threads == 0 ? 1 : cfg.threads);
+
+  CampaignResult res;
+  res.seed = cfg.seed;
+  res.trials = cfg.trials;
+  res.dims = model.dims();
+  res.classes = model.num_classes();
+  res.chunk = model.dims() / model.num_chunks();
+  res.bit_width = model.bit_width();
+  res.degrade = false;
+  res.target = target;
+  res.samples = samples.size();
+
+  auto evaluate_encoder = [&] {
+    const auto encoded = encoder.encode_batch(samples, pool);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < encoded.size(); ++i)
+      hits += model.predict(encoded[i]) == labels[i];
+    return static_cast<double>(hits) / static_cast<double>(encoded.size());
+  };
+  res.baseline_accuracy = evaluate_encoder();
+
+  // Commissioned (golden) encoder memory contents, restored after every
+  // trial so faults never accumulate across the sweep.
+  auto& levels = encoder.mutable_level_memory();
+  auto& ids = encoder.mutable_id_memory();
+  std::vector<hdc::BinaryHV> golden_levels;
+  golden_levels.reserve(levels.num_levels());
+  for (std::size_t l = 0; l < levels.num_levels(); ++l)
+    golden_levels.push_back(levels.level(l));
+  const hdc::BinaryHV golden_seed = ids.seed_id();
+
+  for (std::size_t ki = 0; ki < cfg.kinds.size(); ++ki) {
+    for (std::size_t ri = 0; ri < cfg.rates.size(); ++ri) {
+      const FaultKind kind = cfg.kinds[ki];
+      const double rate = cfg.rates[ri];
+      std::vector<TrialOutcome> trials(cfg.trials);
+      // Trials share the mutable encoder, so they stay sequential; the
+      // per-trial re-encoding inside evaluate_encoder() is where the pool
+      // fans out.
       for (std::size_t t = 0; t < cfg.trials; ++t) {
         Rng rng(trial_seed(cfg.seed, ki, ri, t));
-        model::HdcClassifier faulty = model;
-        inject(faulty, FaultSpec{cell.kind, cell.rate}, rng);
-        double acc;
-        if (cfg.degrade) {
-          const auto ok = guard->scan(faulty);
-          const auto masked = static_cast<std::size_t>(
-              std::count(ok.begin(), ok.end(), false));
-          masked_sum += static_cast<double>(masked);
-          // When every block is flagged (saturating corruption) masking
-          // would leave nothing to score; fall back to raw inference.
-          acc = masked == ok.size()
-                    ? evaluate(faulty, encoded, labels)
-                    : evaluate_masked(faulty, ok, encoded, labels);
+        const FaultSpec spec{kind, rate};
+        if (target == FaultTarget::kLevelMemory) {
+          for (std::size_t l = 0; l < levels.num_levels(); ++l)
+            inject(levels.mutable_level(l), spec, rng);
         } else {
-          acc = evaluate(faulty, encoded, labels);
+          inject(ids.mutable_seed_id(), spec, rng);
         }
-        accs.push_back(acc);
-        lo = std::min(lo, acc);
-        hi = std::max(hi, acc);
+        trials[t].accuracy = evaluate_encoder();
+        for (std::size_t l = 0; l < levels.num_levels(); ++l)
+          levels.mutable_level(l) = golden_levels[l];
+        ids.mutable_seed_id() = golden_seed;
       }
-      const auto n = static_cast<double>(cfg.trials);
-      double sum = 0.0;
-      for (double a : accs) sum += a;
-      cell.mean_accuracy = sum / n;
-      // Two-pass variance: exact zero for identical trials, unlike the
-      // cancellation-prone E[x^2] - E[x]^2 form.
-      double ss = 0.0;
-      for (double a : accs) ss += (a - cell.mean_accuracy) * (a - cell.mean_accuracy);
-      cell.stddev_accuracy = std::sqrt(ss / n);
-      cell.min_accuracy = lo;
-      cell.max_accuracy = hi;
-      cell.mean_blocks_masked = masked_sum / n;
-      res.cells.push_back(cell);
+      res.cells.push_back(aggregate_cell(kind, rate, trials));
     }
   }
   return res;
@@ -137,6 +246,9 @@ std::string campaign_to_json(const CampaignResult& result) {
   out += "  \"bit_width\": " + std::to_string(result.bit_width) + ",\n";
   out += std::string("  \"degrade\": ") +
          (result.degrade ? "true" : "false") + ",\n";
+  out += "  \"target\": \"";
+  out += fault_target_name(result.target);
+  out += "\",\n";
   out += "  \"samples\": " + std::to_string(result.samples) + ",\n";
   out += "  \"baseline_accuracy\": ";
   append_double(out, result.baseline_accuracy);

@@ -1,0 +1,165 @@
+// ThreadPool contract tests: the determinism guarantees every batched API
+// builds on (chunk_grid purity, indexed parallel_map slots), plus the
+// edge-case behaviour documented in thread_pool.h — serial inline path,
+// nested calls degrade to inline, exceptions rethrow on the caller.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace generic {
+namespace {
+
+TEST(ChunkGrid, CoversRangeExactlyOnceInOrder) {
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 100u, 1000u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 16u, 100u}) {
+      const auto grid = ThreadPool::chunk_grid(n, parts);
+      std::size_t expect_begin = 0;
+      for (const auto& [begin, end] : grid) {
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_LT(begin, end);
+        expect_begin = end;
+      }
+      EXPECT_EQ(expect_begin, n) << "n=" << n << " parts=" << parts;
+      EXPECT_LE(grid.size(), std::min(n, parts));
+    }
+  }
+}
+
+TEST(ChunkGrid, NearEqualSizesFirstChunksGetExtra) {
+  const auto grid = ThreadPool::chunk_grid(10, 4);  // 3,3,2,2
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].second - grid[0].first, 3u);
+  EXPECT_EQ(grid[1].second - grid[1].first, 3u);
+  EXPECT_EQ(grid[2].second - grid[2].first, 2u);
+  EXPECT_EQ(grid[3].second - grid[3].first, 2u);
+}
+
+TEST(ChunkGrid, PureFunctionOfInputs) {
+  EXPECT_EQ(ThreadPool::chunk_grid(1000, 7), ThreadPool::chunk_grid(1000, 7));
+}
+
+TEST(ThreadPool, ZeroLanesPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.lanes(), 1u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  for (std::size_t lanes : {1u, 2u, 7u, 16u}) {
+    ThreadPool pool(lanes);
+    const std::size_t n = 257;  // not a multiple of any lane count above
+    std::vector<std::atomic<int>> visits(n);
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(visits[i].load(), 1) << "lanes=" << lanes << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, ChunkIndexMatchesGridPosition) {
+  ThreadPool pool(4);
+  const std::size_t n = 103;
+  const auto grid = ThreadPool::chunk_grid(n, pool.lanes());
+  std::vector<std::pair<std::size_t, std::size_t>> seen(grid.size());
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end,
+                           std::size_t chunk) {
+    seen[chunk] = {begin, end};  // indexed slot — no lock needed
+  });
+  EXPECT_EQ(seen, grid);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  for (std::size_t lanes : {1u, 2u, 7u, 16u}) {
+    ThreadPool pool(lanes);
+    const auto out =
+        pool.parallel_map<std::size_t>(1000, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t begin, std::size_t end, std::size_t c) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    EXPECT_EQ(c, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t begin, std::size_t, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("chunk 0");
+                        }),
+      std::runtime_error);
+  // Pool must stay usable after a failed job.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A nested call on the same pool must not deadlock; it degrades to
+      // inline execution on the worker.
+      pool.parallel_for(4, [&](std::size_t b, std::size_t e, std::size_t) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ThreadPool, ManyMoreChunksRequestedThanElements) {
+  ThreadPool pool(16);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) sum.fetch_add(i + 1);
+  });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPool, BackToBackJobsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    const auto out = pool.parallel_map<int>(
+        17, [round](std::size_t i) { return static_cast<int>(i) + round; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], static_cast<int>(i) + round);
+  }
+}
+
+TEST(GlobalPool, StartsSerialAndResizes) {
+  // The global pool starts with 1 lane; resizing is idempotent.
+  set_global_threads(1);
+  EXPECT_EQ(global_pool().lanes(), 1u);
+  set_global_threads(3);
+  EXPECT_EQ(global_pool().lanes(), 3u);
+  set_global_threads(3);
+  EXPECT_EQ(global_pool().lanes(), 3u);
+  set_global_threads(1);  // restore the serial default for other tests
+  EXPECT_EQ(global_pool().lanes(), 1u);
+}
+
+}  // namespace
+}  // namespace generic

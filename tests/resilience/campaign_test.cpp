@@ -140,5 +140,145 @@ TEST(Campaign, RejectsDegenerateInputs) {
                std::invalid_argument);
 }
 
+TEST(Campaign, ThreadedTrialsProduceByteIdenticalJson) {
+  // Trial seeds depend only on (kind, rate, trial) indices and statistics
+  // reduce in trial-index order, so any lane count — including pools far
+  // wider than the trial count — yields the serial JSON byte for byte.
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kTransient, FaultKind::kDeadBlock};
+  cfg.rates = {0.0, 1e-3, 0.05};
+  cfg.trials = 4;
+  cfg.seed = 99;
+  cfg.threads = 1;
+  const auto serial = campaign_to_json(
+      run_campaign(rig().clf, rig().test, rig().ds.test_y, cfg));
+  for (std::size_t threads : {2u, 7u, 16u}) {
+    cfg.threads = threads;
+    const auto threaded = campaign_to_json(
+        run_campaign(rig().clf, rig().test, rig().ds.test_y, cfg));
+    EXPECT_EQ(threaded, serial) << "threads=" << threads;
+  }
+}
+
+TEST(Campaign, ThreadedDegradePathIsDeterministicToo) {
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kDeadBlock};
+  cfg.rates = {0.25};
+  cfg.trials = 3;
+  cfg.seed = 31;
+  cfg.degrade = true;
+  cfg.threads = 1;
+  const auto serial = campaign_to_json(
+      run_campaign(rig().clf, rig().test, rig().ds.test_y, cfg));
+  cfg.threads = 5;
+  const auto threaded = campaign_to_json(
+      run_campaign(rig().clf, rig().test, rig().ds.test_y, cfg));
+  EXPECT_EQ(threaded, serial);
+}
+
+// ---- Encoder-memory campaign (level rows / id seed) -----------------------
+
+CampaignConfig encoder_cfg() {
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kTransient, FaultKind::kStuckAt1};
+  cfg.rates = {0.0, 1e-3, 0.05};
+  cfg.trials = 2;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+TEST(EncoderCampaign, LevelMemoryZeroRateEqualsBaseline) {
+  auto cfg = encoder_cfg();
+  const auto res =
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kLevelMemory);
+  EXPECT_EQ(res.target, FaultTarget::kLevelMemory);
+  ASSERT_EQ(res.cells.size(), cfg.kinds.size() * cfg.rates.size());
+  for (std::size_t ki = 0; ki < cfg.kinds.size(); ++ki) {
+    const auto& zero_cell = res.cells[ki * cfg.rates.size()];
+    EXPECT_DOUBLE_EQ(zero_cell.rate, 0.0);
+    EXPECT_DOUBLE_EQ(zero_cell.mean_accuracy, res.baseline_accuracy);
+    EXPECT_DOUBLE_EQ(zero_cell.stddev_accuracy, 0.0);
+  }
+}
+
+TEST(EncoderCampaign, RestoresEncoderStateAfterSweep) {
+  // The sweep corrupts the shared encoder in place; after it returns the
+  // commissioned memories must be back, so a fresh encoding matches one
+  // taken before the campaign.
+  const auto before = model::encode_all(*rig().encoder, rig().ds.test_x);
+  auto cfg = encoder_cfg();
+  (void)run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                             rig().ds.test_y, cfg, FaultTarget::kLevelMemory);
+  (void)run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                             rig().ds.test_y, cfg, FaultTarget::kIdSeed);
+  const auto after = model::encode_all(*rig().encoder, rig().ds.test_x);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]) << "sample " << i;
+}
+
+TEST(EncoderCampaign, DeterministicAcrossRunsAndThreads) {
+  auto cfg = encoder_cfg();
+  cfg.threads = 1;
+  const auto a = campaign_to_json(
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kIdSeed));
+  const auto b = campaign_to_json(
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kIdSeed));
+  EXPECT_EQ(a, b);
+  cfg.threads = 7;
+  const auto threaded = campaign_to_json(
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kIdSeed));
+  EXPECT_EQ(threaded, a);
+}
+
+TEST(EncoderCampaign, HighRateLevelFaultsHurtAccuracy) {
+  // Saturating the level rows with stuck-at-1 faults must visibly damage
+  // accuracy — the encoder campaign actually flows through the encoder.
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kStuckAt1};
+  cfg.rates = {0.5};
+  cfg.trials = 2;
+  cfg.seed = 7;
+  const auto res =
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kLevelMemory);
+  EXPECT_LT(res.cells[0].mean_accuracy, res.baseline_accuracy);
+}
+
+TEST(EncoderCampaign, JsonCarriesTargetField) {
+  auto cfg = encoder_cfg();
+  cfg.kinds = {FaultKind::kTransient};
+  cfg.rates = {1e-3};
+  const auto json = campaign_to_json(
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kLevelMemory));
+  EXPECT_NE(json.find("\"target\": \"level_memory\""), std::string::npos);
+  // The class-memory runner stamps its own target name.
+  CampaignConfig ccfg;
+  ccfg.kinds = {FaultKind::kTransient};
+  ccfg.rates = {0.0};
+  ccfg.trials = 1;
+  const auto cjson = campaign_to_json(
+      run_campaign(rig().clf, rig().test, rig().ds.test_y, ccfg));
+  EXPECT_NE(cjson.find("\"target\": \"class_memory\""), std::string::npos);
+}
+
+TEST(EncoderCampaign, RejectsUnsupportedModes) {
+  auto cfg = encoder_cfg();
+  EXPECT_THROW(
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kClassMemory),
+      std::invalid_argument);
+  cfg.degrade = true;
+  EXPECT_THROW(
+      run_encoder_campaign(*rig().encoder, rig().clf, rig().ds.test_x,
+                           rig().ds.test_y, cfg, FaultTarget::kLevelMemory),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace generic::resilience

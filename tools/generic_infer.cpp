@@ -4,7 +4,8 @@
 //                 [--labeled] [--label-col=-1] [--binary]
 //                 [--fault-campaign [--fault-kinds=transient,dead_block]
 //                  [--fault-rates=0,1e-4,1e-3,1e-2] [--fault-trials=5]
-//                  [--fault-seed=64023] [--degrade] [--fault-out=c.json]]
+//                  [--fault-seed=64023] [--degrade] [--fault-out=c.json]
+//                  [--threads=N]]
 //
 // With --labeled, the last column (or --label-col) holds ground truth and
 // accuracy is reported; otherwise one prediction per line is printed.
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
         "       [--labeled] [--label-col=-1] [--binary]\n"
         "       [--fault-campaign [--fault-kinds=...] [--fault-rates=...]\n"
         "        [--fault-trials=5] [--fault-seed=64023] [--degrade]\n"
-        "        [--fault-out=campaign.json]]\n");
+        "        [--fault-out=campaign.json] [--threads=N]]\n");
 
   try {
     const auto saved = model::load_model_file(model_path);
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
       cc.seed = static_cast<std::uint64_t>(
           tools::flag_size(argc, argv, "--fault-seed", 64023));
       cc.degrade = tools::has_flag(argc, argv, "--degrade");
+      // Trials fan out across the pool; the JSON is byte-identical for
+      // any thread count (see docs/parallelism.md).
+      cc.threads = tools::flag_size(argc, argv, "--threads", 1);
       const std::string kinds = tools::flag_value(argc, argv, "--fault-kinds");
       if (!kinds.empty()) {
         cc.kinds.clear();
