@@ -20,7 +20,9 @@
 using namespace generic;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  flags.done();
   const std::size_t dims = quick ? 1024 : 2048;
   const std::size_t epochs = quick ? 5 : 10;
   // A positional, a temporal and a sequence task: the three structural

@@ -1,76 +1,114 @@
 // Shared helpers for the table/figure harnesses: fixed-width table
-// printing, wall-clock timing, and simple flag parsing. Each bench binary
-// regenerates one table or figure of the paper (see DESIGN.md §2); output
-// is plain text shaped like the paper's rows so runs can be diffed against
-// EXPERIMENTS.md.
+// printing and strict flag parsing. Each bench binary regenerates one
+// table or figure of the paper (see DESIGN.md §2); output is plain text
+// shaped like the paper's rows so runs can be diffed against
+// EXPERIMENTS.md. Wall-clock timing lives in obs::Stopwatch (src/obs).
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
-#include <vector>
+
+#include "obs/obs.h"
 
 namespace generic::bench {
 
-class Timer {
+/// Strict command-line parser for the bench/tool harnesses. Flags are
+/// spelled `--key` or `--key=value` (plus the historical `--threads N`
+/// two-token spelling). Construction rejects positional arguments and the
+/// malformed `--key=` (empty value); done() rejects any flag no accessor
+/// asked about. Errors print to stderr and exit(2), so a typo'd sweep
+/// fails loudly instead of silently running with defaults.
+class Flags {
  public:
-  Timer() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(now - start_).count();
+  Flags(int argc, char** argv) : program_(argc > 0 ? argv[0] : "bench") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0 || arg.size() == 2)
+        die("unexpected argument '" + std::string(arg) +
+            "' (flags are --key or --key=value)");
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        if (eq + 1 == arg.size())
+          die("empty value in '" + std::string(arg) +
+              "' (use --key=value or drop the '=')");
+        values_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+      } else if (arg == "--threads" && i + 1 < argc &&
+                 is_number(argv[i + 1])) {
+        values_["--threads"] = argv[++i];
+      } else {
+        values_[std::string(arg)] = "";
+      }
+    }
+  }
+
+  /// True when `--flag` appears (bare or with a value).
+  bool has(std::string_view flag) {
+    requested_.insert(std::string(flag));
+    return values_.count(std::string(flag)) != 0;
+  }
+
+  /// Value of `--key=value`, or `fallback` when the flag is absent. A bare
+  /// `--key` with no value is an error for value-carrying flags.
+  std::string value(std::string_view key, std::string_view fallback) {
+    requested_.insert(std::string(key));
+    const auto it = values_.find(std::string(key));
+    if (it == values_.end()) return std::string(fallback);
+    if (it->second.empty())
+      die("flag '" + it->first + "' needs a value (use " + it->first +
+          "=...)");
+    return it->second;
+  }
+
+  /// Integer value of `--key=N`, or `fallback` when absent. Non-numeric
+  /// values are an error (the old parser silently fell back).
+  std::size_t size(std::string_view key, std::size_t fallback) {
+    const std::string v = value(key, "");
+    if (v.empty()) return fallback;
+    if (!is_number(v.c_str()))
+      die("flag '" + std::string(key) + "' needs an integer, got '" + v +
+          "'");
+    return static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+  }
+
+  /// Pool lane count from `--threads=N` / `--threads N`. Default 1 — every
+  /// bench stays serial, and therefore byte-identical to its pre-parallel
+  /// output, unless asked; 0 also means serial.
+  std::size_t threads() {
+    const std::size_t n = size("--threads", 1);
+    return n == 0 ? 1 : n;
+  }
+
+  /// Call after the last accessor: any parsed flag nothing asked about is
+  /// an unknown flag and aborts.
+  void done() {
+    for (const auto& [key, val] : values_) {
+      (void)val;
+      if (requested_.count(key) == 0) die("unknown flag '" + key + "'");
+    }
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  [[noreturn]] void die(const std::string& msg) const {
+    std::fprintf(stderr, "%s: error: %s\n", program_.c_str(), msg.c_str());
+    std::exit(2);
+  }
+
+  static bool is_number(const char* s) {
+    if (*s == '\0') return false;
+    for (; *s != '\0'; ++s)
+      if (*s < '0' || *s > '9') return false;
+    return true;
+  }
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> requested_;
 };
-
-/// True when `--flag` appears in argv.
-inline bool has_flag(int argc, char** argv, std::string_view flag) {
-  for (int i = 1; i < argc; ++i)
-    if (flag == argv[i]) return true;
-  return false;
-}
-
-/// Value of `--key=value`, or `fallback` when absent.
-inline std::string flag_value(int argc, char** argv, std::string_view key,
-                              std::string_view fallback) {
-  const std::string prefix = std::string(key) + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) return std::string(arg.substr(prefix.size()));
-  }
-  return std::string(fallback);
-}
-
-/// Integer value of `--key=value`, or `fallback` when absent/non-numeric.
-inline std::size_t flag_size(int argc, char** argv, std::string_view key,
-                             std::size_t fallback) {
-  const std::string v = flag_value(argc, argv, key, "");
-  if (v.empty()) return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
-  if (end == v.c_str() || *end != '\0') return fallback;
-  return static_cast<std::size_t>(parsed);
-}
-
-/// Pool lane count from --threads=N (supports the space-separated
-/// `--threads N` spelling too). Default 1 — every bench stays serial, and
-/// therefore byte-identical to its pre-parallel output, unless asked.
-inline std::size_t threads_flag(int argc, char** argv) {
-  const std::size_t eq = flag_size(argc, argv, "--threads", 0);
-  if (eq != 0) return eq;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string_view(argv[i]) == "--threads") {
-      char* end = nullptr;
-      const unsigned long long parsed = std::strtoull(argv[i + 1], &end, 10);
-      if (end != argv[i + 1] && *end == '\0' && parsed > 0)
-        return static_cast<std::size_t>(parsed);
-    }
-  }
-  return 1;
-}
 
 inline void print_rule(std::size_t width) {
   for (std::size_t i = 0; i < width; ++i) std::fputc('-', stdout);

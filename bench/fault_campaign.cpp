@@ -7,6 +7,7 @@
 //   fault_campaign [--quick] [--dataset=FACE] [--bw=8] [--trials=5]
 //                  [--seed=64023] [--degrade] [--out=campaign.json]
 //                  [--threads=N] [--target=class|level|id_seed]
+//                  [--trace=out.json] [--metrics=out.json]
 //
 // The qualitative claim this reproduces: HDC accuracy degrades gracefully
 // — monotonically, with no cliff — as the bit-error rate rises through
@@ -27,24 +28,28 @@
 #include "data/benchmarks.h"
 #include "encoding/encoders.h"
 #include "model/pipeline.h"
+#include "obs/export.h"
 #include "resilience/campaign.h"
 
 using namespace generic;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const std::string name = bench::flag_value(argc, argv, "--dataset", "FACE");
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const std::string name = flags.value("--dataset", "FACE");
   const std::size_t dims = quick ? 2048 : 4096;
   const std::size_t epochs = quick ? 5 : 20;
-  const int bw = static_cast<int>(
-      std::stoul(bench::flag_value(argc, argv, "--bw", "8")));
-  const auto trials = static_cast<std::size_t>(
-      std::stoul(bench::flag_value(argc, argv, "--trials", quick ? "3" : "5")));
+  const int bw = static_cast<int>(flags.size("--bw", 8));
+  const std::size_t trials = flags.size("--trials", quick ? 3 : 5);
   const auto seed = static_cast<std::uint64_t>(
-      std::stoull(bench::flag_value(argc, argv, "--seed", "64023")));
-  const std::string out_path = bench::flag_value(argc, argv, "--out", "");
-  const std::string target_name =
-      bench::flag_value(argc, argv, "--target", "class");
+      std::stoull(flags.value("--seed", "64023")));
+  const std::string out_path = flags.value("--out", "");
+  const std::string target_name = flags.value("--target", "class");
+  const bool degrade = flags.has("--degrade");
+  const std::size_t threads = flags.threads();
+  obs::Session obs_session(flags.value("--trace", ""),
+                           flags.value("--metrics", ""));
+  flags.done();
 
   resilience::FaultTarget target = resilience::FaultTarget::kClassMemory;
   if (target_name == "level") {
@@ -70,8 +75,8 @@ int main(int argc, char** argv) {
   resilience::CampaignConfig cc;
   cc.trials = trials;
   cc.seed = seed;
-  cc.degrade = bench::has_flag(argc, argv, "--degrade");
-  cc.threads = bench::threads_flag(argc, argv);
+  cc.degrade = degrade;
+  cc.threads = threads;
   cc.rates = {0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 0.03, 0.07};
 
   const auto result =

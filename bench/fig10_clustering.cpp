@@ -16,7 +16,8 @@
 
 using namespace generic;
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  bench::Flags(argc, argv).done();
   std::printf("Figure 10: clustering energy per input (uJ)\n");
   std::printf("%-14s %12s %14s %14s\n", "Dataset", "GENERIC", "K-means(CPU)",
               "K-means(R-Pi)");

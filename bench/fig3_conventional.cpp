@@ -27,7 +27,8 @@ struct Algo {
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  bench::Flags(argc, argv).done();
   const std::vector<Algo> algos{
       {"rp", true, ml::MlKind::kMlp, 0.4},
       {"level-id", true, ml::MlKind::kMlp, 0.5},

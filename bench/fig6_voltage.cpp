@@ -18,7 +18,9 @@
 using namespace generic;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  flags.done();
   const std::size_t dims = quick ? 2048 : 4096;
   const std::size_t epochs = quick ? 5 : 20;
   const int repeats = quick ? 1 : 3;  // injection seeds averaged

@@ -33,7 +33,8 @@ void print_breakdown(const char* title, const arch::Breakdown& b,
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  bench::Flags(argc, argv).done();
   arch::EnergyModel em;
   arch::CycleModel cm;
 

@@ -22,6 +22,7 @@
 #include "common/thread_pool.h"
 #include "data/benchmarks.h"
 #include "hwmodel/device.h"
+#include "obs/export.h"
 
 using namespace generic;
 
@@ -36,8 +37,12 @@ struct AppResult {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const std::size_t threads = bench::threads_flag(argc, argv);
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const std::size_t threads = flags.threads();
+  obs::Session obs_session(flags.value("--trace", ""),
+                           flags.value("--metrics", ""));
+  flags.done();
   const std::size_t dims = quick ? 2048 : 4096;
   const std::size_t epochs = quick ? 5 : 20;
 
@@ -45,10 +50,11 @@ int main(int argc, char** argv) {
   std::vector<AppResult> results(names.size());
   ThreadPool pool(threads);
 
-  bench::Timer timer;
+  obs::Stopwatch timer;
   pool.parallel_for(names.size(), [&](std::size_t begin, std::size_t end,
                                       std::size_t) {
     for (std::size_t i = begin; i < end; ++i) {
+      GENERIC_SPAN("fig8.app");
       const auto& name = names[i];
       const auto ds = data::make_benchmark(name);
       arch::AppSpec spec;
@@ -127,5 +133,6 @@ int main(int argc, char** argv) {
   std::printf("\nGENERIC average training power: %.2f mW\n",
               1e3 * geomean(asic_e) / geomean(asic_t));
   std::printf("[fig8] completed in %.1f s\n", timer.seconds());
+  obs_session.set_pool_stats(pool.stats());
   return 0;
 }

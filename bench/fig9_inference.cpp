@@ -28,6 +28,7 @@
 #include "common/thread_pool.h"
 #include "data/benchmarks.h"
 #include "hwmodel/device.h"
+#include "obs/export.h"
 
 using namespace generic;
 
@@ -43,8 +44,12 @@ struct AppResult {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const std::size_t threads = bench::threads_flag(argc, argv);
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const std::size_t threads = flags.threads();
+  obs::Session obs_session(flags.value("--trace", ""),
+                           flags.value("--metrics", ""));
+  flags.done();
   const std::size_t dims = 4096;
   const std::size_t epochs = quick ? 5 : 15;
 
@@ -53,8 +58,9 @@ int main(int argc, char** argv) {
   std::vector<AppResult> results(names.size());
   ThreadPool pool(threads);
 
-  bench::Timer timer;
+  obs::Stopwatch timer;
   auto run_app = [&](std::size_t app_index) {
+    GENERIC_SPAN("fig9.app");
     const auto& name = names[app_index];
     AppResult out;
     const auto ds = data::make_benchmark(name);
@@ -220,5 +226,6 @@ int main(int argc, char** argv) {
       100.0 * mean(base_acc), 100.0 * mean(lp_acc));
   std::printf("[fig9] completed in %.1f s (%zu thread%s)\n", timer.seconds(),
               threads, threads == 1 ? "" : "s");
+  obs_session.set_pool_stats(pool.stats());
   return 0;
 }

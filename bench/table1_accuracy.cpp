@@ -23,6 +23,7 @@
 #include "encoding/encoders.h"
 #include "ml/classifier.h"
 #include "model/pipeline.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -48,12 +49,15 @@ struct RowResult {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const bool hdc_only = bench::has_flag(argc, argv, "--hdc-only");
-  const bool ml_only = bench::has_flag(argc, argv, "--ml-only");
-  const std::size_t threads = bench::threads_flag(argc, argv);
-  const auto datasets =
-      parse_datasets(bench::flag_value(argc, argv, "--datasets", ""));
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const bool hdc_only = flags.has("--hdc-only");
+  const bool ml_only = flags.has("--ml-only");
+  const std::size_t threads = flags.threads();
+  const auto datasets = parse_datasets(flags.value("--datasets", ""));
+  obs::Session obs_session(flags.value("--trace", ""),
+                           flags.value("--metrics", ""));
+  flags.done();
 
   const std::size_t dims = quick ? 2048 : 4096;
   const std::size_t epochs = quick ? 10 : 20;
@@ -80,13 +84,14 @@ int main(int argc, char** argv) {
                               (hdc_only ? 0 : ml_kinds.size())));
 
   std::map<std::string, std::vector<double>> columns;
-  bench::Timer total;
+  obs::Stopwatch total;
 
   std::vector<RowResult> rows_out(datasets.size());
   ThreadPool pool(threads);
   pool.parallel_for(datasets.size(), [&](std::size_t begin, std::size_t end,
                                          std::size_t) {
     for (std::size_t di = begin; di < end; ++di) {
+      GENERIC_SPAN("table1.dataset");
       const auto& name = datasets[di];
       const auto ds = data::make_benchmark(name);
       RowResult& row = rows_out[di];
@@ -152,5 +157,6 @@ int main(int argc, char** argv) {
   print_agg("STDV", [](const std::vector<double>& v) { return stddev(v); });
 
   std::printf("\n[table1] completed in %.1f s\n", total.seconds());
+  obs_session.set_pool_stats(pool.stats());
   return 0;
 }

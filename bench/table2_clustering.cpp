@@ -19,7 +19,9 @@
 using namespace generic;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  flags.done();
   const std::size_t dims = quick ? 2048 : 4096;
 
   std::printf("Table 2: mutual information score of K-means and HDC\n");

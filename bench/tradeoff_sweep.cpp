@@ -18,11 +18,13 @@
 using namespace generic;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const std::string csv = flags.value("--datasets", "");
+  flags.done();
   const std::size_t full_dims = 4096;
   const std::size_t epochs = quick ? 5 : 15;
   std::vector<std::string> datasets{"ISOLET", "EMG", "PAGE"};
-  const std::string csv = bench::flag_value(argc, argv, "--datasets", "");
   if (!csv.empty()) {
     datasets.clear();
     std::stringstream ss(csv);

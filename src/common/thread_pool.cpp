@@ -15,9 +15,10 @@ thread_local bool t_inside_job = false;
 ThreadPool::ThreadPool(std::size_t lanes) {
   if (lanes == 0) lanes = std::thread::hardware_concurrency();
   lanes_ = lanes == 0 ? 1 : lanes;
+  lane_stats_ = std::vector<LaneCounters>(lanes_);
   workers_.reserve(lanes_ - 1);
   for (std::size_t i = 0; i + 1 < lanes_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -47,13 +48,14 @@ std::vector<std::pair<std::size_t, std::size_t>> ThreadPool::chunk_grid(
   return grid;
 }
 
-void ThreadPool::run_chunks(Job& job) {
+void ThreadPool::run_chunks(Job& job, LaneCounters& lane) {
   const bool was_inside = t_inside_job;
   t_inside_job = true;
   const std::size_t total = job.chunks.size();
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= total) break;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       const auto [begin, end] = job.chunks[c];
       (*job.fn)(begin, end, c);
@@ -61,6 +63,13 @@ void ThreadPool::run_chunks(Job& job) {
       std::lock_guard<std::mutex> lock(job.error_mu);
       if (!job.error) job.error = std::current_exception();
     }
+    lane.busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+    lane.chunks.fetch_add(1, std::memory_order_relaxed);
     job.done.fetch_add(1, std::memory_order_acq_rel);
   }
   t_inside_job = was_inside;
@@ -70,14 +79,28 @@ void ThreadPool::parallel_for(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  GENERIC_SPAN("pool.job");
   Job job;
   job.fn = &fn;
   job.chunks = chunk_grid(n, lanes_);
 
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+  chunks_total_.fetch_add(job.chunks.size(), std::memory_order_relaxed);
+  std::uint64_t prev_max = max_chunks_.load(std::memory_order_relaxed);
+  while (prev_max < job.chunks.size() &&
+         !max_chunks_.compare_exchange_weak(prev_max, job.chunks.size(),
+                                            std::memory_order_relaxed)) {
+  }
+  GENERIC_COUNTER_ADD("pool.jobs", 1);
+  GENERIC_COUNTER_ADD("pool.chunks", job.chunks.size());
+  GENERIC_GAUGE_MAX("pool.max_chunks_per_job", job.chunks.size());
+
   // Serial fast path: one lane, a one-chunk grid, or a nested call from a
   // worker lane. Same chunk grid, same chunk order, no synchronization.
+  // Chunk time lands on lane 0 even when the call is nested (the executing
+  // worker's own lane already times the enclosing outer chunk).
   if (lanes_ == 1 || job.chunks.size() == 1 || t_inside_job) {
-    run_chunks(job);
+    run_chunks(job, lane_stats_[0]);
     if (job.error) std::rethrow_exception(job.error);
     return;
   }
@@ -89,7 +112,7 @@ void ThreadPool::parallel_for(
   }
   work_cv_.notify_all();
 
-  run_chunks(job);  // the caller is a lane too
+  run_chunks(job, lane_stats_[0]);  // the caller is a lane too
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] {
@@ -102,7 +125,10 @@ void ThreadPool::parallel_for(
   if (job.error) std::rethrow_exception(job.error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane_index) {
+#if GENERIC_OBS_ENABLED
+  obs::set_current_thread_name("pool-worker-" + std::to_string(lane_index));
+#endif
   std::uint64_t seen_generation = 0;
   for (;;) {
     Job* job = nullptr;
@@ -116,13 +142,31 @@ void ThreadPool::worker_loop() {
       job = job_;
       ++attached_;
     }
-    run_chunks(*job);
+    run_chunks(*job, lane_stats_[lane_index]);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --attached_;
     }
     done_cv_.notify_one();
   }
+}
+
+obs::PoolStats ThreadPool::stats() const {
+  obs::PoolStats out;
+  out.lanes = lanes_;
+  out.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - created_)
+          .count());
+  out.jobs = jobs_.load(std::memory_order_relaxed);
+  out.chunks = chunks_total_.load(std::memory_order_relaxed);
+  out.max_chunks_per_job = max_chunks_.load(std::memory_order_relaxed);
+  out.per_lane.resize(lanes_);
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    out.per_lane[i].busy_ns = lane_stats_[i].busy_ns.load(std::memory_order_relaxed);
+    out.per_lane[i].chunks = lane_stats_[i].chunks.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 namespace {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -30,6 +31,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace generic {
 
@@ -72,6 +75,17 @@ class ThreadPool {
     return out;
   }
 
+  /// Cumulative execution statistics since construction (obs layer): jobs
+  /// and chunks run, the largest chunk grid posted, and per-lane busy time
+  /// plus chunk counts. Lane 0 is the calling thread; lanes 1..N-1 are the
+  /// workers. All counters are relaxed atomics maintained on the execution
+  /// path — reading them from any thread is race-free, and none of them
+  /// feed back into scheduling, so the determinism contract is untouched.
+  /// Caveat: chunks of a *nested* parallel_for execute inline inside an
+  /// outer chunk, so their time is attributed to the lane running the outer
+  /// chunk (busy time is wall time inside chunk bodies, not CPU time).
+  obs::PoolStats stats() const;
+
  private:
   struct Job {
     const std::function<void(std::size_t, std::size_t, std::size_t)>* fn;
@@ -82,11 +96,25 @@ class ThreadPool {
     std::mutex error_mu;
   };
 
-  void worker_loop();
-  static void run_chunks(Job& job);
+  /// Per-lane execution counters. Written by the executing lane with
+  /// relaxed atomics (chunks race-free under TSan); read by stats().
+  struct LaneCounters {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> chunks{0};
+  };
+
+  void worker_loop(std::size_t lane_index);
+  static void run_chunks(Job& job, LaneCounters& lane);
 
   std::size_t lanes_ = 1;
   std::vector<std::thread> workers_;
+
+  std::chrono::steady_clock::time_point created_ =
+      std::chrono::steady_clock::now();
+  std::vector<LaneCounters> lane_stats_;
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> chunks_total_{0};
+  std::atomic<std::uint64_t> max_chunks_{0};
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a job

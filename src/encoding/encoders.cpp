@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace generic::enc {
 
 void Encoder::fit(std::span<const std::vector<float>> samples) {
@@ -11,9 +13,12 @@ void Encoder::fit(std::span<const std::vector<float>> samples) {
 
 std::vector<hdc::IntHV> Encoder::encode_batch(
     std::span<const std::vector<float>> samples, ThreadPool& pool) const {
+  GENERIC_SPAN("encode.batch");
+  GENERIC_COUNTER_ADD("encode.samples", samples.size());
   std::vector<hdc::IntHV> out(samples.size());
   pool.parallel_for(samples.size(),
                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                      GENERIC_SPAN("encode.chunk");
                       for (std::size_t i = begin; i < end; ++i)
                         out[i] = encode(samples[i]);
                     });

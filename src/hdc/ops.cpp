@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace generic::hdc {
 
 BinaryHV threshold(const IntHV& v, std::int32_t thresh) {
@@ -67,6 +69,8 @@ std::size_t xor_popcount_span(const std::uint64_t* a, const std::uint64_t* b,
 std::size_t hamming_blocked(const BinaryHV& a, const BinaryHV& b) {
   if (a.dims() != b.dims())
     throw std::invalid_argument("hamming_blocked: dimension mismatch");
+  GENERIC_COUNTER_ADD("ops.hamming.calls", 1);
+  GENERIC_COUNTER_ADD("ops.hamming.rows", 1);
   const auto wa = a.words();
   const auto wb = b.words();
   std::size_t total = 0;
@@ -79,6 +83,8 @@ std::size_t hamming_blocked(const BinaryHV& a, const BinaryHV& b) {
 
 std::vector<std::size_t> hamming_many(const BinaryHV& query,
                                       std::span<const BinaryHV> refs) {
+  GENERIC_COUNTER_ADD("ops.hamming.calls", 1);
+  GENERIC_COUNTER_ADD("ops.hamming.rows", refs.size());
   std::vector<std::size_t> out(refs.size(), 0);
   const auto qw = query.words();
   // Tile-major: one query tile is streamed against every row before the
@@ -99,6 +105,7 @@ std::vector<std::size_t> hamming_many(const BinaryHV& query,
 std::size_t nearest_hamming(const BinaryHV& query,
                             std::span<const BinaryHV> refs) {
   if (refs.empty()) throw std::invalid_argument("nearest_hamming: empty");
+  GENERIC_COUNTER_ADD("ops.nearest.calls", 1);
   const auto dists = hamming_many(query, refs);
   std::size_t best = 0;
   for (std::size_t r = 1; r < dists.size(); ++r)

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace generic::model {
 
 HdcClassifier::HdcClassifier(std::size_t dims, std::size_t num_classes,
@@ -21,6 +23,7 @@ HdcClassifier::HdcClassifier(std::size_t dims, std::size_t num_classes,
 
 void HdcClassifier::train_init(std::span<const hdc::IntHV> encoded,
                                std::span<const int> labels) {
+  GENERIC_SPAN("train.init");
   if (encoded.size() != labels.size())
     throw std::invalid_argument("train_init: size mismatch");
   for (auto& c : classes_) std::fill(c.begin(), c.end(), 0);
@@ -31,6 +34,7 @@ void HdcClassifier::train_init(std::span<const hdc::IntHV> encoded,
 
 std::size_t HdcClassifier::retrain_epoch(std::span<const hdc::IntHV> encoded,
                                          std::span<const int> labels) {
+  GENERIC_SPAN("train.epoch");
   if (encoded.size() != labels.size())
     throw std::invalid_argument("retrain_epoch: size mismatch");
   std::size_t updates = 0;
@@ -54,6 +58,7 @@ std::size_t HdcClassifier::retrain_epoch(std::span<const hdc::IntHV> encoded,
       chunk_norms_[static_cast<std::size_t>(truth)][k] = nr;
     }
   }
+  GENERIC_COUNTER_ADD("train.updates", updates);
   return updates;
 }
 
@@ -100,6 +105,7 @@ bool HdcClassifier::online_update_adaptive(const hdc::IntHV& encoded,
 
 void HdcClassifier::fit(std::span<const hdc::IntHV> encoded,
                         std::span<const int> labels, std::size_t epochs) {
+  GENERIC_SPAN("train.fit");
   train_init(encoded, labels);
   for (std::size_t e = 0; e < epochs; ++e)
     if (retrain_epoch(encoded, labels) == 0) break;
@@ -108,8 +114,10 @@ void HdcClassifier::fit(std::span<const hdc::IntHV> encoded,
 void HdcClassifier::train_batch(std::span<const hdc::IntHV> encoded,
                                 std::span<const int> labels,
                                 ThreadPool& pool) {
+  GENERIC_SPAN("train.batch");
   if (encoded.size() != labels.size())
     throw std::invalid_argument("train_batch: size mismatch");
+  GENERIC_COUNTER_ADD("train.samples", encoded.size());
   const auto grid = ThreadPool::chunk_grid(encoded.size(), pool.lanes());
   // One private set of class accumulators per chunk; parallel_for hands
   // chunk c exactly grid[c], so partials[c] is written by a single lane.
@@ -117,6 +125,7 @@ void HdcClassifier::train_batch(std::span<const hdc::IntHV> encoded,
       grid.size(), std::vector<hdc::IntHV>(num_classes_, hdc::IntHV(dims_, 0)));
   pool.parallel_for(encoded.size(),
                     [&](std::size_t begin, std::size_t end, std::size_t c) {
+                      GENERIC_SPAN("train.batch.chunk");
                       auto& local = partials[c];
                       for (std::size_t i = begin; i < end; ++i)
                         hdc::add_into(
@@ -135,6 +144,7 @@ void HdcClassifier::train_batch(std::span<const hdc::IntHV> encoded,
 std::size_t HdcClassifier::retrain_epoch_parallel(
     std::span<const hdc::IntHV> encoded, std::span<const int> labels,
     ThreadPool& pool) {
+  GENERIC_SPAN("train.epoch");
   if (encoded.size() != labels.size())
     throw std::invalid_argument("retrain_epoch_parallel: size mismatch");
   std::vector<double> scores(num_classes_, 0.0);
@@ -165,12 +175,14 @@ std::size_t HdcClassifier::retrain_epoch_parallel(
     recompute_norms(static_cast<std::size_t>(pred));
     recompute_norms(static_cast<std::size_t>(truth));
   }
+  GENERIC_COUNTER_ADD("train.updates", updates);
   return updates;
 }
 
 void HdcClassifier::fit_parallel(std::span<const hdc::IntHV> encoded,
                                  std::span<const int> labels,
                                  std::size_t epochs, ThreadPool& pool) {
+  GENERIC_SPAN("train.fit");
   train_batch(encoded, labels, pool);
   for (std::size_t e = 0; e < epochs; ++e)
     if (retrain_epoch_parallel(encoded, labels, pool) == 0) break;
@@ -178,9 +190,11 @@ void HdcClassifier::fit_parallel(std::span<const hdc::IntHV> encoded,
 
 std::vector<int> HdcClassifier::predict_batch(
     std::span<const hdc::IntHV> queries, ThreadPool& pool) const {
+  GENERIC_SPAN("predict.batch");
   std::vector<int> out(queries.size(), 0);
   pool.parallel_for(queries.size(),
                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                      GENERIC_SPAN("predict.chunk");
                       for (std::size_t i = begin; i < end; ++i)
                         out[i] = predict(queries[i]);
                     });
@@ -264,6 +278,7 @@ int HdcClassifier::predict_masked(const hdc::IntHV& query,
 }
 
 int HdcClassifier::predict(const hdc::IntHV& query) const {
+  GENERIC_COUNTER_ADD("predict.queries", 1);
   return predict_reduced(query, dims_, NormMode::kUpdated);
 }
 

@@ -1,5 +1,7 @@
 #include "model/pipeline.h"
 
+#include "obs/obs.h"
+
 namespace generic::model {
 
 std::vector<hdc::IntHV> encode_all(
@@ -19,16 +21,28 @@ std::vector<hdc::IntHV> encode_all(const enc::Encoder& enc,
 HdcRunResult run_hdc_classification(enc::Encoder& enc,
                                     const data::Dataset& ds,
                                     std::size_t epochs) {
-  enc.fit(ds.train_x);
-  const auto train_enc = encode_all(enc, ds.train_x);
-  const auto test_enc = encode_all(enc, ds.test_x);
+  GENERIC_SPAN("pipeline.run");
+  {
+    GENERIC_SPAN("pipeline.fit_quantizer");
+    enc.fit(ds.train_x);
+  }
+  std::vector<hdc::IntHV> train_enc, test_enc;
+  {
+    GENERIC_SPAN("pipeline.encode");
+    train_enc = encode_all(enc, ds.train_x);
+    test_enc = encode_all(enc, ds.test_x);
+  }
 
   HdcClassifier model(enc.dims(), ds.num_classes);
-  model.train_init(train_enc, ds.train_y);
   std::size_t epoch = 0;
-  for (; epoch < epochs; ++epoch)
-    if (model.retrain_epoch(train_enc, ds.train_y) == 0) break;
+  {
+    GENERIC_SPAN("pipeline.train");
+    model.train_init(train_enc, ds.train_y);
+    for (; epoch < epochs; ++epoch)
+      if (model.retrain_epoch(train_enc, ds.train_y) == 0) break;
+  }
 
+  GENERIC_SPAN("pipeline.predict");
   HdcRunResult res;
   res.epochs_run = epoch;
   res.predictions.reserve(test_enc.size());
@@ -45,16 +59,28 @@ HdcRunResult run_hdc_classification(enc::Encoder& enc,
 
 HdcRunResult run_hdc_classification(enc::Encoder& enc, const data::Dataset& ds,
                                     std::size_t epochs, ThreadPool& pool) {
-  enc.fit(ds.train_x);
-  const auto train_enc = enc.encode_batch(ds.train_x, pool);
-  const auto test_enc = enc.encode_batch(ds.test_x, pool);
+  GENERIC_SPAN("pipeline.run");
+  {
+    GENERIC_SPAN("pipeline.fit_quantizer");
+    enc.fit(ds.train_x);
+  }
+  std::vector<hdc::IntHV> train_enc, test_enc;
+  {
+    GENERIC_SPAN("pipeline.encode");
+    train_enc = enc.encode_batch(ds.train_x, pool);
+    test_enc = enc.encode_batch(ds.test_x, pool);
+  }
 
   HdcClassifier model(enc.dims(), ds.num_classes);
-  model.train_batch(train_enc, ds.train_y, pool);
   std::size_t epoch = 0;
-  for (; epoch < epochs; ++epoch)
-    if (model.retrain_epoch_parallel(train_enc, ds.train_y, pool) == 0) break;
+  {
+    GENERIC_SPAN("pipeline.train");
+    model.train_batch(train_enc, ds.train_y, pool);
+    for (; epoch < epochs; ++epoch)
+      if (model.retrain_epoch_parallel(train_enc, ds.train_y, pool) == 0) break;
+  }
 
+  GENERIC_SPAN("pipeline.predict");
   HdcRunResult res;
   res.epochs_run = epoch;
   res.predictions = model.predict_batch(test_enc, pool);

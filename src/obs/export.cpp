@@ -1,0 +1,291 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace generic::obs {
+namespace {
+
+/// Same fixed-format doubles as the campaign JSON: round-trippable,
+/// locale-independent.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// `"key": value` map body from sorted (name, value) pairs.
+void append_u64_map(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::uint64_t>>& values) {
+  out += "{";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": " + std::to_string(v);
+  }
+  if (!first) out += "\n  ";
+  out += "}";
+}
+
+const StageStats* find_stage(const MetricsSnapshot& snap,
+                             std::string_view name) {
+  for (const auto& [n, s] : snap.stages)
+    if (n == name) return &s;
+  return nullptr;
+}
+
+std::uint64_t find_counter(const MetricsSnapshot& snap,
+                           std::string_view name) {
+  for (const auto& [n, v] : snap.counters)
+    if (n == name) return v;
+  return 0;
+}
+
+}  // namespace
+
+MetricsSnapshot collect_metrics() {
+  Registry& reg = Registry::instance();
+  MetricsSnapshot snap;
+  snap.wall_time_s = ns_to_s(reg.now_ns());
+  snap.peak_rss_bytes = peak_rss_bytes();
+  snap.dropped_spans = reg.dropped_spans();
+  snap.counters = reg.counter_values();
+  snap.gauges = reg.gauge_values();
+  snap.stages = reg.stage_stats();
+  return snap;
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(2048);
+  out += "{\n";
+  out += "  \"schema\": \"generic.metrics.v1\",\n";
+  out += std::string("  \"obs_enabled\": ") +
+         (snap.enabled ? "true" : "false") + ",\n";
+  out += "  \"wall_time_s\": ";
+  append_double(out, snap.wall_time_s);
+  out += ",\n  \"peak_rss_bytes\": " + std::to_string(snap.peak_rss_bytes);
+  out += ",\n  \"dropped_spans\": " + std::to_string(snap.dropped_spans);
+
+  out += ",\n  \"counters\": ";
+  append_u64_map(out, snap.counters);
+  out += ",\n  \"gauges\": ";
+  append_u64_map(out, snap.gauges);
+
+  out += ",\n  \"stages\": [";
+  for (std::size_t i = 0; i < snap.stages.size(); ++i) {
+    const auto& [name, s] = snap.stages[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, name);
+    out += ", \"calls\": " + std::to_string(s.calls);
+    out += ", \"total_s\": ";
+    append_double(out, ns_to_s(s.total_ns));
+    out += ", \"mean_s\": ";
+    append_double(out, s.calls == 0 ? 0.0
+                                    : ns_to_s(s.total_ns) /
+                                          static_cast<double>(s.calls));
+    out += ", \"min_s\": ";
+    append_double(out, ns_to_s(s.min_ns));
+    out += ", \"max_s\": ";
+    append_double(out, ns_to_s(s.max_ns));
+    out += "}";
+  }
+  out += snap.stages.empty() ? "]" : "\n  ]";
+
+  // Derived throughput: emitted only when both the counter and the stage
+  // that times it are present, so consumers can rely on presence == valid.
+  struct Derived {
+    const char* key;
+    const char* counter;
+    const char* stage;
+  };
+  static constexpr Derived kDerived[] = {
+      {"encode.samples_per_s", "encode.samples", "encode.batch"},
+      {"predict.queries_per_s", "predict.queries", "predict.batch"},
+      {"train.samples_per_s", "train.samples", "train.batch"},
+      {"campaign.trials_per_s", "campaign.trials", "campaign.trial"},
+  };
+  out += ",\n  \"derived\": {";
+  bool first = true;
+  for (const auto& d : kDerived) {
+    const StageStats* s = find_stage(snap, d.stage);
+    const std::uint64_t c = find_counter(snap, d.counter);
+    if (s == nullptr || s->total_ns == 0 || c == 0) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, d.key);
+    out += ": ";
+    append_double(out, static_cast<double>(c) / ns_to_s(s->total_ns));
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"thread_pool\": ";
+  if (!snap.pool.has_value()) {
+    out += "null";
+  } else {
+    const PoolStats& p = *snap.pool;
+    out += "{\n";
+    out += "    \"lanes\": " + std::to_string(p.lanes) + ",\n";
+    out += "    \"wall_s\": ";
+    append_double(out, ns_to_s(p.wall_ns));
+    out += ",\n    \"jobs\": " + std::to_string(p.jobs) + ",\n";
+    out += "    \"chunks_executed\": " + std::to_string(p.chunks) + ",\n";
+    out += "    \"max_chunks_per_job\": " +
+           std::to_string(p.max_chunks_per_job) + ",\n";
+    out += "    \"workers\": [";
+    for (std::size_t i = 0; i < p.per_lane.size(); ++i) {
+      const auto& lane = p.per_lane[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "      {\"lane\": " + std::to_string(i);
+      out += ", \"busy_s\": ";
+      append_double(out, ns_to_s(lane.busy_ns));
+      out += ", \"idle_s\": ";
+      append_double(out, ns_to_s(p.wall_ns > lane.busy_ns
+                                     ? p.wall_ns - lane.busy_ns
+                                     : 0));
+      out += ", \"chunks\": " + std::to_string(lane.chunks);
+      out += "}";
+    }
+    out += p.per_lane.empty() ? "]" : "\n    ]";
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string trace_to_json() {
+  Registry& reg = Registry::instance();
+  const auto events = reg.trace_events();
+  const auto tracks = reg.track_names();
+  std::string out;
+  out.reserve(256 + events.size() * 96);
+  out += "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& [track, name] : tracks) {
+    out += first ? "" : ",\n";
+    first = false;
+    out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(track) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    append_json_string(out, name);
+    out += "}}";
+  }
+  char buf[64];
+  for (const auto& e : events) {
+    out += first ? "" : ",\n";
+    first = false;
+    out += "{\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(e.track) +
+           ", \"name\": ";
+    append_json_string(out, e.name);
+    out += ", \"cat\": \"generic\", \"ts\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.start_ns) * 1e-3);
+    out += buf;
+    out += ", \"dur\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.end_ns - e.start_ns) * 1e-3);
+    out += buf;
+    out += "}";
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n";
+  out += "\"otherData\": {\"schema\": \"generic.trace.v1\", \"dropped_spans\": " +
+         std::to_string(reg.dropped_spans()) + "}\n}\n";
+  return out;
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << content;
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace
+
+void write_metrics_json(const std::string& path,
+                        const MetricsSnapshot& snapshot) {
+  write_file(path, metrics_to_json(snapshot));
+}
+
+void write_trace_json(const std::string& path) {
+  write_file(path, trace_to_json());
+}
+
+Session::Session(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty() || !metrics_path_.empty())
+    set_current_thread_name("main");
+  if (!trace_path_.empty()) set_tracing(true);
+  if (!metrics_path_.empty()) set_metrics(true);
+}
+
+Session::~Session() {
+  try {
+    if (!trace_path_.empty()) {
+      write_trace_json(trace_path_);
+      std::fprintf(stderr, "trace written to %s\n", trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      MetricsSnapshot snap = collect_metrics();
+      snap.pool = std::move(pool_);
+      write_metrics_json(metrics_path_, snap);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path_.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs: export failed: %s\n", e.what());
+  }
+  set_tracing(false);
+  set_metrics(false);
+}
+
+}  // namespace generic::obs

@@ -1,0 +1,71 @@
+// Exporters over the obs Registry: Chrome trace-event JSON (--trace,
+// loadable in Perfetto / chrome://tracing) and the stable
+// generic.metrics.v1 snapshot (--metrics). See docs/observability.md for
+// the schema reference and span taxonomy.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace generic::obs {
+
+/// Everything the metrics exporter reports, gathered at one instant.
+struct MetricsSnapshot {
+  double wall_time_s = 0.0;        ///< process wall time (registry epoch)
+  std::uint64_t peak_rss_bytes = 0;  ///< getrusage high-water mark
+  bool enabled = GENERIC_OBS_ENABLED != 0;
+  std::uint64_t dropped_spans = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+  std::vector<std::pair<std::string, StageStats>> stages;
+  /// Detailed per-lane stats of one pool (ThreadPool::stats()), when the
+  /// harness injected them; the aggregate pool.* counters are always there.
+  std::optional<PoolStats> pool;
+};
+
+/// Collect a snapshot from the process-wide registry.
+MetricsSnapshot collect_metrics();
+
+/// Render the snapshot as schema `generic.metrics.v1` JSON. Field order is
+/// fixed and numeric formatting locale-independent: the same snapshot
+/// always renders to the same bytes.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Render every recorded span as a Chrome trace-event JSON document with
+/// one track per recording thread.
+std::string trace_to_json();
+
+void write_metrics_json(const std::string& path,
+                        const MetricsSnapshot& snapshot);
+void write_trace_json(const std::string& path);
+
+/// RAII harness hook: construction turns collection on for the outputs that
+/// were requested (empty path == not requested); destruction writes the
+/// files. Usage:
+///
+///   obs::Session session(flags.value("--trace", ""),
+///                        flags.value("--metrics", ""));
+///   ...
+///   session.set_pool_stats(pool.stats());   // optional detail
+///
+/// Write errors are reported on stderr, never thrown (the measurement must
+/// not take the run down with it).
+class Session {
+ public:
+  Session(std::string trace_path, std::string metrics_path);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  void set_pool_stats(PoolStats stats) { pool_ = std::move(stats); }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::optional<PoolStats> pool_;
+};
+
+}  // namespace generic::obs

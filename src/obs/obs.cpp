@@ -1,0 +1,292 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace generic::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_metrics{false};
+
+/// True when any collection is on — the one load a disabled span pays.
+bool collection_enabled() {
+  return g_tracing.load(std::memory_order_relaxed) ||
+         g_metrics.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+void set_tracing(bool on) { g_tracing.store(on, std::memory_order_relaxed); }
+bool metrics_enabled() { return g_metrics.load(std::memory_order_relaxed); }
+void set_metrics(bool on) { g_metrics.store(on, std::memory_order_relaxed); }
+
+// ---- Thread buffer --------------------------------------------------------
+
+namespace {
+
+/// Per-thread recording buffer. The owning thread appends under buf_mu
+/// (uncontended except while the registry snapshots); the registry drains
+/// it at snapshot time and absorbs it at thread exit.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::uint32_t track = 0;
+  std::string name;
+  std::vector<SpanEvent> spans;
+  // Stage aggregates keyed by the literal's address; distinct literals with
+  // equal text merge later, at snapshot time, by string value.
+  std::map<const char*, StageStats> stages;
+  std::uint64_t dropped = 0;
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  std::mutex mu;  // guards everything below
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::vector<ThreadBuffer*> live;  // registered thread buffers
+  std::uint32_t next_track = 0;
+  // Data absorbed from exited threads.
+  std::vector<SpanEvent> retired_spans;
+  std::map<std::string, StageStats> retired_stages;
+  std::vector<std::pair<std::uint32_t, std::string>> retired_names;
+  std::uint64_t retired_dropped = 0;
+
+  void register_buffer(ThreadBuffer* b) {
+    std::lock_guard<std::mutex> lock(mu);
+    b->track = next_track++;
+    b->name = "thread-" + std::to_string(b->track);
+    live.push_back(b);
+  }
+
+  void retire_buffer(ThreadBuffer* b) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::lock_guard<std::mutex> block(b->mu);
+    retired_spans.insert(retired_spans.end(), b->spans.begin(), b->spans.end());
+    for (const auto& [name, agg] : b->stages) merge_stage(retired_stages, name, agg);
+    if (!b->spans.empty() || !b->stages.empty())
+      retired_names.emplace_back(b->track, b->name);
+    retired_dropped += b->dropped;
+    live.erase(std::remove(live.begin(), live.end(), b), live.end());
+  }
+
+  static void merge_stage(std::map<std::string, StageStats>& into,
+                          std::string_view name, const StageStats& s) {
+    auto [it, fresh] = into.try_emplace(std::string(name), s);
+    if (fresh) return;
+    StageStats& t = it->second;
+    t.min_ns = std::min(t.min_ns, s.min_ns);
+    t.max_ns = std::max(t.max_ns, s.max_ns);
+    t.calls += s.calls;
+    t.total_ns += s.total_ns;
+  }
+};
+
+namespace {
+
+/// Owns the calling thread's buffer; flushes into the registry on thread
+/// exit. Defined after Registry::Impl so it can reach retire_buffer().
+struct ThreadBufferOwner {
+  ThreadBuffer buf;
+  Registry::Impl* impl;
+  explicit ThreadBufferOwner(Registry::Impl* i) : impl(i) {
+    impl->register_buffer(&buf);
+  }
+  ~ThreadBufferOwner() { impl->retire_buffer(&buf); }
+};
+
+}  // namespace
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::instance() {
+  // Leaked on purpose (see header): thread_local buffer destructors may run
+  // after any static destructor in another TU.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+namespace {
+
+ThreadBuffer& local_buffer(Registry::Impl* impl) {
+  thread_local ThreadBufferOwner owner(impl);
+  return owner.buf;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end())
+    it = impl_->counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end())
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  return *it->second;
+}
+
+std::uint64_t Registry::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+void Registry::record_span(const char* name, std::uint64_t start_ns,
+                           std::uint64_t end_ns) {
+  ThreadBuffer& buf = local_buffer(impl_);
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (tracing_enabled()) {
+    if (buf.spans.size() < kMaxSpansPerThread) {
+      buf.spans.push_back(SpanEvent{name, start_ns, end_ns, buf.track});
+    } else {
+      ++buf.dropped;
+    }
+  }
+  if (metrics_enabled()) {
+    const std::uint64_t dur = end_ns - start_ns;
+    auto [it, fresh] = buf.stages.try_emplace(
+        name, StageStats{1, dur, dur, dur});
+    if (!fresh) {
+      StageStats& s = it->second;
+      ++s.calls;
+      s.total_ns += dur;
+      s.min_ns = std::min(s.min_ns, dur);
+      s.max_ns = std::max(s.max_ns, dur);
+    }
+  }
+}
+
+void Registry::set_current_thread_name(std::string name) {
+  ThreadBuffer& buf = local_buffer(impl_);
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.name = std::move(name);
+}
+
+std::vector<SpanEvent> Registry::trace_events() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    out = impl_->retired_spans;
+    for (ThreadBuffer* b : impl_->live) {
+      std::lock_guard<std::mutex> block(b->mu);
+      out.insert(out.end(), b->spans.begin(), b->spans.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.track != b.track) return a.track < b.track;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.end_ns != b.end_ns) return a.end_ns > b.end_ns;  // parents first
+    return std::string_view(a.name) < std::string_view(b.name);
+  });
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Registry::track_names()
+    const {
+  std::vector<std::pair<std::uint32_t, std::string>> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    out = impl_->retired_names;
+    for (ThreadBuffer* b : impl_->live) {
+      std::lock_guard<std::mutex> block(b->mu);
+      out.emplace_back(b->track, b->name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, StageStats>> Registry::stage_stats() const {
+  std::map<std::string, StageStats> merged;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    merged = impl_->retired_stages;
+    for (ThreadBuffer* b : impl_->live) {
+      std::lock_guard<std::mutex> block(b->mu);
+      for (const auto& [name, agg] : b->stages)
+        Impl::merge_stage(merged, name, agg);
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters)
+    out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::gauge_values()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges)
+    out.emplace_back(name, g->value());
+  return out;
+}
+
+std::uint64_t Registry::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t total = impl_->retired_dropped;
+  for (ThreadBuffer* b : impl_->live) {
+    std::lock_guard<std::mutex> block(b->mu);
+    total += b->dropped;
+  }
+  return total;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset_value();
+  for (auto& [name, g] : impl_->gauges) g->reset_value();
+  impl_->retired_spans.clear();
+  impl_->retired_stages.clear();
+  impl_->retired_names.clear();
+  impl_->retired_dropped = 0;
+  for (ThreadBuffer* b : impl_->live) {
+    std::lock_guard<std::mutex> block(b->mu);
+    b->spans.clear();
+    b->stages.clear();
+    b->dropped = 0;
+  }
+}
+
+void set_current_thread_name(std::string name) {
+  Registry::instance().set_current_thread_name(std::move(name));
+}
+
+// ---- ScopedSpan -----------------------------------------------------------
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(collection_enabled() ? name : nullptr) {
+  if (name_ != nullptr) start_ns_ = Registry::instance().now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  Registry& reg = Registry::instance();
+  reg.record_span(name_, start_ns_, reg.now_ns());
+}
+
+}  // namespace generic::obs

@@ -1,0 +1,257 @@
+// Observability core: scoped spans, named counters/gauges, and a
+// process-wide Registry the exporters (obs/export.h) read.
+//
+// Design (docs/observability.md):
+//  * Zero feedback into computation — spans and counters record what the
+//    engine did; they never influence what it does. An instrumented run is
+//    bit-identical to an uninstrumented one, which is what lets --trace /
+//    --metrics coexist with the parallel-engine determinism contract
+//    (docs/parallelism.md). Asserted by tests/model/test_parallel_determinism.
+//  * Low overhead — collection is off by default; a disabled ScopedSpan is
+//    one relaxed atomic load. Span records go to thread-local buffers
+//    (per-buffer mutex, uncontended on the hot path) flushed into the
+//    Registry at snapshot time or thread exit, so there is no global lock
+//    on the recording path. Counters are single relaxed fetch_adds on
+//    registry-owned atomics, cached per call site by the macros below.
+//  * Compile-out — configuring with -DGENERIC_OBS=OFF defines
+//    GENERIC_OBS_ENABLED=0 and every macro becomes a no-op expression; the
+//    Registry and exporters still compile (they just see nothing) so
+//    --trace/--metrics flags keep working and emit empty-but-valid files.
+//
+// Span names and counter names must be string literals (or otherwise have
+// static storage duration): the registry stores the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef GENERIC_OBS_ENABLED
+#define GENERIC_OBS_ENABLED 1
+#endif
+
+namespace generic::obs {
+
+// ---- Runtime switches -----------------------------------------------------
+
+/// Individual span events are recorded for the Chrome-trace exporter.
+bool tracing_enabled();
+void set_tracing(bool on);
+
+/// Per-name stage aggregates (calls / total / min / max) are maintained for
+/// the generic.metrics.v1 exporter.
+bool metrics_enabled();
+void set_metrics(bool on);
+
+// ---- Wall-clock helpers ---------------------------------------------------
+
+/// Monotonic wall-clock stopwatch — the one timer every bench binary
+/// shares (replaces the per-binary hand-rolled Timer).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---- Counters and gauges --------------------------------------------------
+
+/// Monotonic event counter. add() is a relaxed fetch_add — safe from any
+/// thread, never ordered against the data it counts.
+class Counter {
+ public:
+  void add(std::uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset_value() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value / high-watermark gauge.
+class Gauge {
+ public:
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raise the gauge to `v` if it is below it (CAS max).
+  void max_of(std::uint64_t v) {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset_value() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// ---- Records the registry aggregates --------------------------------------
+
+/// One completed span, as the trace exporter sees it.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< since Registry epoch
+  std::uint64_t end_ns = 0;
+  std::uint32_t track = 0;  ///< per-thread track id (trace "tid")
+};
+
+/// Per-name aggregate of every finished span with that name.
+struct StageStats {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Thread-pool execution statistics (filled by ThreadPool::stats()). Lane 0
+/// is the calling thread; lanes 1..N-1 are the pool's worker threads. Kept
+/// here (not in thread_pool.h) so the exporters need no dependency on the
+/// pool itself.
+struct PoolStats {
+  std::size_t lanes = 0;
+  std::uint64_t wall_ns = 0;  ///< since pool construction
+  std::uint64_t jobs = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t max_chunks_per_job = 0;
+  struct Lane {
+    std::uint64_t busy_ns = 0;  ///< time spent executing chunks
+    std::uint64_t chunks = 0;
+  };
+  std::vector<Lane> per_lane;
+};
+
+// ---- Registry -------------------------------------------------------------
+
+class Registry {
+ public:
+  /// Process-wide instance. Intentionally leaked: thread-local span buffers
+  /// flush into it from thread destructors, which may run during static
+  /// teardown in another translation unit.
+  static Registry& instance();
+
+  /// Named counter / gauge, created on first use. The returned reference is
+  /// stable for the process lifetime — cache it (the macros do).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Nanoseconds since the registry was created (the trace epoch).
+  std::uint64_t now_ns() const;
+
+  /// Record a finished span on the calling thread's buffer. No-op unless
+  /// tracing or metrics collection is on (ScopedSpan already checks).
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t end_ns);
+
+  /// Name the calling thread's trace track ("main", "pool-worker-3", ...).
+  void set_current_thread_name(std::string name);
+
+  /// Every finished span so far, in deterministic order (track, then start
+  /// time, then end/name). Flushes live thread buffers.
+  std::vector<SpanEvent> trace_events() const;
+
+  /// Track id -> name for every thread that recorded anything.
+  std::vector<std::pair<std::uint32_t, std::string>> track_names() const;
+
+  /// Per-name aggregates over all threads (merged at call time).
+  std::vector<std::pair<std::string, StageStats>> stage_stats() const;
+
+  /// Snapshot of all counters / gauges, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, std::uint64_t>> gauge_values() const;
+
+  /// Spans dropped because a thread buffer hit its cap (kMaxSpansPerThread).
+  std::uint64_t dropped_spans() const;
+
+  /// Test support: zero every counter/gauge and drop all recorded spans and
+  /// aggregates (live thread buffers included). Not meant for production
+  /// paths — concurrent recorders may interleave.
+  void reset();
+
+  /// Hard cap on buffered span events per thread; beyond it spans are
+  /// counted as dropped instead of recorded (keeps a pathological trace
+  /// from exhausting memory).
+  static constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+
+  /// Implementation state; defined in obs.cpp. Public so the file-local
+  /// thread-buffer machinery there can name it — not part of the API.
+  struct Impl;
+
+ private:
+  Registry();
+  Impl* impl_;  // leaked with the registry
+};
+
+/// Convenience: Registry::instance().set_current_thread_name(name).
+void set_current_thread_name(std::string name);
+
+// ---- RAII span ------------------------------------------------------------
+
+/// Scoped wall-clock span. When neither tracing nor metrics collection is
+/// enabled at construction, both constructor and destructor are a single
+/// relaxed load + branch.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;  ///< nullptr when collection was off at construction
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace generic::obs
+
+// ---- Instrumentation macros ----------------------------------------------
+//
+// The only interface the instrumented code uses; compiled out entirely by
+// -DGENERIC_OBS=OFF. Names must be string literals.
+
+#if GENERIC_OBS_ENABLED
+
+#define GENERIC_OBS_CONCAT_INNER(a, b) a##b
+#define GENERIC_OBS_CONCAT(a, b) GENERIC_OBS_CONCAT_INNER(a, b)
+
+/// RAII span covering the rest of the enclosing scope.
+#define GENERIC_SPAN(name)                 \
+  ::generic::obs::ScopedSpan GENERIC_OBS_CONCAT(generic_obs_span_, \
+                                                __LINE__) { name }
+
+/// counter(name) += delta, with the Counter handle cached per call site.
+#define GENERIC_COUNTER_ADD(name, delta)                                 \
+  do {                                                                   \
+    static ::generic::obs::Counter& generic_obs_counter_ =              \
+        ::generic::obs::Registry::instance().counter(name);             \
+    generic_obs_counter_.add(static_cast<std::uint64_t>(delta));        \
+  } while (0)
+
+/// gauge(name) = max(gauge(name), value).
+#define GENERIC_GAUGE_MAX(name, value)                                   \
+  do {                                                                   \
+    static ::generic::obs::Gauge& generic_obs_gauge_ =                  \
+        ::generic::obs::Registry::instance().gauge(name);               \
+    generic_obs_gauge_.max_of(static_cast<std::uint64_t>(value));       \
+  } while (0)
+
+#else  // GENERIC_OBS_ENABLED == 0
+
+#define GENERIC_SPAN(name) ((void)0)
+#define GENERIC_COUNTER_ADD(name, delta) ((void)(delta))
+#define GENERIC_GAUGE_MAX(name, value) ((void)(value))
+
+#endif  // GENERIC_OBS_ENABLED

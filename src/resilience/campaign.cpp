@@ -7,6 +7,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "resilience/block_guard.h"
 
 namespace generic::resilience {
@@ -114,7 +115,10 @@ CampaignResult run_campaign(const model::HdcClassifier& model,
   res.bit_width = model.bit_width();
   res.degrade = cfg.degrade;
   res.samples = encoded.size();
-  res.baseline_accuracy = evaluate(model, encoded, labels);
+  {
+    GENERIC_SPAN("campaign.baseline");
+    res.baseline_accuracy = evaluate(model, encoded, labels);
+  }
 
   std::optional<BlockGuard> guard;
   if (cfg.degrade) guard = BlockGuard::commission(model);
@@ -129,8 +133,11 @@ CampaignResult run_campaign(const model::HdcClassifier& model,
     for (std::size_t ri = 0; ri < cfg.rates.size(); ++ri) {
       const FaultKind kind = cfg.kinds[ki];
       const double rate = cfg.rates[ri];
+      GENERIC_SPAN("campaign.cell");
       const auto trials = pool.parallel_map<TrialOutcome>(
           cfg.trials, [&](std::size_t t) {
+            GENERIC_SPAN("campaign.trial");
+            GENERIC_COUNTER_ADD("campaign.trials", 1);
             Rng rng(trial_seed(cfg.seed, ki, ri, t));
             model::HdcClassifier faulty = model;
             inject(faulty, FaultSpec{kind, rate}, rng);
@@ -193,7 +200,10 @@ CampaignResult run_encoder_campaign(enc::GenericEncoder& encoder,
       hits += model.predict(encoded[i]) == labels[i];
     return static_cast<double>(hits) / static_cast<double>(encoded.size());
   };
-  res.baseline_accuracy = evaluate_encoder();
+  {
+    GENERIC_SPAN("campaign.baseline");
+    res.baseline_accuracy = evaluate_encoder();
+  }
 
   // Commissioned (golden) encoder memory contents, restored after every
   // trial so faults never accumulate across the sweep.
@@ -209,11 +219,14 @@ CampaignResult run_encoder_campaign(enc::GenericEncoder& encoder,
     for (std::size_t ri = 0; ri < cfg.rates.size(); ++ri) {
       const FaultKind kind = cfg.kinds[ki];
       const double rate = cfg.rates[ri];
+      GENERIC_SPAN("campaign.cell");
       std::vector<TrialOutcome> trials(cfg.trials);
       // Trials share the mutable encoder, so they stay sequential; the
       // per-trial re-encoding inside evaluate_encoder() is where the pool
       // fans out.
       for (std::size_t t = 0; t < cfg.trials; ++t) {
+        GENERIC_SPAN("campaign.trial");
+        GENERIC_COUNTER_ADD("campaign.trials", 1);
         Rng rng(trial_seed(cfg.seed, ki, ri, t));
         const FaultSpec spec{kind, rate};
         if (target == FaultTarget::kLevelMemory) {

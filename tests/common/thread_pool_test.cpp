@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -147,6 +148,105 @@ TEST(ThreadPool, BackToBackJobsReuseWorkers) {
     for (std::size_t i = 0; i < out.size(); ++i)
       ASSERT_EQ(out[i], static_cast<int>(i) + round);
   }
+}
+
+TEST(ThreadPoolStats, FreshPoolReportsZeros) {
+  ThreadPool pool(3);
+  const obs::PoolStats s = pool.stats();
+  EXPECT_EQ(s.lanes, 3u);
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_EQ(s.chunks, 0u);
+  EXPECT_EQ(s.max_chunks_per_job, 0u);
+  ASSERT_EQ(s.per_lane.size(), 3u);
+  for (const auto& lane : s.per_lane) {
+    EXPECT_EQ(lane.busy_ns, 0u);
+    EXPECT_EQ(lane.chunks, 0u);
+  }
+}
+
+TEST(ThreadPoolStats, ChunkAccountingMatchesChunkGrid) {
+  ThreadPool pool(4);
+  const std::size_t n = 103;
+  const std::size_t expected = ThreadPool::chunk_grid(n, pool.lanes()).size();
+  std::atomic<std::size_t> visited{0};
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+    visited.fetch_add(end - begin);
+  });
+  ASSERT_EQ(visited.load(), n);
+
+  const obs::PoolStats s = pool.stats();
+  EXPECT_EQ(s.jobs, 1u);
+  EXPECT_EQ(s.chunks, expected);
+  EXPECT_EQ(s.max_chunks_per_job, expected);
+  std::uint64_t lane_sum = 0;
+  for (const auto& lane : s.per_lane) lane_sum += lane.chunks;
+  EXPECT_EQ(lane_sum, expected)
+      << "every chunk must be attributed to exactly one lane";
+}
+
+TEST(ThreadPoolStats, SerialPathAttributesEverythingToLaneZero) {
+  ThreadPool pool(1);
+  pool.parallel_for(10, [](std::size_t, std::size_t, std::size_t) {});
+  pool.parallel_for(20, [](std::size_t, std::size_t, std::size_t) {});
+  const obs::PoolStats s = pool.stats();
+  EXPECT_EQ(s.jobs, 2u);
+  ASSERT_EQ(s.per_lane.size(), 1u);
+  EXPECT_EQ(s.per_lane[0].chunks, s.chunks);
+}
+
+TEST(ThreadPoolStats, MaxChunksPerJobIsAHighWatermark) {
+  ThreadPool pool(4);
+  pool.parallel_for(100, [](std::size_t, std::size_t, std::size_t) {});
+  pool.parallel_for(2, [](std::size_t, std::size_t, std::size_t) {});
+  const obs::PoolStats s = pool.stats();
+  const std::size_t big = ThreadPool::chunk_grid(100, 4).size();
+  const std::size_t small = ThreadPool::chunk_grid(2, 4).size();
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_EQ(s.chunks, big + small);
+  EXPECT_EQ(s.max_chunks_per_job, big);
+}
+
+TEST(ThreadPoolStats, BusyTimeCoversChunkBodies) {
+  // Each chunk body sleeps a known amount; the summed per-lane busy time
+  // must cover at least that much wall time (steady_clock measured inside
+  // the chunk wrapper) and stay below lanes x pool wall time.
+  ThreadPool pool(2);
+  constexpr auto kSleep = std::chrono::milliseconds(10);
+  constexpr std::size_t kElems = 4;
+  pool.parallel_for(kElems, [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+    for (std::size_t i = begin; i < end; ++i)
+      std::this_thread::sleep_for(kSleep);
+  });
+  const obs::PoolStats s = pool.stats();
+  std::uint64_t busy_sum = 0;
+  for (const auto& lane : s.per_lane) busy_sum += lane.busy_ns;
+  const std::uint64_t slept_ns =
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(kSleep)
+              .count()) *
+      kElems;
+  EXPECT_GE(busy_sum, slept_ns * 9 / 10);
+  EXPECT_LE(busy_sum, s.wall_ns * s.lanes);
+  EXPECT_GT(s.wall_ns, 0u);
+}
+
+TEST(ThreadPoolStats, ConcurrentStatsReadsAreRaceFree) {
+  // stats() must be safe to call from another thread while a job runs —
+  // the tsan preset turns any unsynchronized access into a failure.
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const obs::PoolStats s = pool.stats();
+      ASSERT_EQ(s.per_lane.size(), 4u);
+    }
+  });
+  for (int round = 0; round < 20; ++round)
+    pool.parallel_for(64, [](std::size_t, std::size_t, std::size_t) {});
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(pool.stats().jobs, 20u);
 }
 
 TEST(GlobalPool, StartsSerialAndResizes) {

@@ -1,0 +1,188 @@
+// Tests for the exporters (src/obs/export.h): the generic.metrics.v1 JSON
+// field order, the Chrome trace-event shape, derived-throughput emission
+// rules, and Session file writing / flag lifecycle.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace generic::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class ObsExport : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing(false);
+    set_metrics(false);
+    Registry::instance().reset();
+  }
+  void TearDown() override {
+    set_tracing(false);
+    set_metrics(false);
+    Registry::instance().reset();
+  }
+};
+
+TEST_F(ObsExport, MetricsJsonHasStableSchemaAndFieldOrder) {
+  MetricsSnapshot snap;
+  snap.wall_time_s = 1.5;
+  snap.peak_rss_bytes = 1024;
+  snap.dropped_spans = 0;
+  snap.counters = {{"encode.samples", 200}};
+  snap.gauges = {{"pool.max_chunks_per_job", 4}};
+  StageStats st;
+  st.calls = 2;
+  st.total_ns = 2'000'000'000ull;  // 2 s
+  st.min_ns = 900'000'000ull;
+  st.max_ns = 1'100'000'000ull;
+  snap.stages = {{"encode.batch", st}};
+
+  const std::string json = metrics_to_json(snap);
+  const char* keys_in_order[] = {
+      "\"schema\": \"generic.metrics.v1\"", "\"obs_enabled\"",
+      "\"wall_time_s\"",                    "\"peak_rss_bytes\": 1024",
+      "\"dropped_spans\": 0",               "\"counters\"",
+      "\"encode.samples\": 200",            "\"gauges\"",
+      "\"pool.max_chunks_per_job\": 4",     "\"stages\"",
+      "\"encode.batch\"",                   "\"calls\": 2",
+      "\"total_s\": 2",                     "\"mean_s\": 1",
+      "\"min_s\": 0.9",                     "\"max_s\": 1.1",
+      "\"derived\"",                        "\"thread_pool\"",
+  };
+  std::size_t pos = 0;
+  for (const char* key : keys_in_order) {
+    const std::size_t found = json.find(key, pos);
+    ASSERT_NE(found, std::string::npos) << "missing or out of order: " << key
+                                        << "\n" << json;
+    pos = found;
+  }
+  // encode.samples counter + encode.batch stage present => derived rate.
+  EXPECT_NE(json.find("\"encode.samples_per_s\": 100"), std::string::npos)
+      << json;
+  // No pool stats attached => explicit null, not an empty object.
+  EXPECT_NE(json.find("\"thread_pool\": null"), std::string::npos) << json;
+}
+
+TEST_F(ObsExport, DerivedRatesOnlyEmittedWhenBothSidesPresent) {
+  MetricsSnapshot snap;
+  snap.counters = {{"predict.queries", 50}};  // counter without its stage
+  StageStats st;
+  st.calls = 1;
+  st.total_ns = 1'000'000'000ull;
+  snap.stages = {{"train.batch", st}};  // stage without its counter
+  const std::string json = metrics_to_json(snap);
+  EXPECT_EQ(json.find("per_s"), std::string::npos) << json;
+}
+
+TEST_F(ObsExport, PoolStatsBlockListsEveryLane) {
+  MetricsSnapshot snap;
+  PoolStats pool;
+  pool.lanes = 2;
+  pool.wall_ns = 3'000'000'000ull;
+  pool.jobs = 5;
+  pool.chunks = 10;
+  pool.max_chunks_per_job = 2;
+  pool.per_lane = {{1'000'000'000ull, 6}, {500'000'000ull, 4}};
+  snap.pool = pool;
+  const std::string json = metrics_to_json(snap);
+  EXPECT_NE(json.find("\"lanes\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"jobs\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"chunks_executed\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_chunks_per_job\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lane\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lane\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"busy_s\": 1,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"busy_s\": 0.5,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"chunks\": 6"), std::string::npos) << json;
+}
+
+TEST_F(ObsExport, TraceJsonIsChromeTraceShaped) {
+  Registry& reg = Registry::instance();
+  set_tracing(true);
+  set_current_thread_name("obs-export-test");
+  reg.record_span("test.span", reg.now_ns(), reg.now_ns() + 1000);
+  const std::string json = trace_to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obs-export-test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"test.span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("generic.trace.v1"), std::string::npos) << json;
+}
+
+TEST_F(ObsExport, SessionEnablesCollectsAndWritesFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/obs_session_trace.json";
+  const std::string metrics_path = dir + "/obs_session_metrics.json";
+  {
+    Session session(trace_path, metrics_path);
+#if GENERIC_OBS_ENABLED
+    EXPECT_TRUE(tracing_enabled());
+    EXPECT_TRUE(metrics_enabled());
+#endif
+    GENERIC_SPAN("test.session_span");
+    GENERIC_COUNTER_ADD("test.session_counter", 1);
+  }
+  EXPECT_FALSE(tracing_enabled());
+  EXPECT_FALSE(metrics_enabled());
+
+  const std::string trace = slurp(trace_path);
+  const std::string metrics = slurp(metrics_path);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_NE(metrics.find("\"schema\": \"generic.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+#if GENERIC_OBS_ENABLED
+  EXPECT_NE(trace.find("test.session_span"), std::string::npos);
+  EXPECT_NE(metrics.find("\"test.session_counter\": 1"), std::string::npos);
+  EXPECT_NE(metrics.find("\"obs_enabled\": true"), std::string::npos);
+#else
+  EXPECT_NE(metrics.find("\"obs_enabled\": false"), std::string::npos);
+#endif
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(ObsExport, SessionWithoutPathsWritesNothingAndStaysOff) {
+  { Session session("", ""); }
+  EXPECT_FALSE(tracing_enabled());
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_TRUE(Registry::instance().trace_events().empty());
+}
+
+TEST_F(ObsExport, CollectMetricsReportsProcessFacts) {
+  set_metrics(true);
+  GENERIC_COUNTER_ADD("test.collect", 2);
+  const MetricsSnapshot snap = collect_metrics();
+  EXPECT_EQ(snap.enabled, GENERIC_OBS_ENABLED != 0);
+  EXPECT_GT(snap.peak_rss_bytes, 0u);
+#if GENERIC_OBS_ENABLED
+  bool found = false;
+  for (const auto& [name, v] : snap.counters)
+    if (name == "test.collect") {
+      found = true;
+      EXPECT_EQ(v, 2u);
+    }
+  EXPECT_TRUE(found);
+#endif
+}
+
+}  // namespace
+}  // namespace generic::obs

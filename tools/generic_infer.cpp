@@ -6,6 +6,7 @@
 //                  [--fault-rates=0,1e-4,1e-3,1e-2] [--fault-trials=5]
 //                  [--fault-seed=64023] [--degrade] [--fault-out=c.json]
 //                  [--threads=N]]
+//                 [--trace=out.json] [--metrics=out.json]
 //
 // With --labeled, the last column (or --label-col) holds ground truth and
 // accuracy is reported; otherwise one prediction per line is printed.
@@ -23,6 +24,7 @@
 #include "model/binary_model.h"
 #include "model/model_io.h"
 #include "model/pipeline.h"
+#include "obs/export.h"
 #include "resilience/campaign.h"
 #include "tools/cli_util.h"
 
@@ -37,7 +39,10 @@ int main(int argc, char** argv) {
         "       [--labeled] [--label-col=-1] [--binary]\n"
         "       [--fault-campaign [--fault-kinds=...] [--fault-rates=...]\n"
         "        [--fault-trials=5] [--fault-seed=64023] [--degrade]\n"
-        "        [--fault-out=campaign.json] [--threads=N]]\n");
+        "        [--fault-out=campaign.json] [--threads=N]]\n"
+        "       [--trace=out.json] [--metrics=out.json]\n");
+  obs::Session obs_session(tools::flag_value(argc, argv, "--trace"),
+                           tools::flag_value(argc, argv, "--metrics"));
 
   try {
     const auto saved = model::load_model_file(model_path);

@@ -3,7 +3,7 @@
 //   generic_train --data=train.csv --model=out.ghdc
 //                 [--dims=4096] [--levels=64] [--window=3] [--no-ids]
 //                 [--epochs=20] [--test-frac=0.25] [--label-col=-1]
-//                 [--seed=1]
+//                 [--seed=1] [--trace=out.json] [--metrics=out.json]
 //
 // CSV format: one row per sample, numeric features, integer class label in
 // the last column (or --label-col). A header line is auto-skipped. The
@@ -14,6 +14,7 @@
 #include "encoding/encoders.h"
 #include "model/model_io.h"
 #include "model/pipeline.h"
+#include "obs/export.h"
 #include "tools/cli_util.h"
 
 using namespace generic;
@@ -25,7 +26,10 @@ int main(int argc, char** argv) {
     tools::usage_exit(
         "usage: generic_train --data=train.csv --model=out.ghdc\n"
         "       [--dims=4096] [--levels=64] [--window=3] [--no-ids]\n"
-        "       [--epochs=20] [--test-frac=0.25] [--label-col=-1] [--seed=1]\n");
+        "       [--epochs=20] [--test-frac=0.25] [--label-col=-1] [--seed=1]\n"
+        "       [--trace=out.json] [--metrics=out.json]\n");
+  obs::Session obs_session(tools::flag_value(argc, argv, "--trace"),
+                           tools::flag_value(argc, argv, "--metrics"));
 
   try {
     auto samples = data::load_labeled_csv(
