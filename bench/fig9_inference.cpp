@@ -16,6 +16,7 @@
 // search, evaluation) out across a worker pool; each application writes an
 // indexed result slot and buffers its report line, so the printed output
 // is byte-identical to the serial run for any thread count.
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <string>
@@ -38,6 +39,9 @@ namespace {
 struct AppResult {
   double base_e = 0.0, lp_e = 0.0, base_acc = 0.0, lp_acc = 0.0;
   double rf_e = 0.0, svm_e = 0.0, dnn_e = 0.0, egpu_e = 0.0, tinyhd_e = 0.0;
+  double hw_energy_j = 0.0;   ///< total ASIC energy of the test-set runs
+  double hw_elapsed_s = 0.0;  ///< modeled wall-clock of the test-set runs
+  std::uint64_t hw_cycles = 0;
   std::string line;  ///< buffered per-app report, printed in fixed order
 };
 
@@ -115,6 +119,9 @@ int main(int argc, char** argv) {
     double acc = 0.0;
     out.base_e = run_point(points[0], ds.test_x, ds.test_y, acc, asic);
     out.base_acc = acc;
+    out.hw_energy_j += asic.energy_j();
+    out.hw_elapsed_s += asic.elapsed_seconds();
+    out.hw_cycles += asic.counts().cycles;
 
     // Operating-point selection uses a *selector* model trained without
     // the validation slice, so validation accuracy is an honest estimate;
@@ -149,6 +156,9 @@ int main(int argc, char** argv) {
     asic.restore_model(trained);
     out.lp_e = run_point(chosen, ds.test_x, ds.test_y, acc, asic);
     out.lp_acc = acc;
+    out.hw_energy_j += asic.energy_j();
+    out.hw_elapsed_s += asic.elapsed_seconds();
+    out.hw_cycles += asic.counts().cycles;
     char line[160];
     std::snprintf(line, sizeof(line),
                   "  [%-7s] LP point: dims=%zu bw=%d ber=%.3f -> %.3f uJ "
@@ -227,5 +237,12 @@ int main(int argc, char** argv) {
   std::printf("[fig9] completed in %.1f s (%zu thread%s)\n", timer.seconds(),
               threads, threads == 1 ? "" : "s");
   obs_session.set_pool_stats(pool.stats());
+  obs::HardwareStats hw_stats;
+  for (const auto& r : results) {
+    hw_stats.energy_j += r.hw_energy_j;
+    hw_stats.elapsed_s += r.hw_elapsed_s;
+    hw_stats.cycles += r.hw_cycles;
+  }
+  obs_session.set_hardware(hw_stats);
   return 0;
 }

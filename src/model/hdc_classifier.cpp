@@ -201,6 +201,38 @@ std::vector<int> HdcClassifier::predict_batch(
   return out;
 }
 
+std::vector<int> HdcClassifier::predict_reduced_batch(
+    std::span<const hdc::IntHV> queries, std::size_t dims_used, NormMode mode,
+    ThreadPool& pool) const {
+  GENERIC_SPAN("predict.batch");
+  std::vector<int> out(queries.size(), 0);
+  pool.parallel_for(queries.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      GENERIC_SPAN("predict.chunk");
+                      for (std::size_t i = begin; i < end; ++i) {
+                        GENERIC_COUNTER_ADD("predict.queries", 1);
+                        out[i] = predict_reduced(queries[i], dims_used, mode);
+                      }
+                    });
+  return out;
+}
+
+std::vector<int> HdcClassifier::predict_masked_batch(
+    std::span<const hdc::IntHV> queries, const std::vector<bool>& chunk_ok,
+    ThreadPool& pool) const {
+  GENERIC_SPAN("predict.batch");
+  std::vector<int> out(queries.size(), 0);
+  pool.parallel_for(queries.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      GENERIC_SPAN("predict.chunk");
+                      for (std::size_t i = begin; i < end; ++i) {
+                        GENERIC_COUNTER_ADD("predict.queries", 1);
+                        out[i] = predict_masked(queries[i], chunk_ok);
+                      }
+                    });
+  return out;
+}
+
 void HdcClassifier::recompute_norms() {
   for (std::size_t c = 0; c < num_classes_; ++c) recompute_norms(c);
 }

@@ -91,6 +91,19 @@ class HdcClassifier {
   std::vector<int> predict_batch(std::span<const hdc::IntHV> queries,
                                  ThreadPool& pool) const;
 
+  /// Batched reduced-dimension inference:
+  /// out[i] == predict_reduced(queries[i], dims_used, mode). The serving
+  /// engine's degradation rungs flush through this so degraded batches keep
+  /// the predict_batch determinism contract.
+  std::vector<int> predict_reduced_batch(std::span<const hdc::IntHV> queries,
+                                         std::size_t dims_used, NormMode mode,
+                                         ThreadPool& pool) const;
+
+  /// Batched masked inference: out[i] == predict_masked(queries[i], chunk_ok).
+  std::vector<int> predict_masked_batch(std::span<const hdc::IntHV> queries,
+                                        const std::vector<bool>& chunk_ok,
+                                        ThreadPool& pool) const;
+
   /// Online adaptation: score one labelled encoding and, on a
   /// misprediction, apply the same subtract/add update as retraining.
   /// Returns true when the model changed. This is the continuous-learning

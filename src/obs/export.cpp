@@ -97,6 +97,7 @@ MetricsSnapshot collect_metrics() {
   snap.dropped_spans = reg.dropped_spans();
   snap.counters = reg.counter_values();
   snap.gauges = reg.gauge_values();
+  snap.histograms = reg.histogram_values();
   snap.stages = reg.stage_stats();
   return snap;
 }
@@ -117,6 +118,39 @@ std::string metrics_to_json(const MetricsSnapshot& snap) {
   append_u64_map(out, snap.counters);
   out += ",\n  \"gauges\": ";
   append_u64_map(out, snap.gauges);
+
+  // Histograms render their summary first (count/sum/percentiles) and then
+  // only the occupied buckets as {"bit_width": count}, so sparse
+  // distributions stay compact while the full shape remains recoverable.
+  out += ",\n  \"histograms\": {";
+  {
+    bool first_h = true;
+    for (const auto& [name, h] : snap.histograms) {
+      out += first_h ? "\n" : ",\n";
+      first_h = false;
+      out += "    ";
+      append_json_string(out, name);
+      out += ": {\"count\": " + std::to_string(h.count);
+      out += ", \"sum\": " + std::to_string(h.sum);
+      out += ", \"p50\": " + std::to_string(h.percentile(0.50));
+      out += ", \"p95\": " + std::to_string(h.percentile(0.95));
+      out += ", \"p99\": " + std::to_string(h.percentile(0.99));
+      out += ", \"buckets\": {";
+      bool first_b = true;
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;
+        out += first_b ? "" : ", ";
+        first_b = false;
+        out += '"';
+        out += std::to_string(i);
+        out += "\": ";
+        out += std::to_string(h.buckets[i]);
+      }
+      out += "}}";
+    }
+    if (!first_h) out += "\n  ";
+  }
+  out += "}";
 
   out += ",\n  \"stages\": [";
   for (std::size_t i = 0; i < snap.stages.size(); ++i) {
@@ -197,7 +231,42 @@ std::string metrics_to_json(const MetricsSnapshot& snap) {
     out += p.per_lane.empty() ? "]" : "\n    ]";
     out += "\n  }";
   }
+
+  out += ",\n  \"hardware\": ";
+  if (!snap.hardware.has_value()) {
+    out += "null";
+  } else {
+    const HardwareStats& hw = *snap.hardware;
+    out += "{\"energy_j\": ";
+    append_double(out, hw.energy_j);
+    out += ", \"elapsed_s\": ";
+    append_double(out, hw.elapsed_s);
+    out += ", \"cycles\": " + std::to_string(hw.cycles);
+    out += "}";
+  }
   out += "\n}\n";
+  return out;
+}
+
+std::string metrics_to_json_line(const MetricsSnapshot& snapshot) {
+  // The pretty renderer escapes newlines inside strings, so every literal
+  // '\n' in its output is structural whitespace: dropping it together with
+  // the indentation that follows compacts without a JSON parser.
+  const std::string pretty = metrics_to_json(snapshot);
+  std::string out;
+  out.reserve(pretty.size());
+  std::size_t i = 0;
+  while (i < pretty.size()) {
+    const char c = pretty[i];
+    if (c == '\n') {
+      ++i;
+      while (i < pretty.size() && pretty[i] == ' ') ++i;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  out += '\n';
   return out;
 }
 
@@ -269,7 +338,50 @@ Session::Session(std::string trace_path, std::string metrics_path)
   if (!metrics_path_.empty()) set_metrics(true);
 }
 
+void Session::stream_metrics_every(double period_s) {
+  if (metrics_path_.empty() || period_s <= 0.0 || streaming_) return;
+  // Truncate once so the stream starts clean; the periodic thread and the
+  // final write both append.
+  try {
+    write_file(metrics_path_, "");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs: cannot open metrics stream: %s\n", e.what());
+    return;
+  }
+  streaming_ = true;
+  streamer_ = std::thread([this, period_s] {
+    set_current_thread_name("obs-metrics-stream");
+    periodic_loop(period_s);
+  });
+}
+
+void Session::periodic_loop(double period_s) {
+  const auto period = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(period_s));
+  std::unique_lock<std::mutex> lock(stream_mu_);
+  while (!stream_stop_) {
+    if (stream_cv_.wait_for(lock, period, [this] { return stream_stop_; }))
+      break;
+    lock.unlock();
+    try {
+      std::ofstream f(metrics_path_, std::ios::app);
+      if (f) f << metrics_to_json_line(collect_metrics());
+    } catch (const std::exception&) {
+      // Keep streaming; the final snapshot still reports at destruction.
+    }
+    lock.lock();
+  }
+}
+
 Session::~Session() {
+  if (streamer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stream_mu_);
+      stream_stop_ = true;
+    }
+    stream_cv_.notify_all();
+    streamer_.join();
+  }
   try {
     if (!trace_path_.empty()) {
       write_trace_json(trace_path_);
@@ -278,7 +390,18 @@ Session::~Session() {
     if (!metrics_path_.empty()) {
       MetricsSnapshot snap = collect_metrics();
       snap.pool = std::move(pool_);
-      write_metrics_json(metrics_path_, snap);
+      snap.hardware = hardware_;
+      if (streaming_) {
+        // In streaming mode the file is a JSONL stream: append the final
+        // snapshot as one more line instead of replacing it with the
+        // pretty single-object document.
+        std::ofstream f(metrics_path_, std::ios::app);
+        if (!f) throw std::runtime_error("cannot append: " + metrics_path_);
+        f << metrics_to_json_line(snap);
+        if (!f) throw std::runtime_error("write failed: " + metrics_path_);
+      } else {
+        write_metrics_json(metrics_path_, snap);
+      }
       std::fprintf(stderr, "metrics written to %s\n", metrics_path_.c_str());
     }
   } catch (const std::exception& e) {

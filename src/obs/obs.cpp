@@ -1,6 +1,7 @@
 #include "obs/obs.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,7 @@ struct Registry::Impl {
   std::mutex mu;  // guards everything below
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
   std::vector<ThreadBuffer*> live;  // registered thread buffers
   std::uint32_t next_track = 0;
   // Data absorbed from exited threads.
@@ -136,6 +138,16 @@ Gauge& Registry::gauge(std::string_view name) {
   auto it = impl_->gauges.find(name);
   if (it == impl_->gauges.end())
     it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end())
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
              .first;
   return *it->second;
 }
@@ -246,6 +258,16 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::gauge_values()
   return out;
 }
 
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::histogram_values() const {
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms)
+    out.emplace_back(name, h->snapshot());
+  return out;
+}
+
 std::uint64_t Registry::dropped_spans() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   std::uint64_t total = impl_->retired_dropped;
@@ -260,6 +282,7 @@ void Registry::reset() {
   std::lock_guard<std::mutex> lock(impl_->mu);
   for (auto& [name, c] : impl_->counters) c->reset_value();
   for (auto& [name, g] : impl_->gauges) g->reset_value();
+  for (auto& [name, h] : impl_->histograms) h->reset_value();
   impl_->retired_spans.clear();
   impl_->retired_stages.clear();
   impl_->retired_names.clear();
@@ -274,6 +297,24 @@ void Registry::reset() {
 
 void set_current_thread_name(std::string name) {
   Registry::instance().set_current_thread_name(std::move(name));
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile observation, 1-based, ceil form: the smallest
+  // rank whose cumulative share is >= p.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(buckets.size() - 1);
 }
 
 // ---- ScopedSpan -----------------------------------------------------------

@@ -22,7 +22,9 @@
 // static storage duration): the registry stores the pointers, not copies.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -98,6 +100,77 @@ class Gauge {
   std::atomic<std::uint64_t> v_{0};
 };
 
+// ---- Histograms -----------------------------------------------------------
+
+/// Point-in-time copy of a Histogram, with deterministic percentile
+/// estimation. Returned by Histogram::snapshot() and the registry's
+/// histogram_values(); also the latency representation inside the
+/// generic.serve.v1 report (src/serve), which is why it lives here and not
+/// in export.h.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, 64> buckets{};  ///< log-2 layout, see Histogram
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Upper bound (inclusive) of the values bucket `i` can hold.
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 63) return ~0ull;
+    return (1ull << i) - 1;
+  }
+
+  /// p in [0, 1]: the bucket upper bound at the given rank — a
+  /// deterministic upper estimate with <= 2x relative error, which is what
+  /// a log-2 layout buys. Returns 0 for an empty histogram.
+  std::uint64_t percentile(double p) const;
+};
+
+/// Fixed-layout log-2 histogram metric: bucket 0 counts the value 0,
+/// bucket i (i >= 1) counts values v with bit_width(v) == i, i.e.
+/// v in [2^(i-1), 2^i - 1]; bucket 63 absorbs everything above. The layout
+/// is a compile-time constant — no configuration, so any two histograms
+/// (and any two runs) are directly comparable, and snapshots render
+/// byte-identically for identical recorded sets.
+///
+/// record() is a few relaxed fetch_adds — safe from any thread, never
+/// ordered against the data it measures (same contract as Counter).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v == 0) return 0;
+    const int w = std::bit_width(v);  // 1..64
+    return w > 63 ? 63 : static_cast<std::size_t>(w);
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_value() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
 // ---- Records the registry aggregates --------------------------------------
 
 /// One completed span, as the trace exporter sees it.
@@ -142,10 +215,11 @@ class Registry {
   /// teardown in another translation unit.
   static Registry& instance();
 
-  /// Named counter / gauge, created on first use. The returned reference is
-  /// stable for the process lifetime — cache it (the macros do).
+  /// Named counter / gauge / histogram, created on first use. The returned
+  /// reference is stable for the process lifetime — cache it (the macros do).
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Nanoseconds since the registry was created (the trace epoch).
   std::uint64_t now_ns() const;
@@ -168,9 +242,11 @@ class Registry {
   /// Per-name aggregates over all threads (merged at call time).
   std::vector<std::pair<std::string, StageStats>> stage_stats() const;
 
-  /// Snapshot of all counters / gauges, sorted by name.
+  /// Snapshot of all counters / gauges / histograms, sorted by name.
   std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
   std::vector<std::pair<std::string, std::uint64_t>> gauge_values() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histogram_values()
+      const;
 
   /// Spans dropped because a thread buffer hit its cap (kMaxSpansPerThread).
   std::uint64_t dropped_spans() const;
@@ -248,10 +324,19 @@ class ScopedSpan {
     generic_obs_gauge_.max_of(static_cast<std::uint64_t>(value));       \
   } while (0)
 
+/// histogram(name).record(value), with the handle cached per call site.
+#define GENERIC_HISTO_RECORD(name, value)                                \
+  do {                                                                   \
+    static ::generic::obs::Histogram& generic_obs_histo_ =              \
+        ::generic::obs::Registry::instance().histogram(name);           \
+    generic_obs_histo_.record(static_cast<std::uint64_t>(value));       \
+  } while (0)
+
 #else  // GENERIC_OBS_ENABLED == 0
 
 #define GENERIC_SPAN(name) ((void)0)
 #define GENERIC_COUNTER_ADD(name, delta) ((void)(delta))
 #define GENERIC_GAUGE_MAX(name, value) ((void)(value))
+#define GENERIC_HISTO_RECORD(name, value) ((void)(value))
 
 #endif  // GENERIC_OBS_ENABLED

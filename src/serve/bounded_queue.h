@@ -1,0 +1,113 @@
+// Bounded multi-producer / multi-consumer queue — the admission buffer of
+// the serving engine (docs/serving.md).
+//
+// Semantics, chosen for a serving path rather than a generic channel:
+//  * bounded — push() blocks when the queue is at capacity (backpressure
+//    into the producer), try_push() refuses instead (the caller sheds);
+//  * closable — close() wakes every waiter; pushes after close fail, pops
+//    drain whatever is left and then return nullopt, so a consumer loop
+//    `while (auto item = q.pop())` terminates exactly when the producers
+//    are done AND the queue is empty;
+//  * FIFO — pop order equals push order (a single mutex serializes both
+//    ends; per-producer order is therefore globally consistent, which is
+//    what makes the engine's arrival processing deterministic when the
+//    producer emits a monotone virtual-time trace).
+//
+// This is deliberately a mutex+condvar queue, not a lock-free ring: the
+// serving engine's unit of work is an entire inference (~10^5 ops), so
+// queue overhead is noise, and the simple model is trivially correct
+// under TSan (tests/serve/bounded_queue_test.cpp runs an MPMC stress).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace generic::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Current depth. Racy by nature (another thread may push/pop right
+  /// after); use only for monitoring, never for admission decisions.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Block until there is room, then enqueue. Returns false (without
+  /// enqueuing) when the queue was closed first.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue only if there is room right now; false when full or closed.
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Dequeue only if an item is available right now.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No more pushes will be accepted; blocked producers and consumers wake.
+  /// Items already queued remain poppable.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace generic::serve

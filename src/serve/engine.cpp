@@ -1,0 +1,440 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "resilience/fault_model.h"
+
+namespace generic::serve {
+
+namespace {
+
+/// Independent per-request rng stream: id-salted golden-ratio mix of the
+/// config seed, expanded by the Rng's own splitmix seeding. Stream identity
+/// depends only on (seed, id), never on processing order.
+Rng request_rng(std::uint64_t seed, std::uint64_t id) {
+  return Rng(seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(const model::HdcClassifier& model,
+                         std::span<const hdc::IntHV> queries,
+                         std::span<const int> labels, const ServeConfig& cfg,
+                         ThreadPool& pool, std::vector<bool> chunk_ok)
+    : model_(model),
+      queries_(queries),
+      labels_(labels),
+      cfg_(cfg),
+      pool_(pool),
+      ingress_(cfg.queue_capacity),
+      free_servers_(cfg.servers),
+      backoff_(cfg.backoff_base_us, cfg.backoff_jitter),
+      controller_({1}, cfg) {  // placeholder; rebuilt below with the ladder
+  if (queries_.size() != labels_.size())
+    throw std::invalid_argument("ServeEngine: queries/labels size mismatch");
+  if (queries_.empty())
+    throw std::invalid_argument("ServeEngine: empty query set");
+  if (cfg_.servers == 0)
+    throw std::invalid_argument("ServeEngine: need at least one server");
+
+  const std::size_t chunk = model_.dims() / model_.num_chunks();
+  ladder_ = dims_ladder(model_.dims(), chunk, cfg_.min_dims);
+  controller_ = DegradeController(ladder_, cfg_);
+
+  if (!chunk_ok.empty() && chunk_ok.size() != model_.num_chunks())
+    throw std::invalid_argument("ServeEngine: chunk_ok size mismatch");
+  any_faulty_ =
+      std::find(chunk_ok.begin(), chunk_ok.end(), false) != chunk_ok.end();
+  rung_mask_.resize(ladder_.size());
+  rung_active_.resize(ladder_.size());
+  report_.rungs.resize(ladder_.size());
+  batch_.resize(ladder_.size());
+  for (std::size_t r = 0; r < ladder_.size(); ++r) {
+    const std::size_t prefix = ladder_[r] / chunk;
+    if (any_faulty_) {
+      std::vector<bool> mask(model_.num_chunks(), false);
+      std::size_t active = 0;
+      for (std::size_t k = 0; k < prefix; ++k) {
+        mask[k] = chunk_ok[k];
+        if (mask[k]) ++active;
+      }
+      if (active == 0)
+        throw std::invalid_argument(
+            "ServeEngine: ladder rung has no healthy chunk");
+      rung_mask_[r] = std::move(mask);
+      rung_active_[r] = active;
+    } else {
+      rung_active_[r] = prefix;
+    }
+    report_.rungs[r].dims = ladder_[r];
+    report_.rungs[r].active_chunks = rung_active_[r];
+  }
+
+  control_ = std::thread([this] {
+    obs::set_current_thread_name("serve-control");
+    control_loop();
+  });
+}
+
+ServeEngine::~ServeEngine() {
+  if (!finished_) {
+    ingress_.close();
+    if (control_.joinable()) control_.join();
+  }
+}
+
+ResponseFuture ServeEngine::submit(const Request& req) {
+  ResponseFuture future;
+  if (!ingress_.push(Item{req, future})) {
+    // Closed engine: resolve as shed so no caller ever blocks forever.
+    Response r;
+    r.outcome = Outcome::kShed;
+    r.finish_us = req.arrival_us;
+    future.resolve(r);
+  }
+  return future;
+}
+
+ServeReport ServeEngine::finish() {
+  if (finished_) throw std::logic_error("ServeEngine::finish called twice");
+  ingress_.close();
+  control_.join();
+  finished_ = true;
+
+  report_.config = cfg_;
+  report_.latency = latency_.snapshot();
+  report_.steps_down = controller_.steps_down();
+  report_.steps_up = controller_.steps_up();
+  report_.final_rung = controller_.rung();
+  report_.throughput_rps =
+      report_.makespan_us == 0
+          ? 0.0
+          : static_cast<double>(report_.served) * 1e6 /
+                static_cast<double>(report_.makespan_us);
+  return report_;
+}
+
+// ---- Control thread -------------------------------------------------------
+
+void ServeEngine::control_loop() {
+  GENERIC_SPAN("serve.control_loop");
+  while (auto item = ingress_.pop()) {
+    // Deterministic interleave: everything already scheduled up to and
+    // including the arrival instant happens before the arrival itself.
+    advance_to(item->first.arrival_us);
+    on_arrival(std::move(*item));
+  }
+  advance_to(~0ull);  // drain every scheduled completion and retry
+  for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
+}
+
+void ServeEngine::advance_to(std::uint64_t vt_limit) {
+  while (!events_.empty() && events_.front().vt <= vt_limit) {
+    std::pop_heap(events_.begin(), events_.end(), EventAfter{});
+    const Event ev = events_.back();
+    events_.pop_back();
+    clock_us_ = std::max(clock_us_, ev.vt);
+    if (ev.kind == Event::kCompletion) {
+      on_completion(ev.f, ev.vt);
+    } else {
+      on_retry_timer(ev.f, ev.vt);
+    }
+  }
+}
+
+void ServeEngine::on_arrival(Item&& item) {
+  GENERIC_COUNTER_ADD("serve.requests", 1);
+  clock_us_ = std::max(clock_us_, item.first.arrival_us);
+  ++report_.requests;
+  auto owned = std::make_unique<InFlight>();
+  owned->req = item.first;
+  owned->future = std::move(item.second);
+  owned->rng = request_rng(cfg_.seed, item.first.id);
+  InFlight* f = owned.get();
+  inflight_.push_back(std::move(owned));
+
+  if (pending_.size() >= cfg_.high_water) {
+    resolve_unserved(f, Outcome::kShed, f->req.arrival_us);
+    return;
+  }
+  if (free_servers_ > 0) {
+    start_service(f, f->req.arrival_us);
+  } else {
+    pending_.push_back(f);
+  }
+}
+
+void ServeEngine::start_service(InFlight* f, std::uint64_t now) {
+  --free_servers_;
+  ++f->attempts;
+  f->rung = controller_.rung();
+  // Draw order per attempt is fixed (upset, then jitter) so the stream is
+  // identical however the attempt came to be scheduled.
+  f->upset = f->rng.bernoulli(cfg_.fault_rate);
+  const double u = f->rng.uniform();
+  const double frac = static_cast<double>(rung_active_[f->rung]) /
+                      static_cast<double>(model_.num_chunks());
+  const double cost = static_cast<double>(cfg_.service_base_us) * frac *
+                      (1.0 - cfg_.service_jitter +
+                       2.0 * cfg_.service_jitter * u);
+  const auto dur =
+      static_cast<std::uint64_t>(std::max<long long>(std::llround(cost), 1));
+  events_.push_back(Event{now + dur, next_seq_++, Event::kCompletion, f});
+  std::push_heap(events_.begin(), events_.end(), EventAfter{});
+}
+
+void ServeEngine::on_completion(InFlight* f, std::uint64_t now) {
+  ++free_servers_;
+  bool corrupted = false;
+  if (f->upset) {
+    // Honest transient-fault model: flip real bits in a copy of the query
+    // at the configured per-bit rate, then detect by parity (mismatch
+    // against the original). A draw that flips nothing is a harmless upset.
+    hdc::IntHV copy(queries_[f->req.query]);
+    resilience::inject(copy,
+                       resilience::FaultSpec{resilience::FaultKind::kTransient,
+                                             cfg_.fault_bit_rate},
+                       f->rng, /*bit_width=*/16);
+    corrupted = copy != queries_[f->req.query];
+  }
+  if (corrupted) {
+    GENERIC_COUNTER_ADD("serve.upsets", 1);
+    if (f->attempts >= cfg_.max_attempts) {
+      resolve_unserved(f, Outcome::kFailed, now);
+    } else {
+      const std::uint64_t delay = backoff_.delay_us(f->attempts, f->rng);
+      events_.push_back(Event{now + delay, next_seq_++, Event::kRetry, f});
+      std::push_heap(events_.begin(), events_.end(), EventAfter{});
+    }
+  } else if (now > f->req.deadline_us) {
+    resolve_unserved(f, Outcome::kTimeout, now);
+    feed_controller(now - f->req.arrival_us);
+  } else {
+    defer_served(f, now);
+    feed_controller(now - f->req.arrival_us);
+  }
+  pull_pending(now);
+}
+
+void ServeEngine::on_retry_timer(InFlight* f, std::uint64_t now) {
+  if (now > f->req.deadline_us) {
+    resolve_unserved(f, Outcome::kTimeout, now);
+    return;
+  }
+  if (free_servers_ > 0) {
+    start_service(f, now);
+  } else {
+    pending_.push_front(f);  // a retry has already waited once
+  }
+}
+
+void ServeEngine::pull_pending(std::uint64_t now) {
+  while (free_servers_ > 0 && !pending_.empty()) {
+    InFlight* g = pending_.front();
+    pending_.pop_front();
+    if (now > g->req.deadline_us) {
+      // Fail fast at dequeue: no point burning a server on a request whose
+      // budget is already gone.
+      resolve_unserved(g, Outcome::kTimeout, now);
+      continue;
+    }
+    start_service(g, now);
+  }
+}
+
+void ServeEngine::feed_controller(std::uint64_t latency_us) {
+  controller_.on_completion(latency_us, pending_.size());
+}
+
+void ServeEngine::resolve_unserved(InFlight* f, Outcome o, std::uint64_t now) {
+  f->outcome = o;
+  f->finish_us = now;
+  ++report_.outcomes[static_cast<std::size_t>(o)];
+  report_.attempts += f->attempts;
+  if (f->attempts > 1) report_.retries += f->attempts - 1;
+  report_.makespan_us = std::max(report_.makespan_us, now);
+  Response r;
+  r.outcome = o;
+  r.attempts = f->attempts;
+  r.finish_us = now;
+  r.latency_us = now - f->req.arrival_us;
+  f->future.resolve(r);
+}
+
+void ServeEngine::defer_served(InFlight* f, std::uint64_t now) {
+  f->finish_us = now;
+  const bool reduced =
+      ladder_[f->rung] < model_.dims() || !rung_mask_[f->rung].empty();
+  f->outcome = reduced ? Outcome::kDegraded
+               : f->attempts > 1 ? Outcome::kRetried
+                                 : Outcome::kOk;
+  const std::uint64_t lat = now - f->req.arrival_us;
+  latency_.record(lat);
+  GENERIC_HISTO_RECORD("serve.latency_us", lat);
+  batch_[f->rung].push_back(f);
+  if (batch_[f->rung].size() >= cfg_.compute_batch) flush_rung(f->rung);
+}
+
+void ServeEngine::flush_rung(std::size_t rung) {
+  auto& b = batch_[rung];
+  if (b.empty()) return;
+  GENERIC_SPAN("serve.flush");
+  std::vector<hdc::IntHV> qs;
+  qs.reserve(b.size());
+  for (const InFlight* f : b) qs.push_back(queries_[f->req.query]);
+  const std::vector<int> preds =
+      rung_mask_[rung].empty()
+          ? model_.predict_reduced_batch(qs, ladder_[rung],
+                                         model::NormMode::kUpdated, pool_)
+          : model_.predict_masked_batch(qs, rung_mask_[rung], pool_);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    InFlight* f = b[i];
+    ++report_.outcomes[static_cast<std::size_t>(f->outcome)];
+    ++report_.served;
+    report_.attempts += f->attempts;
+    if (f->attempts > 1) report_.retries += f->attempts - 1;
+    report_.makespan_us = std::max(report_.makespan_us, f->finish_us);
+    const bool ok = preds[i] == labels_[f->req.query];
+    if (ok) {
+      ++report_.correct;
+      ++report_.rungs[rung].correct;
+    }
+    ++report_.rungs[rung].served;
+    Response r;
+    r.outcome = f->outcome;
+    r.predicted = preds[i];
+    r.dims_used = ladder_[rung];
+    r.attempts = f->attempts;
+    r.finish_us = f->finish_us;
+    r.latency_us = f->finish_us - f->req.arrival_us;
+    f->future.resolve(r);
+  }
+  b.clear();
+}
+
+// ---- generic.serve.v1 -----------------------------------------------------
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string serve_report_to_json(const ServeReport& rep) {
+  const ServeConfig& c = rep.config;
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+  out += "  \"schema\": \"generic.serve.v1\",\n";
+  out += "  \"config\": {\n";
+  out += "    \"servers\": " + std::to_string(c.servers) + ",\n";
+  out += "    \"queue_capacity\": " + std::to_string(c.queue_capacity) + ",\n";
+  out += "    \"high_water\": " + std::to_string(c.high_water) + ",\n";
+  out += "    \"low_water\": " + std::to_string(c.low_water) + ",\n";
+  out += "    \"deadline_us\": " + std::to_string(c.deadline_us) + ",\n";
+  out += "    \"slo_us\": " + std::to_string(c.slo_us) + ",\n";
+  out += "    \"max_attempts\": " + std::to_string(c.max_attempts) + ",\n";
+  out += "    \"backoff_base_us\": " + std::to_string(c.backoff_base_us) +
+         ",\n";
+  out += "    \"backoff_jitter\": ";
+  append_double(out, c.backoff_jitter);
+  out += ",\n    \"min_dims\": " + std::to_string(c.min_dims) + ",\n";
+  out += "    \"service_base_us\": " + std::to_string(c.service_base_us) +
+         ",\n";
+  out += "    \"service_jitter\": ";
+  append_double(out, c.service_jitter);
+  out += ",\n    \"fault_rate\": ";
+  append_double(out, c.fault_rate);
+  out += ",\n    \"fault_bit_rate\": ";
+  append_double(out, c.fault_bit_rate);
+  out += ",\n    \"seed\": " + std::to_string(c.seed) + ",\n";
+  out += "    \"compute_batch\": " + std::to_string(c.compute_batch) + ",\n";
+  out += "    \"ewma_alpha\": ";
+  append_double(out, c.ewma_alpha);
+  out += ",\n    \"cooldown\": " + std::to_string(c.cooldown) + ",\n";
+  out += "    \"step_up_frac\": ";
+  append_double(out, c.step_up_frac);
+  out += "\n  },\n";
+  out += "  \"requests\": " + std::to_string(rep.requests) + ",\n";
+  out += "  \"makespan_us\": " + std::to_string(rep.makespan_us) + ",\n";
+  out += "  \"throughput_rps\": ";
+  append_double(out, rep.throughput_rps);
+  out += ",\n  \"outcomes\": {";
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+    out += i == 0 ? "" : ", ";
+    out += "\"";
+    out += outcome_name(static_cast<Outcome>(i));
+    out += "\": " + std::to_string(rep.outcomes[i]);
+  }
+  out += "},\n";
+  out += "  \"served\": " + std::to_string(rep.served) + ",\n";
+  out += "  \"attempts\": " + std::to_string(rep.attempts) + ",\n";
+  out += "  \"retries\": " + std::to_string(rep.retries) + ",\n";
+
+  const obs::HistogramSnapshot& h = rep.latency;
+  out += "  \"latency_us\": {\"count\": " + std::to_string(h.count);
+  out += ", \"sum\": " + std::to_string(h.sum);
+  out += ", \"p50\": " + std::to_string(h.percentile(0.50));
+  out += ", \"p95\": " + std::to_string(h.percentile(0.95));
+  out += ", \"p99\": " + std::to_string(h.percentile(0.99));
+  out += ", \"buckets\": {";
+  bool first_b = true;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    out += first_b ? "" : ", ";
+    first_b = false;
+    out += '"';
+    out += std::to_string(i);
+    out += "\": ";
+    out += std::to_string(h.buckets[i]);
+  }
+  out += "}},\n";
+
+  out += "  \"accuracy\": {\"served\": " + std::to_string(rep.served);
+  out += ", \"correct\": " + std::to_string(rep.correct);
+  out += ", \"value\": ";
+  append_double(out, rep.served == 0 ? 0.0
+                                     : static_cast<double>(rep.correct) /
+                                           static_cast<double>(rep.served));
+  out += "},\n";
+
+  out += "  \"degradation\": {\n";
+  out += "    \"steps_down\": " + std::to_string(rep.steps_down) + ",\n";
+  out += "    \"steps_up\": " + std::to_string(rep.steps_up) + ",\n";
+  out += "    \"final_rung\": " + std::to_string(rep.final_rung) + ",\n";
+  out += "    \"rungs\": [";
+  for (std::size_t r = 0; r < rep.rungs.size(); ++r) {
+    const RungStats& s = rep.rungs[r];
+    out += r == 0 ? "\n" : ",\n";
+    out += "      {\"dims\": " + std::to_string(s.dims);
+    out += ", \"active_chunks\": " + std::to_string(s.active_chunks);
+    out += ", \"served\": " + std::to_string(s.served);
+    out += ", \"correct\": " + std::to_string(s.correct);
+    out += ", \"accuracy\": ";
+    append_double(out, s.served == 0 ? 0.0
+                                     : static_cast<double>(s.correct) /
+                                           static_cast<double>(s.served));
+    out += "}";
+  }
+  out += rep.rungs.empty() ? "]" : "\n    ]";
+  out += "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void write_serve_json(const std::string& path, const ServeReport& report) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << serve_report_to_json(report);
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace generic::serve

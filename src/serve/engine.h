@@ -1,0 +1,183 @@
+// Resilient in-process serving engine (docs/serving.md).
+//
+// Architecture: producers push requests (in arrival order) through a
+// BoundedQueue into a single control thread. The control thread owns every
+// serving decision — admission / shedding, deadline expiry, transient-fault
+// retry with backoff, and the SLO-driven degradation ladder — and makes
+// them all on the VIRTUAL clock carried by the requests plus the
+// deterministic service-cost model, never the wall clock. Heavy compute
+// (the actual predictions) is deferred into fixed-size per-rung batches
+// flushed through HdcClassifier::predict_reduced_batch /
+// predict_masked_batch, whose results are bit-identical at any pool lane
+// count. Consequence: the generic.serve.v1 report is byte-identical for a
+// fixed (trace, config, seed) regardless of --threads.
+//
+// Virtual-time model:
+//  * cfg.servers service lanes; a request in service occupies one lane for
+//    service_base_us * (active_chunks / num_chunks) * (1 +- jitter) virtual
+//    microseconds — dimension reduction buys proportionally cheaper service,
+//    which is the §4.3.3 mechanism the ladder exploits.
+//  * Each service attempt suffers a transient upset with probability
+//    cfg.fault_rate (per-request rng stream). An upset injects real bit
+//    flips (resilience::FaultSpec kTransient at fault_bit_rate) into a copy
+//    of the query; corruption is detected by a modeled parity check
+//    (compare against the original) and retried after exponential backoff,
+//    up to max_attempts, then kFailed.
+//  * Arrivals at pending depth >= high_water are shed immediately; queued
+//    requests whose deadline passed fail fast at dequeue; completions past
+//    the deadline resolve kTimeout.
+//  * A DegradeController walks the dims ladder on the served-latency EWMA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "hdc/hypervector.h"
+#include "model/hdc_classifier.h"
+#include "obs/obs.h"
+#include "serve/bounded_queue.h"
+#include "serve/policy.h"
+#include "serve/types.h"
+
+namespace generic::serve {
+
+/// Per-ladder-rung serving tally (accuracy-at-degradation, Figure 5 view).
+struct RungStats {
+  std::size_t dims = 0;           ///< prefix dimensions of this rung
+  std::size_t active_chunks = 0;  ///< ok chunks actually scored in the rung
+  std::uint64_t served = 0;
+  std::uint64_t correct = 0;
+};
+
+/// Everything generic.serve.v1 reports. Deliberately free of wall-clock and
+/// thread-count fields: equal inputs render to equal bytes.
+struct ServeReport {
+  ServeConfig config;
+  std::uint64_t requests = 0;
+  std::uint64_t makespan_us = 0;   ///< last virtual finish time
+  double throughput_rps = 0.0;     ///< served per virtual second
+  std::array<std::uint64_t, kNumOutcomes> outcomes{};
+  std::uint64_t served = 0;        ///< ok + retried + degraded
+  std::uint64_t attempts = 0;      ///< service attempts consumed
+  std::uint64_t retries = 0;       ///< attempts beyond each request's first
+  obs::HistogramSnapshot latency;  ///< served latencies, virtual us
+  std::uint64_t correct = 0;       ///< served with predicted == label
+  std::uint64_t steps_down = 0;
+  std::uint64_t steps_up = 0;
+  std::size_t final_rung = 0;
+  std::vector<RungStats> rungs;
+};
+
+/// Render as schema `generic.serve.v1`: fixed field order, "%.9g" doubles.
+std::string serve_report_to_json(const ServeReport& report);
+void write_serve_json(const std::string& path, const ServeReport& report);
+
+class ServeEngine {
+ public:
+  /// The engine serves `queries` by index; `labels` are the ground truth
+  /// used only for the accuracy tallies in the report. `chunk_ok` (size
+  /// model.num_chunks(), empty == all ok) marks faulty dimension blocks:
+  /// serving then scores only ok chunks inside the active rung prefix
+  /// (predict_masked), the graceful-degradation path of
+  /// resilience::BlockGuard. Throws if any ladder rung would have no ok
+  /// chunk to score.
+  ServeEngine(const model::HdcClassifier& model,
+              std::span<const hdc::IntHV> queries, std::span<const int> labels,
+              const ServeConfig& cfg, ThreadPool& pool,
+              std::vector<bool> chunk_ok = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueue one request; blocks while the admission queue is at capacity
+  /// (backpressure). Requests must be submitted in non-decreasing
+  /// arrival_us order with distinct ids. The future resolves when the
+  /// request reaches a terminal outcome.
+  ResponseFuture submit(const Request& req);
+
+  /// Close admission, drain everything in flight, join the control thread
+  /// and return the final report. Call exactly once, after the last
+  /// submit(); every future is resolved when this returns.
+  ServeReport finish();
+
+  const std::vector<std::size_t>& ladder() const { return ladder_; }
+
+ private:
+  struct InFlight {
+    Request req;
+    ResponseFuture future;
+    Rng rng;
+    std::uint32_t attempts = 0;
+    std::size_t rung = 0;    ///< ladder rung of the (last) service attempt
+    bool upset = false;      ///< current attempt drew a transient upset
+    Outcome outcome = Outcome::kFailed;  ///< set when terminal
+    std::uint64_t finish_us = 0;
+  };
+  struct Event {
+    std::uint64_t vt = 0;
+    std::uint64_t seq = 0;  ///< schedule order: deterministic tie-break
+    enum Kind { kCompletion, kRetry } kind = kCompletion;
+    InFlight* f = nullptr;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.vt != b.vt) return a.vt > b.vt;
+      return a.seq > b.seq;  // min-heap on (vt, seq)
+    }
+  };
+  using Item = std::pair<Request, ResponseFuture>;
+
+  void control_loop();
+  void advance_to(std::uint64_t vt_limit);
+  void on_arrival(Item&& item);
+  void start_service(InFlight* f, std::uint64_t now);
+  void on_completion(InFlight* f, std::uint64_t now);
+  void on_retry_timer(InFlight* f, std::uint64_t now);
+  void pull_pending(std::uint64_t now);
+  void resolve_unserved(InFlight* f, Outcome o, std::uint64_t now);
+  void defer_served(InFlight* f, std::uint64_t now);
+  void flush_rung(std::size_t rung);
+  void feed_controller(std::uint64_t latency_us);
+
+  const model::HdcClassifier& model_;
+  std::span<const hdc::IntHV> queries_;
+  std::span<const int> labels_;
+  ServeConfig cfg_;
+  ThreadPool& pool_;
+
+  std::vector<std::size_t> ladder_;
+  /// Per rung: combined chunk mask (ok AND inside the rung prefix) plus the
+  /// count of active chunks; masks_[r] is empty when the whole prefix is ok
+  /// (the cheaper predict_reduced path applies).
+  std::vector<std::vector<bool>> rung_mask_;
+  std::vector<std::size_t> rung_active_;
+  bool any_faulty_ = false;
+
+  BoundedQueue<Item> ingress_;
+  std::thread control_;
+
+  // ---- Control-thread state (touched only by control_loop) ----
+  std::vector<std::unique_ptr<InFlight>> inflight_;
+  std::vector<Event> events_;  // heap ordered by EventAfter
+  std::uint64_t next_seq_ = 0;
+  std::deque<InFlight*> pending_;
+  std::size_t free_servers_ = 0;
+  std::uint64_t clock_us_ = 0;
+  BackoffPolicy backoff_;
+  DegradeController controller_;
+  std::vector<std::vector<InFlight*>> batch_;  // deferred predicts per rung
+  obs::Histogram latency_;                     // served latency, virtual us
+  ServeReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace generic::serve

@@ -1,0 +1,122 @@
+// Request/response vocabulary of the serving engine (docs/serving.md).
+//
+// Time in the serving layer is VIRTUAL: every timestamp below is
+// microseconds on the load trace's clock, derived from the seeded arrival
+// process and the deterministic service-cost model — never from the wall
+// clock. That is what makes every admission, shed, retry, timeout and
+// degradation decision a pure function of (trace, config, seed), and the
+// generic.serve.v1 report byte-identical for any --threads value.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+namespace generic::serve {
+
+/// Terminal state of one request. Exactly one outcome per request; the
+/// precedence for served requests is degraded > retried > ok (a request
+/// that was both retried and served at reduced dimensions reports
+/// kDegraded — the dims_used and attempts fields keep the full story).
+enum class Outcome {
+  kOk,        ///< served at full dimensions, first attempt, in budget
+  kRetried,   ///< served at full dimensions after >= 1 transient-fault retry
+  kDegraded,  ///< served at reduced dimensions (any ladder rung below full)
+  kShed,      ///< refused at admission: queue depth at the high-water mark
+  kTimeout,   ///< deadline expired (in queue, or completion landed too late)
+  kFailed,    ///< transient faults persisted through every retry attempt
+};
+
+inline constexpr std::size_t kNumOutcomes = 6;
+
+/// Stable short name used in generic.serve.v1 ("ok", "retried", ...).
+std::string_view outcome_name(Outcome o);
+
+/// One inference request on the virtual timeline. The query itself is an
+/// index into the query set the engine was constructed over, so requests
+/// stay cheap to copy through the admission queue.
+struct Request {
+  std::uint64_t id = 0;           ///< trace-order id (also the rng stream)
+  std::uint64_t arrival_us = 0;   ///< virtual arrival time
+  std::uint64_t deadline_us = 0;  ///< absolute virtual deadline
+  std::size_t query = 0;          ///< index into the engine's query set
+};
+
+/// Everything the engine reports back for one request.
+struct Response {
+  Outcome outcome = Outcome::kFailed;
+  int predicted = -1;          ///< class label; -1 for shed/timeout/failed
+  std::size_t dims_used = 0;   ///< dimensions of the serving rung (0 if unserved)
+  std::uint32_t attempts = 0;  ///< service attempts consumed (0 if never started)
+  std::uint64_t finish_us = 0; ///< virtual completion / rejection time
+  std::uint64_t latency_us = 0;///< finish_us - arrival_us
+};
+
+/// Write-once future the engine resolves when a request reaches a terminal
+/// outcome. get() blocks; try_get() polls. Shared-state futures (not
+/// std::future) so the engine can hold the producer side in its own
+/// bookkeeping without a promise object per request.
+class ResponseFuture {
+ public:
+  ResponseFuture() : state_(std::make_shared<State>()) {}
+
+  /// Block until the engine resolves this request.
+  Response get() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+    return *state_->value;
+  }
+
+  std::optional<Response> try_get() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value;
+  }
+
+  /// Producer side; the engine calls this exactly once per request.
+  void resolve(const Response& r) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->value = r;
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Response> value;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Engine configuration. Defaults describe a small edge node: two virtual
+/// service lanes, a queue that sheds at 48 pending requests, a 4 ms
+/// deadline with a 2 ms SLO target the degradation ladder defends.
+struct ServeConfig {
+  std::size_t servers = 2;          ///< virtual service lanes
+  std::size_t queue_capacity = 64;  ///< admission queue bound
+  std::size_t high_water = 48;      ///< shed arrivals at depth >= high_water
+  std::size_t low_water = 8;        ///< rung step-up needs depth <= low_water
+  std::uint64_t deadline_us = 4000; ///< per-request budget after arrival
+  std::uint64_t slo_us = 2000;      ///< latency target the ladder defends
+  std::uint32_t max_attempts = 3;   ///< service tries before kFailed
+  std::uint64_t backoff_base_us = 100;  ///< retry backoff: base * 2^(attempt-1)
+  double backoff_jitter = 0.25;     ///< +- fraction of deterministic jitter
+  std::size_t min_dims = 512;       ///< floor of the degradation ladder
+  std::uint64_t service_base_us = 900;  ///< mean full-dims service time
+  double service_jitter = 0.2;      ///< +- fraction per-request jitter
+  double fault_rate = 0.0;          ///< per-attempt transient-upset probability
+  double fault_bit_rate = 1e-3;     ///< per-bit flip rate when an upset hits
+  std::uint64_t seed = 0x5EB7E;     ///< service/fault rng root
+  std::size_t compute_batch = 32;   ///< deferred predict flush size
+  double ewma_alpha = 0.2;          ///< latency EWMA weight (controller)
+  std::uint32_t cooldown = 16;      ///< completions between rung moves
+  double step_up_frac = 0.5;        ///< step up when ewma < frac * slo
+};
+
+}  // namespace generic::serve

@@ -196,6 +196,48 @@ TEST_P(ParallelDeterminismTest, PredictBatchMatchesSerialPredict) {
   }
 }
 
+TEST_P(ParallelDeterminismTest, PredictReducedBatchMatchesSerial) {
+  const auto ds = dataset();
+  enc::GenericEncoder encoder(small_config(GetParam()));
+  encoder.fit(ds.train_x);
+  const auto train = encode_all(encoder, ds.train_x);
+  const auto test = encode_all(encoder, ds.test_x);
+  HdcClassifier clf(512, ds.num_classes);
+  clf.fit(train, ds.train_y, 5);
+
+  for (const std::size_t dims_used : {512ul, 256ul, 128ul}) {
+    std::vector<int> serial;
+    for (const auto& q : test)
+      serial.push_back(clf.predict_reduced(q, dims_used, NormMode::kUpdated));
+    for (std::size_t lanes : kLaneCounts) {
+      ThreadPool pool(lanes);
+      EXPECT_EQ(clf.predict_reduced_batch(test, dims_used, NormMode::kUpdated,
+                                          pool),
+                serial)
+          << "dims=" << dims_used << " lanes=" << lanes;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, PredictMaskedBatchMatchesSerial) {
+  const auto ds = dataset();
+  enc::GenericEncoder encoder(small_config(GetParam()));
+  encoder.fit(ds.train_x);
+  const auto train = encode_all(encoder, ds.train_x);
+  const auto test = encode_all(encoder, ds.test_x);
+  HdcClassifier clf(512, ds.num_classes);
+  clf.fit(train, ds.train_y, 5);
+
+  const std::vector<bool> chunk_ok = {true, false, true, false};
+  std::vector<int> serial;
+  for (const auto& q : test) serial.push_back(clf.predict_masked(q, chunk_ok));
+  for (std::size_t lanes : kLaneCounts) {
+    ThreadPool pool(lanes);
+    EXPECT_EQ(clf.predict_masked_batch(test, chunk_ok, pool), serial)
+        << "lanes=" << lanes;
+  }
+}
+
 TEST_P(ParallelDeterminismTest, PooledPipelineMatchesSerialPipeline) {
   const auto ds = dataset();
   enc::GenericEncoder serial_enc(small_config(GetParam()));

@@ -209,5 +209,84 @@ TEST_F(ObsCore, ConcurrentRecordingIsRaceFree) {
 #endif
 }
 
+TEST_F(ObsCore, HistogramBucketsByBitWidth) {
+  Histogram h;
+  h.record(0);  // bucket 0
+  h.record(1);  // bucket 1
+  h.record(2);  // bucket 2: [2, 3]
+  h.record(3);
+  h.record(1000);  // bucket 10: [512, 1023]
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1006u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[10], 1u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(2), 3u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(10), 1023u);
+}
+
+TEST_F(ObsCore, HistogramPercentilesUseCeilRank) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(100);   // bucket 7, upper 127
+  for (int i = 0; i < 10; ++i) h.record(5000);  // bucket 13, upper 8191
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.percentile(0.50), 127u);
+  EXPECT_EQ(snap.percentile(0.90), 127u);
+  EXPECT_EQ(snap.percentile(0.95), 8191u);
+  EXPECT_EQ(snap.percentile(0.99), 8191u);
+  EXPECT_EQ(snap.percentile(0.0), 127u);   // ceil-rank floor is rank 1
+  EXPECT_EQ(snap.percentile(1.0), 8191u);
+  // The log-2 layout guarantees the upper bound is < 2x the true value.
+  EXPECT_LT(snap.percentile(0.5), 2 * 100u);
+  EXPECT_LT(snap.percentile(0.99), 2 * 5000u);
+}
+
+TEST_F(ObsCore, HistogramEmptyAndReset) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().percentile(0.99), 0u);
+  h.record(42);
+  h.reset_value();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+}
+
+TEST_F(ObsCore, RegistryHistogramsAreNamedAndResettable) {
+  Registry& reg = Registry::instance();
+  Histogram& h = reg.histogram("test.latency");
+  EXPECT_EQ(&h, &reg.histogram("test.latency"));  // stable handle
+  h.record(7);
+  auto values = reg.histogram_values();
+  bool found = false;
+  for (const auto& [name, snap] : values)
+    if (name == "test.latency") {
+      found = true;
+      EXPECT_EQ(snap.count, 1u);
+    }
+  EXPECT_TRUE(found);
+  reg.reset();
+  for (const auto& [name, snap] : reg.histogram_values()) {
+    if (name == "test.latency") {
+      EXPECT_EQ(snap.count, 0u);
+    }
+  }
+}
+
+TEST_F(ObsCore, HistogramMacroRecordsWhenCompiledIn) {
+#if !GENERIC_OBS_ENABLED
+  GTEST_SKIP() << "built with GENERIC_OBS=OFF — macros are no-ops";
+#else
+  GENERIC_HISTO_RECORD("test.histo_macro", 9);
+  GENERIC_HISTO_RECORD("test.histo_macro", 17);
+  const HistogramSnapshot snap =
+      Registry::instance().histogram("test.histo_macro").snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 26u);
+#endif
+}
+
 }  // namespace
 }  // namespace generic::obs

@@ -167,6 +167,91 @@ TEST_F(ObsExport, SessionWithoutPathsWritesNothingAndStaysOff) {
   EXPECT_TRUE(Registry::instance().trace_events().empty());
 }
 
+TEST_F(ObsExport, HistogramsRenderSummaryAndSparseBuckets) {
+  MetricsSnapshot snap;
+  HistogramSnapshot h;
+  h.count = 3;
+  h.sum = 1102;
+  h.buckets[7] = 2;    // two values near 100
+  h.buckets[10] = 1;   // one near 1000
+  snap.histograms = {{"serve.latency_us", h}};
+  const std::string json = metrics_to_json(snap);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve.latency_us\": {\"count\": 3, \"sum\": 1102, "
+                      "\"p50\": 127, \"p95\": 1023, \"p99\": 1023, "
+                      "\"buckets\": {\"7\": 2, \"10\": 1}}"),
+            std::string::npos)
+      << json;
+  // Histograms sit between gauges and stages in the fixed field order.
+  EXPECT_LT(json.find("\"gauges\""), json.find("\"histograms\""));
+  EXPECT_LT(json.find("\"histograms\""), json.find("\"stages\""));
+}
+
+TEST_F(ObsExport, HardwareBlockNullUnlessInjected) {
+  MetricsSnapshot snap;
+  EXPECT_NE(metrics_to_json(snap).find("\"hardware\": null"),
+            std::string::npos);
+  HardwareStats hw;
+  hw.energy_j = 0.25;
+  hw.elapsed_s = 1.5;
+  hw.cycles = 123456;
+  snap.hardware = hw;
+  const std::string json = metrics_to_json(snap);
+  EXPECT_NE(json.find("\"hardware\": {\"energy_j\": 0.25, \"elapsed_s\": 1.5, "
+                      "\"cycles\": 123456}"),
+            std::string::npos)
+      << json;
+  // hardware renders after thread_pool, closing the document.
+  EXPECT_LT(json.find("\"thread_pool\""), json.find("\"hardware\""));
+}
+
+TEST_F(ObsExport, JsonLineIsOneCompactLine) {
+  MetricsSnapshot snap;
+  snap.counters = {{"a", 1}, {"b", 2}};
+  const std::string line = metrics_to_json_line(snap);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one newline
+  EXPECT_NE(line.find("\"schema\": \"generic.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"a\": 1"), std::string::npos);
+}
+
+TEST_F(ObsExport, SessionStreamsPeriodicSnapshotLines) {
+  const std::string path = "obs_stream_test_metrics.jsonl";
+  {
+    Session session("", path);
+    session.stream_metrics_every(0.02);
+    GENERIC_COUNTER_ADD("test.stream_counter", 3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }
+  const std::string content = slurp(path);
+  std::size_t lines = 0;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    // Every line is a complete one-line generic.metrics.v1 document.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.rfind("{\"schema\": \"generic.metrics.v1\"", 0), 0u)
+        << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  // At least one periodic line plus the final snapshot at destruction.
+  EXPECT_GE(lines, 2u);
+#if GENERIC_OBS_ENABLED
+  EXPECT_NE(content.find("\"test.stream_counter\": 3"), std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsExport, StreamingIgnoredWithoutMetricsPath) {
+  Session session("", "");
+  session.stream_metrics_every(0.01);  // must be a harmless no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+}
+
 TEST_F(ObsExport, CollectMetricsReportsProcessFacts) {
   set_metrics(true);
   GENERIC_COUNTER_ADD("test.collect", 2);

@@ -1,0 +1,106 @@
+// BoundedQueue: FIFO order, capacity refusal, close semantics, and an
+// MPMC stress that the tsan preset runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+
+namespace generic::serve {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueueTest, TryPopOnEmpty) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));      // refused after close
+  EXPECT_FALSE(q.try_push(3));
+  auto a = q.pop();
+  auto b = q.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, MpmcStressKeepsEveryItem) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 1000;
+  BoundedQueue<std::uint64_t> q(8);  // small: exercises backpressure
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto item = static_cast<std::uint64_t>(p) * kPerProducer +
+                          static_cast<std::uint64_t>(i);
+        ASSERT_TRUE(q.push(item));
+      }
+    });
+  }
+  std::mutex mu;
+  std::vector<std::uint64_t> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<std::uint64_t> local;
+      while (auto item = q.pop()) local.push_back(*item);
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(seen.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace generic::serve

@@ -1,0 +1,128 @@
+// Serving policies: ladder construction, backoff determinism and bounds,
+// and the SLO controller's step-down / step-up / cooldown behaviour.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/policy.h"
+
+namespace generic::serve {
+namespace {
+
+TEST(ServePolicyTest, LadderMatchesFig5) {
+  EXPECT_EQ(dims_ladder(4096, 128, 512),
+            (std::vector<std::size_t>{4096, 2048, 1024, 512}));
+}
+
+TEST(ServePolicyTest, LadderRoundsRungsToChunkGrid) {
+  // 768 halves to 384 then 192; 192 rounds down to the 128 grid == floor.
+  EXPECT_EQ(dims_ladder(768, 128, 100),
+            (std::vector<std::size_t>{768, 384, 128}));
+}
+
+TEST(ServePolicyTest, LadderFloorNeverBelowOneChunk) {
+  EXPECT_EQ(dims_ladder(512, 128, 0),
+            (std::vector<std::size_t>{512, 256, 128}));
+}
+
+TEST(ServePolicyTest, LadderDegenerateSingleRung) {
+  EXPECT_EQ(dims_ladder(512, 128, 512), (std::vector<std::size_t>{512}));
+}
+
+TEST(ServePolicyTest, LadderRejectsNonChunkMultiple) {
+  EXPECT_THROW(dims_ladder(1000, 128, 128), std::invalid_argument);
+  EXPECT_THROW(dims_ladder(0, 128, 128), std::invalid_argument);
+}
+
+TEST(ServePolicyTest, BackoffDeterministicAndBounded) {
+  const BackoffPolicy policy(100, 0.25);
+  Rng a(42), b(42);
+  for (std::uint32_t attempt = 1; attempt <= 5; ++attempt) {
+    const std::uint64_t da = policy.delay_us(attempt, a);
+    const std::uint64_t db = policy.delay_us(attempt, b);
+    EXPECT_EQ(da, db);  // same stream, same delays
+    const double exp = 100.0 * static_cast<double>(1u << (attempt - 1));
+    EXPECT_GE(static_cast<double>(da), exp * 0.75 - 1.0);
+    EXPECT_LE(static_cast<double>(da), exp * 1.25 + 1.0);
+  }
+}
+
+TEST(ServePolicyTest, BackoffRejectsAttemptZero) {
+  const BackoffPolicy policy(100, 0.25);
+  Rng rng(1);
+  EXPECT_THROW(policy.delay_us(0, rng), std::invalid_argument);
+}
+
+ServeConfig controller_config() {
+  ServeConfig cfg;
+  cfg.slo_us = 1000;
+  cfg.ewma_alpha = 1.0;  // EWMA == last sample: crisp thresholds
+  cfg.cooldown = 0;
+  cfg.step_up_frac = 0.5;
+  cfg.low_water = 4;
+  return cfg;
+}
+
+TEST(ServePolicyTest, ControllerWalksDownUnderSloBreach) {
+  DegradeController ctl({4096, 2048, 1024, 512}, controller_config());
+  EXPECT_EQ(ctl.dims(), 4096u);
+  for (int i = 0; i < 10; ++i) ctl.on_completion(2000, 0);
+  EXPECT_EQ(ctl.rung(), 3u);  // clamped at the floor rung
+  EXPECT_EQ(ctl.dims(), 512u);
+  EXPECT_EQ(ctl.steps_down(), 3u);
+}
+
+TEST(ServePolicyTest, ControllerStepsUpOnlyWhenCalmAndShallow) {
+  DegradeController ctl({4096, 2048, 1024, 512}, controller_config());
+  for (int i = 0; i < 4; ++i) ctl.on_completion(2000, 0);
+  ASSERT_EQ(ctl.rung(), 3u);
+  // Fast latencies but a deep queue: must NOT step up.
+  for (int i = 0; i < 4; ++i) ctl.on_completion(100, 10);
+  EXPECT_EQ(ctl.rung(), 3u);
+  // Fast and shallow: walks back to full dimensions.
+  for (int i = 0; i < 4; ++i) ctl.on_completion(100, 0);
+  EXPECT_EQ(ctl.rung(), 0u);
+  EXPECT_EQ(ctl.steps_up(), 3u);
+}
+
+TEST(ServePolicyTest, ControllerLatencyBetweenThresholdsHolds) {
+  DegradeController ctl({4096, 2048}, controller_config());
+  ctl.on_completion(2000, 0);
+  ASSERT_EQ(ctl.rung(), 1u);
+  // 600us: below the SLO but above step_up_frac * slo == 500us.
+  for (int i = 0; i < 8; ++i) ctl.on_completion(600, 0);
+  EXPECT_EQ(ctl.rung(), 1u);
+}
+
+TEST(ServePolicyTest, ControllerCooldownSpacesMoves) {
+  ServeConfig cfg = controller_config();
+  cfg.cooldown = 3;
+  DegradeController ctl({4096, 2048, 1024, 512}, cfg);
+  ctl.on_completion(2000, 0);  // first move is allowed immediately
+  EXPECT_EQ(ctl.rung(), 1u);
+  ctl.on_completion(2000, 0);  // cooldown: held
+  ctl.on_completion(2000, 0);
+  ctl.on_completion(2000, 0);
+  EXPECT_EQ(ctl.rung(), 1u);
+  ctl.on_completion(2000, 0);  // cooldown elapsed
+  EXPECT_EQ(ctl.rung(), 2u);
+}
+
+TEST(ServePolicyTest, ControllerRejectsEmptyLadder) {
+  EXPECT_THROW(DegradeController({}, controller_config()),
+               std::invalid_argument);
+}
+
+TEST(ServePolicyTest, OutcomeNamesAreStable) {
+  EXPECT_EQ(outcome_name(Outcome::kOk), "ok");
+  EXPECT_EQ(outcome_name(Outcome::kRetried), "retried");
+  EXPECT_EQ(outcome_name(Outcome::kDegraded), "degraded");
+  EXPECT_EQ(outcome_name(Outcome::kShed), "shed");
+  EXPECT_EQ(outcome_name(Outcome::kTimeout), "timeout");
+  EXPECT_EQ(outcome_name(Outcome::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace generic::serve

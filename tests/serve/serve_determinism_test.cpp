@@ -1,0 +1,132 @@
+// Thread-count independence of the serving engine: the full
+// generic.serve.v1 report — every admission, shed, retry, timeout and
+// ladder move, every latency bucket and accuracy tally — must render to
+// byte-identical JSON for pool widths {1, 2, 7}, and re-running the same
+// width must reproduce itself. This extends the seed-equivalence contract
+// of tests/model/test_parallel_determinism.cpp up through the serving
+// layer: the virtual-time control loop is the only decision maker, and the
+// pool only executes prediction batches that are themselves bit-identical
+// at any lane count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "serve/engine.h"
+#include "serve_test_util.h"
+
+namespace generic::serve {
+namespace {
+
+ServeConfig stress_config() {
+  ServeConfig cfg;
+  cfg.servers = 2;
+  cfg.queue_capacity = 64;
+  cfg.high_water = 32;
+  cfg.low_water = 4;
+  cfg.deadline_us = 4000;
+  cfg.slo_us = 1500;
+  cfg.max_attempts = 3;
+  cfg.service_base_us = 900;
+  cfg.service_jitter = 0.2;
+  cfg.fault_rate = 0.2;  // plenty of retries in the mix
+  cfg.fault_bit_rate = 0.5;
+  cfg.min_dims = 128;
+  cfg.cooldown = 4;
+  cfg.compute_batch = 8;
+  return cfg;
+}
+
+/// Seeded open-loop trace shared by every run: Poisson arrivals at ~2500
+/// rps (over the 2 * 1111 rps full-dims capacity, so everything happens:
+/// queueing, shedding, degradation, timeouts, retries).
+std::vector<Request> make_trace(const ServeConfig& cfg, std::size_t n,
+                                std::size_t num_queries) {
+  Rng gen(cfg.seed ^ 0x0A11CE5ull);
+  std::vector<Request> trace;
+  std::uint64_t vt = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gap = -std::log(1.0 - gen.uniform()) * 400.0;
+    vt += static_cast<std::uint64_t>(
+        std::max<long long>(std::llround(gap), 1));
+    Request r;
+    r.id = i;
+    r.arrival_us = vt;
+    r.deadline_us = vt + cfg.deadline_us;
+    r.query = static_cast<std::size_t>(gen.below(num_queries));
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+std::string run_once(const test::TinyWorkload& w,
+                     const std::vector<Request>& trace,
+                     const ServeConfig& cfg, std::size_t lanes) {
+  ThreadPool pool(lanes);
+  ServeEngine engine(w.clf, w.queries, w.labels, cfg, pool);
+  std::vector<ResponseFuture> futures;
+  for (const Request& r : trace) futures.push_back(engine.submit(r));
+  const ServeReport rep = engine.finish();
+  for (const auto& f : futures)  // every future resolved after finish()
+    EXPECT_TRUE(f.try_get().has_value());
+  return serve_report_to_json(rep);
+}
+
+TEST(ServeDeterminismTest, ReportByteIdenticalAcrossLaneCounts) {
+  const test::TinyWorkload w = test::make_workload(96);
+  const ServeConfig cfg = stress_config();
+  const auto trace = make_trace(cfg, 400, w.queries.size());
+
+  const std::string baseline = run_once(w, trace, cfg, 1);
+  // The scenario must actually exercise the resilient paths, or identical
+  // reports would prove nothing.
+  EXPECT_EQ(baseline.find("\"degraded\": 0,"), std::string::npos);
+  EXPECT_EQ(baseline.find("\"retried\": 0,"), std::string::npos);
+  EXPECT_NE(baseline.find("\"schema\": \"generic.serve.v1\""),
+            std::string::npos);
+  for (const std::size_t lanes : {2ul, 7ul}) {
+    EXPECT_EQ(baseline, run_once(w, trace, cfg, lanes))
+        << "report differs at lanes=" << lanes;
+  }
+}
+
+TEST(ServeDeterminismTest, SameLaneCountReproducesItself) {
+  const test::TinyWorkload w = test::make_workload(64);
+  const ServeConfig cfg = stress_config();
+  const auto trace = make_trace(cfg, 200, w.queries.size());
+  EXPECT_EQ(run_once(w, trace, cfg, 2), run_once(w, trace, cfg, 2));
+}
+
+TEST(ServeDeterminismTest, ReportCountsAreConsistent) {
+  const test::TinyWorkload w = test::make_workload(64);
+  const ServeConfig cfg = stress_config();
+  const auto trace = make_trace(cfg, 300, w.queries.size());
+  ThreadPool pool(2);
+  ServeEngine engine(w.clf, w.queries, w.labels, cfg, pool);
+  for (const Request& r : trace) (void)engine.submit(r);
+  const ServeReport rep = engine.finish();
+
+  std::uint64_t total = 0;
+  for (const auto c : rep.outcomes) total += c;
+  EXPECT_EQ(total, rep.requests);
+  EXPECT_EQ(rep.requests, trace.size());
+  EXPECT_EQ(rep.served,
+            rep.outcomes[static_cast<std::size_t>(Outcome::kOk)] +
+                rep.outcomes[static_cast<std::size_t>(Outcome::kRetried)] +
+                rep.outcomes[static_cast<std::size_t>(Outcome::kDegraded)]);
+  EXPECT_EQ(rep.latency.count, rep.served);
+  std::uint64_t rung_served = 0, rung_correct = 0;
+  for (const auto& r : rep.rungs) {
+    rung_served += r.served;
+    rung_correct += r.correct;
+  }
+  EXPECT_EQ(rung_served, rep.served);
+  EXPECT_EQ(rung_correct, rep.correct);
+  EXPECT_GE(rep.attempts, rep.served);
+}
+
+}  // namespace
+}  // namespace generic::serve

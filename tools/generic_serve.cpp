@@ -1,0 +1,206 @@
+// generic_serve — resilient serving demo over a trained HDC classifier
+// (docs/serving.md).
+//
+//   generic_serve [--quick] [--dataset=FACE] [--requests=N] [--rate=RPS]
+//                 [--servers=2] [--deadline-us=4000] [--slo-us=2000]
+//                 [--max-attempts=3] [--min-dims=512]
+//                 [--service-base-us=900] [--fault-rate=P]
+//                 [--fault-bit-rate=P] [--dead-chunks=K] [--seed=S]
+//                 [--threads=N] [--out=serve.json]
+//                 [--trace=out.json] [--metrics=out.json]
+//                 [--metrics-every=SECONDS]
+//
+// Trains a classifier on a Table 1 benchmark clone in-process, then drives
+// it through the ServeEngine with a seeded open-loop Poisson load: arrival
+// times are VIRTUAL microseconds derived from the rng stream, never the
+// wall clock, so the run — every admission, shed, retry, timeout and
+// ladder move, and the whole generic.serve.v1 report — is byte-identical
+// for a fixed (flags, seed) at any --threads value.
+//
+// Knobs for the acceptance scenario: --rate above the service capacity
+// (servers * 1e6 / service-base-us) forces overload so the SLO ladder
+// engages; --fault-rate injects per-attempt transient upsets (real bit
+// flips at --fault-bit-rate, detected by parity and retried with backoff);
+// --dead-chunks kills K dimension blocks in the model and serves around
+// them through the masked prediction path.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "data/benchmarks.h"
+#include "encoding/encoders.h"
+#include "model/pipeline.h"
+#include "obs/export.h"
+#include "resilience/fault_model.h"
+#include "serve/engine.h"
+
+using namespace generic;
+
+namespace {
+
+double fvalue(bench::Flags& flags, std::string_view key, double fallback) {
+  const std::string v = flags.value(key, "");
+  return v.empty() ? fallback : std::stod(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const std::string name = flags.value("--dataset", "FACE");
+  const std::size_t dims = quick ? 2048 : 4096;
+  const std::size_t epochs = quick ? 5 : 20;
+  const std::size_t requests = flags.size("--requests", quick ? 800 : 4000);
+  const std::size_t rate_rps = flags.size("--rate", 1800);
+
+  serve::ServeConfig cfg;
+  cfg.servers = flags.size("--servers", cfg.servers);
+  cfg.deadline_us = flags.size("--deadline-us", cfg.deadline_us);
+  cfg.slo_us = flags.size("--slo-us", cfg.slo_us);
+  cfg.max_attempts =
+      static_cast<std::uint32_t>(flags.size("--max-attempts", cfg.max_attempts));
+  cfg.min_dims = flags.size("--min-dims", cfg.min_dims);
+  cfg.service_base_us = flags.size("--service-base-us", cfg.service_base_us);
+  cfg.fault_rate = fvalue(flags, "--fault-rate", cfg.fault_rate);
+  cfg.fault_bit_rate = fvalue(flags, "--fault-bit-rate", cfg.fault_bit_rate);
+  cfg.seed = flags.size("--seed", cfg.seed);
+
+  const std::size_t dead_chunks = flags.size("--dead-chunks", 0);
+  const std::size_t threads = flags.threads();
+  const std::string out_path = flags.value("--out", "");
+  const double metrics_every = fvalue(flags, "--metrics-every", 0.0);
+  obs::Session obs_session(flags.value("--trace", ""),
+                           flags.value("--metrics", ""));
+  obs_session.stream_metrics_every(metrics_every);
+  flags.done();
+
+  if (rate_rps == 0) {
+    std::fprintf(stderr, "error: --rate must be positive\n");
+    return 1;
+  }
+
+  set_global_threads(threads);
+  ThreadPool& pool = global_pool();
+
+  const auto ds = data::make_benchmark(name);
+  enc::EncoderConfig ecfg;
+  ecfg.dims = dims;
+  enc::GenericEncoder encoder(ecfg);
+  encoder.fit(ds.train_x);
+  const auto train = model::encode_all(encoder, ds.train_x);
+  const auto test = model::encode_all(encoder, ds.test_x);
+  model::HdcClassifier clf(dims, ds.num_classes);
+  clf.fit_parallel(train, ds.train_y, epochs, pool);
+
+  // Optional faulty-block scenario: actually kill the blocks in class
+  // memory, then tell the engine which chunks to serve around — the
+  // BlockGuard-style graceful-degradation path.
+  std::vector<bool> chunk_ok;
+  if (dead_chunks > 0) {
+    if (dead_chunks >= clf.num_chunks()) {
+      std::fprintf(stderr, "error: --dead-chunks must be < %zu\n",
+                   clf.num_chunks());
+      return 1;
+    }
+    chunk_ok.assign(clf.num_chunks(), true);
+    Rng pick(cfg.seed ^ 0xDEADB10CULL);
+    std::vector<std::size_t> dead;
+    while (dead.size() < dead_chunks) {
+      // Chunk 0 stays alive so every ladder rung keeps a healthy chunk.
+      const auto k = static_cast<std::size_t>(
+          1 + pick.below(clf.num_chunks() - 1));
+      if (chunk_ok[k]) {
+        chunk_ok[k] = false;
+        dead.push_back(k);
+      }
+    }
+    resilience::inject_dead_blocks(clf, dead);
+  }
+
+  serve::ServeEngine engine(clf, test, ds.test_y, cfg, pool, chunk_ok);
+
+  // Seeded open-loop Poisson load: exponential inter-arrival gaps on the
+  // virtual clock, query drawn uniformly from the test set.
+  Rng gen(cfg.seed ^ 0x0A11CE5ULL);
+  const double mean_gap_us = 1e6 / static_cast<double>(rate_rps);
+  std::uint64_t vt = 0;
+  std::vector<serve::ResponseFuture> futures;
+  futures.reserve(requests);
+  for (std::size_t id = 0; id < requests; ++id) {
+    const double gap = -std::log(1.0 - gen.uniform()) * mean_gap_us;
+    vt += static_cast<std::uint64_t>(std::max<long long>(std::llround(gap), 1));
+    serve::Request req;
+    req.id = id;
+    req.arrival_us = vt;
+    req.deadline_us = vt + cfg.deadline_us;
+    req.query = static_cast<std::size_t>(gen.below(test.size()));
+    futures.push_back(engine.submit(req));
+  }
+  const serve::ServeReport report = engine.finish();
+
+  // Cross-check: the futures the callers hold must tell the same story as
+  // the engine's own tally.
+  std::array<std::uint64_t, serve::kNumOutcomes> seen{};
+  for (const auto& f : futures) {
+    const auto r = f.try_get();
+    if (!r.has_value()) {
+      std::fprintf(stderr, "error: unresolved future after finish()\n");
+      return 1;
+    }
+    ++seen[static_cast<std::size_t>(r->outcome)];
+  }
+  if (seen != report.outcomes) {
+    std::fprintf(stderr, "error: future outcomes disagree with report\n");
+    return 1;
+  }
+
+  std::printf("generic_serve: %s, D=%zu, %zu requests at %zu rps "
+              "(capacity ~%.0f rps), %zu threads\n",
+              name.c_str(), dims, requests, rate_rps,
+              static_cast<double>(cfg.servers) * 1e6 /
+                  static_cast<double>(cfg.service_base_us),
+              threads);
+  bench::print_rule(72);
+  std::printf("%-10s %8s\n", "outcome", "count");
+  for (std::size_t i = 0; i < serve::kNumOutcomes; ++i)
+    std::printf("%-10s %8llu\n",
+                std::string(serve::outcome_name(
+                                static_cast<serve::Outcome>(i)))
+                    .c_str(),
+                static_cast<unsigned long long>(report.outcomes[i]));
+  bench::print_rule(72);
+  std::printf("served %llu/%llu, throughput %.1f rps (virtual), "
+              "accuracy %.4f\n",
+              static_cast<unsigned long long>(report.served),
+              static_cast<unsigned long long>(report.requests),
+              report.throughput_rps,
+              report.served == 0 ? 0.0
+                                 : static_cast<double>(report.correct) /
+                                       static_cast<double>(report.served));
+  std::printf("latency p50/p95/p99: %llu / %llu / %llu us (virtual)\n",
+              static_cast<unsigned long long>(report.latency.percentile(0.5)),
+              static_cast<unsigned long long>(report.latency.percentile(0.95)),
+              static_cast<unsigned long long>(report.latency.percentile(0.99)));
+  std::printf("ladder: %llu down / %llu up, final rung %zu\n",
+              static_cast<unsigned long long>(report.steps_down),
+              static_cast<unsigned long long>(report.steps_up),
+              report.final_rung);
+  for (const auto& r : report.rungs)
+    std::printf("  rung D=%-5zu (%zu chunks): served %llu, accuracy %.4f\n",
+                r.dims, r.active_chunks,
+                static_cast<unsigned long long>(r.served),
+                r.served == 0 ? 0.0
+                              : static_cast<double>(r.correct) /
+                                    static_cast<double>(r.served));
+
+  obs_session.set_pool_stats(pool.stats());
+  if (!out_path.empty()) {
+    serve::write_serve_json(out_path, report);
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
