@@ -1,0 +1,94 @@
+#include "data/drift.h"
+
+#include <stdexcept>
+
+#include "data/generators.h"
+
+namespace generic::data {
+
+namespace {
+
+// Distinct sub-stream tags for the stream's derived generators.
+constexpr std::uint64_t kTemplateStream = 0x7E3A11;
+constexpr std::uint64_t kShiftStream = 0x5111F7;
+// Dataset indices start far above any realistic trace position so the
+// evaluation splits never reuse a served request's sample.
+constexpr std::uint64_t kDatasetBase = 1ULL << 40;
+
+}  // namespace
+
+DriftStream::DriftStream(const DriftStreamSpec& spec) : spec_(spec) {
+  if (spec.classes == 0 || spec.features == 0)
+    throw std::invalid_argument("DriftStream: zero-sized parameter");
+  if (spec.severity < 0.0 || spec.severity > 1.0)
+    throw std::invalid_argument("DriftStream: severity must be in [0, 1]");
+
+  TemplateSpec tspec;
+  tspec.classes = spec.classes;
+  tspec.features = spec.features;
+  tspec.smoothness = spec.smoothness;
+  tspec.amplitude = spec.amplitude;
+  tspec.noise = spec.noise;
+
+  Rng pre_rng(spec.seed ^ kTemplateStream);
+  pre_ = make_templates(tspec, pre_rng);
+  Rng shift_rng(spec.seed ^ kShiftStream);
+  const auto fresh = make_templates(tspec, shift_rng);
+
+  // post[c] = (1 - severity) * pre[c] + severity * fresh[c]: the class
+  // means move toward unrelated curves, so a model frozen on `pre_` keeps
+  // losing margin as severity grows while the post-shift classes stay
+  // mutually separable (fresh templates are as distinct as the originals).
+  post_.resize(spec.classes);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    post_[c] = pre_[c];
+    for (float& v : post_[c]) v *= static_cast<float>(1.0 - spec.severity);
+    mix_into(post_[c], fresh[c], static_cast<float>(spec.severity));
+  }
+}
+
+Rng DriftStream::index_rng(std::uint64_t index) const {
+  // Same per-id stream derivation as the serve trace generator: one
+  // independent deterministic stream per index, no shared state.
+  return Rng(spec_.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+}
+
+int DriftStream::label_at(std::uint64_t index) const {
+  Rng rng = index_rng(index);
+  return static_cast<int>(rng.below(spec_.classes));
+}
+
+DriftStream::Sample DriftStream::sample(std::uint64_t index,
+                                        bool post_shift) const {
+  Rng rng = index_rng(index);
+  Sample s;
+  s.label = static_cast<int>(rng.below(spec_.classes));
+  const auto& tmpl =
+      (post_shift ? post_ : pre_)[static_cast<std::size_t>(s.label)];
+  s.x = sample_template(tmpl, spec_.noise, rng);
+  return s;
+}
+
+void DriftStream::fill(std::uint64_t begin, std::size_t count, bool post_shift,
+                       std::vector<std::vector<float>>& xs,
+                       std::vector<int>& ys) const {
+  xs.reserve(xs.size() + count);
+  ys.reserve(ys.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Sample s = sample(begin + i, post_shift);
+    xs.push_back(std::move(s.x));
+    ys.push_back(s.label);
+  }
+}
+
+Dataset DriftStream::make_dataset(std::size_t train, std::size_t test,
+                                  bool post_shift) const {
+  Dataset ds;
+  ds.name = post_shift ? "drift-post" : "drift-pre";
+  ds.num_classes = spec_.classes;
+  fill(kDatasetBase, train, post_shift, ds.train_x, ds.train_y);
+  fill(kDatasetBase + train, test, post_shift, ds.test_x, ds.test_y);
+  return ds;
+}
+
+}  // namespace generic::data

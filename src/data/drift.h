@@ -1,0 +1,82 @@
+// Concept-shift stream for the online-lifecycle scenario (docs/lifecycle.md).
+//
+// A DriftStream is an infinite, seeded, labeled sample stream with two
+// regimes over the same label space: before the shift, samples come from
+// one set of per-class templates; after it, each class's template is
+// blended toward a fresh curve (`severity` controls how far). That is
+// concept drift in the p(x | y) sense: the label marginal is unchanged,
+// but a model frozen on the pre-shift regime measurably loses accuracy on
+// the post-shift one — and can win it back by retraining on post-shift
+// samples, which is exactly the loop src/lifecycle closes.
+//
+// Determinism contract: sample(i, regime) is a pure function of
+// (spec, i, regime). Every index derives its own Rng stream, so samples can
+// be drawn in any order, from any thread, with no shared generator state —
+// the label sequence in particular is byte-stable across runs and thread
+// counts (tests/data/drift_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace generic::data {
+
+struct DriftStreamSpec {
+  std::size_t classes = 6;
+  std::size_t features = 64;
+  double smoothness = 0.9;   ///< AR(1) coefficient of the class templates
+  double amplitude = 1.0;    ///< template scale
+  double noise = 0.3;        ///< iid Gaussian noise per feature
+  /// Blend weight of the post-shift templates: 0 = no drift, 1 = every
+  /// class replaced by an unrelated fresh curve.
+  double severity = 0.75;
+  std::uint64_t seed = 0xD21F7;
+};
+
+class DriftStream {
+ public:
+  struct Sample {
+    std::vector<float> x;
+    int label = 0;
+  };
+
+  explicit DriftStream(const DriftStreamSpec& spec);
+
+  /// Labeled sample `index` of the requested regime. The label depends only
+  /// on (seed, index) — NOT on the regime — so the same trace position keeps
+  /// the same ground truth across the shift while its features move.
+  Sample sample(std::uint64_t index, bool post_shift) const;
+
+  /// Label of sample `index` without materializing the features.
+  int label_at(std::uint64_t index) const;
+
+  /// `count` consecutive samples starting at `begin`, one regime.
+  void fill(std::uint64_t begin, std::size_t count, bool post_shift,
+            std::vector<std::vector<float>>& xs, std::vector<int>& ys) const;
+
+  /// Train/test dataset drawn from one regime (indices are offset far from
+  /// the serving trace so evaluation data never aliases served requests).
+  Dataset make_dataset(std::size_t train, std::size_t test,
+                       bool post_shift) const;
+
+  const DriftStreamSpec& spec() const { return spec_; }
+  const std::vector<float>& pre_template(std::size_t c) const {
+    return pre_.at(c);
+  }
+  const std::vector<float>& post_template(std::size_t c) const {
+    return post_.at(c);
+  }
+
+ private:
+  Rng index_rng(std::uint64_t index) const;
+
+  DriftStreamSpec spec_;
+  std::vector<std::vector<float>> pre_;   ///< per-class pre-shift templates
+  std::vector<std::vector<float>> post_;  ///< blended post-shift templates
+};
+
+}  // namespace generic::data

@@ -1,0 +1,72 @@
+#include "lifecycle/drift_detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace generic::lifecycle {
+
+DriftDetector::DriftDetector(const DriftConfig& cfg) : cfg_(cfg) {
+  if (cfg.margin_alpha <= 0.0 || cfg.margin_alpha > 1.0)
+    throw std::invalid_argument("DriftDetector: margin_alpha must be in (0, 1]");
+  if (cfg.accuracy_alpha <= 0.0 || cfg.accuracy_alpha > 1.0)
+    throw std::invalid_argument(
+        "DriftDetector: accuracy_alpha must be in (0, 1]");
+  if (cfg.ph_lambda <= 0.0)
+    throw std::invalid_argument("DriftDetector: ph_lambda must be positive");
+  if (cfg.ph_delta < 0.0)
+    throw std::invalid_argument("DriftDetector: ph_delta must be >= 0");
+  if (cfg.accuracy_drop <= 0.0 || cfg.accuracy_drop >= 1.0)
+    throw std::invalid_argument(
+        "DriftDetector: accuracy_drop must be in (0, 1)");
+}
+
+void DriftDetector::observe_margin(double margin) {
+  ++n_;
+  mean_ += (margin - mean_) / static_cast<double>(n_);
+  // Page–Hinkley, downward-shift form: cum_ accumulates how far margins sit
+  // BELOW the running mean (minus the delta allowance); the test statistic
+  // is cum_ - min cum_, which stays near zero in-regime and climbs once the
+  // margin distribution shifts down.
+  cum_ += mean_ - margin - cfg_.ph_delta;
+  min_cum_ = std::min(min_cum_, cum_);
+  if (!margin_seeded_) {
+    margin_ewma_ = margin;
+    margin_seeded_ = true;
+  } else {
+    margin_ewma_ += cfg_.margin_alpha * (margin - margin_ewma_);
+  }
+  if (n_ > cfg_.warmup && cum_ - min_cum_ > cfg_.ph_lambda) alarmed_ = true;
+}
+
+void DriftDetector::observe_canary(bool correct) {
+  ++canaries_;
+  const double x = correct ? 1.0 : 0.0;
+  if (canaries_ == 1) {
+    accuracy_ewma_ = x;
+  } else {
+    accuracy_ewma_ += cfg_.accuracy_alpha * (x - accuracy_ewma_);
+  }
+  if (canaries_ >= cfg_.canary_warmup) {
+    peak_accuracy_ = std::max(peak_accuracy_, accuracy_ewma_);
+    if (peak_accuracy_ - accuracy_ewma_ > cfg_.accuracy_drop) alarmed_ = true;
+  }
+}
+
+double DriftDetector::drift_score() const {
+  return (cum_ - min_cum_) / cfg_.ph_lambda;
+}
+
+void DriftDetector::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  cum_ = 0.0;
+  min_cum_ = 0.0;
+  margin_ewma_ = 0.0;
+  margin_seeded_ = false;
+  canaries_ = 0;
+  accuracy_ewma_ = 0.0;
+  peak_accuracy_ = 0.0;
+  alarmed_ = false;
+}
+
+}  // namespace generic::lifecycle

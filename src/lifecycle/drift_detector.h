@@ -1,0 +1,85 @@
+// Concept-drift detection over the serving engine's observation stream
+// (docs/lifecycle.md).
+//
+// Two complementary signals, both in the engine's VIRTUAL time:
+//
+//  * Prediction margins (the normalized top1-vs-top2 score gap of every
+//    served request, model::Prediction::margin in [0, 1]) through a
+//    Page–Hinkley test for a downward mean shift: with running
+//    mean m_t of the margins x_1..x_t, the statistic
+//        c_t = sum_{i<=t} (m_i - x_i - delta),  PH_t = c_t - min_i c_i
+//    alarms when PH_t > lambda. Margins need no labels, so this watches
+//    every request, and it reacts to "the model is less sure" well before
+//    accuracy itself is measurable.
+//  * Canary accuracy: an EWMA over the labeled canary subset, compared
+//    against the best EWMA seen since (re)arming. A drop of more than
+//    `accuracy_drop` is the direct, slower signal.
+//
+// Either signal raises the alarm. Every update is a fixed sequence of
+// double operations on a deterministic observation stream, so alarm
+// positions are byte-stable across --threads (the determinism contract the
+// lifecycle report relies on).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace generic::lifecycle {
+
+struct DriftConfig {
+  double margin_alpha = 0.05;   ///< margin EWMA weight (report signal)
+  double accuracy_alpha = 0.1;  ///< canary-accuracy EWMA weight
+  std::size_t warmup = 64;      ///< margin observations before PH arms
+  std::size_t canary_warmup = 16;  ///< canaries before the accuracy test arms
+  double ph_delta = 0.01;       ///< PH allowance: drift smaller than this is noise
+  double ph_lambda = 2.5;       ///< PH alarm threshold
+  double accuracy_drop = 0.15;  ///< alarm when EWMA falls this far below peak
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftConfig& cfg);
+
+  /// Feed the margin of one served request (any request, labeled or not).
+  void observe_margin(double margin);
+
+  /// Feed one labeled canary outcome.
+  void observe_canary(bool correct);
+
+  /// True once either signal has crossed its threshold; sticky until reset().
+  bool alarmed() const { return alarmed_; }
+
+  /// Page–Hinkley statistic normalized by lambda (>= 1 means alarming) —
+  /// the "drift score" of generic.lifecycle.v1.
+  double drift_score() const;
+
+  /// Re-arm after a swap or rollback: the model changed, so margin and
+  /// accuracy baselines start over (full warmup again).
+  void reset();
+
+  double margin_ewma() const { return margin_ewma_; }
+  double accuracy_ewma() const { return accuracy_ewma_; }
+  double peak_accuracy() const { return peak_accuracy_; }
+  std::uint64_t observations() const { return n_; }
+  std::uint64_t canaries() const { return canaries_; }
+
+ private:
+  DriftConfig cfg_;
+
+  // Margin / Page–Hinkley state.
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;      ///< running mean of margins
+  double cum_ = 0.0;       ///< PH cumulative downward deviation
+  double min_cum_ = 0.0;   ///< min_i cum_i (statistic is cum_ - min_cum_)
+  double margin_ewma_ = 0.0;
+  bool margin_seeded_ = false;
+
+  // Canary accuracy state.
+  std::uint64_t canaries_ = 0;
+  double accuracy_ewma_ = 0.0;
+  double peak_accuracy_ = 0.0;
+
+  bool alarmed_ = false;
+};
+
+}  // namespace generic::lifecycle

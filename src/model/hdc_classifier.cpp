@@ -233,6 +233,79 @@ std::vector<int> HdcClassifier::predict_masked_batch(
   return out;
 }
 
+namespace {
+
+/// Fixed-order argmax with runner-up tracking. `scorer(c)` must be the
+/// exact score expression the plain predict path uses so cls matches it
+/// bit-for-bit. The margin is NORMALIZED: (best - second) / (|best| +
+/// |second|), which lands in [0, 1] regardless of dims, bit width or norm
+/// magnitudes — so downstream consumers (the lifecycle drift detector) can
+/// use scale-free thresholds. 0 with fewer than two classes or two zero
+/// scores.
+template <typename Scorer>
+Prediction argmax_with_margin(std::size_t num_classes, Scorer&& scorer) {
+  Prediction p;
+  double best = -std::numeric_limits<double>::infinity();
+  double second = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double s = scorer(c);
+    if (s > best) {
+      second = best;
+      best = s;
+      p.cls = static_cast<int>(c);
+    } else if (s > second) {
+      second = s;
+    }
+  }
+  if (num_classes >= 2) {
+    const double denom = std::abs(best) + std::abs(second);
+    p.margin = denom > 0.0 ? (best - second) / denom : 0.0;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<Prediction> HdcClassifier::predict_reduced_margin_batch(
+    std::span<const hdc::IntHV> queries, std::size_t dims_used, NormMode mode,
+    ThreadPool& pool) const {
+  GENERIC_SPAN("predict.batch");
+  std::vector<Prediction> out(queries.size());
+  pool.parallel_for(queries.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      GENERIC_SPAN("predict.chunk");
+                      for (std::size_t i = begin; i < end; ++i) {
+                        GENERIC_COUNTER_ADD("predict.queries", 1);
+                        out[i] = argmax_with_margin(
+                            num_classes_, [&](std::size_t c) {
+                              return score(queries[i], c, dims_used, mode);
+                            });
+                      }
+                    });
+  return out;
+}
+
+std::vector<Prediction> HdcClassifier::predict_masked_margin_batch(
+    std::span<const hdc::IntHV> queries, const std::vector<bool>& chunk_ok,
+    ThreadPool& pool) const {
+  GENERIC_SPAN("predict.batch");
+  if (std::find(chunk_ok.begin(), chunk_ok.end(), true) == chunk_ok.end())
+    throw std::invalid_argument("predict_masked_margin_batch: all masked");
+  std::vector<Prediction> out(queries.size());
+  pool.parallel_for(queries.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      GENERIC_SPAN("predict.chunk");
+                      for (std::size_t i = begin; i < end; ++i) {
+                        GENERIC_COUNTER_ADD("predict.queries", 1);
+                        out[i] = argmax_with_margin(
+                            num_classes_, [&](std::size_t c) {
+                              return score_masked(queries[i], c, chunk_ok);
+                            });
+                      }
+                    });
+  return out;
+}
+
 void HdcClassifier::recompute_norms() {
   for (std::size_t c = 0; c < num_classes_; ++c) recompute_norms(c);
 }

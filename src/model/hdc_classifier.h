@@ -36,6 +36,17 @@ enum class NormMode {
   kUpdated,   ///< exact sub-norm of the dimensions actually used
 };
 
+/// Prediction with its confidence margin: (top1 - top2) / (|top1| + |top2|)
+/// over the same argmax scan — normalized so it lands in [0, 1] regardless
+/// of dims, bit width or norm magnitudes. A small margin means the winning
+/// class barely beat the runner-up — the signal the lifecycle drift
+/// detector watches (src/lifecycle/drift_detector.h). With a single class
+/// the margin is 0 by definition.
+struct Prediction {
+  int cls = 0;
+  double margin = 0.0;
+};
+
 class HdcClassifier {
  public:
   /// `chunk` is the sub-norm granularity; the ASIC uses 128 (§4.3.3).
@@ -103,6 +114,20 @@ class HdcClassifier {
   std::vector<int> predict_masked_batch(std::span<const hdc::IntHV> queries,
                                         const std::vector<bool>& chunk_ok,
                                         ThreadPool& pool) const;
+
+  /// Batched reduced-dimension inference with confidence margins:
+  /// out[i].cls == predict_reduced(queries[i], dims_used, mode) and
+  /// out[i].margin is the normalized top1-vs-top2 margin of that same scan.
+  /// Queries fan out across the pool into indexed slots, so the result is
+  /// bit-identical for any lane count (same contract as predict_batch).
+  std::vector<Prediction> predict_reduced_margin_batch(
+      std::span<const hdc::IntHV> queries, std::size_t dims_used,
+      NormMode mode, ThreadPool& pool) const;
+
+  /// Masked counterpart: out[i].cls == predict_masked(queries[i], chunk_ok).
+  std::vector<Prediction> predict_masked_margin_batch(
+      std::span<const hdc::IntHV> queries, const std::vector<bool>& chunk_ok,
+      ThreadPool& pool) const;
 
   /// Online adaptation: score one labelled encoding and, on a
   /// misprediction, apply the same subtract/add update as retraining.

@@ -11,6 +11,9 @@ namespace {
 constexpr std::array<std::uint8_t, 4> kMagic{'G', 'H', 'D', 'C'};
 constexpr std::uint32_t kVersion = 1;
 
+constexpr std::array<std::uint8_t, 4> kClassifierMagic{'G', 'C', 'L', 'S'};
+constexpr std::uint32_t kClassifierVersion = 1;
+
 class Writer {
  public:
   template <typename T>
@@ -102,7 +105,11 @@ SavedModel deserialize_model(const std::vector<std::uint8_t>& blob) {
   for (auto expected : kMagic)
     if (r.get<std::uint8_t>() != expected)
       throw std::invalid_argument("model blob bad magic");
-  if (r.get<std::uint32_t>() != kVersion)
+  const std::uint32_t version = r.get<std::uint32_t>();
+  // The CRC already passed, so a too-high version means an intact file from
+  // a newer writer, not corruption — report it as such.
+  if (version > kVersion) throw UnsupportedVersionError(version, kVersion);
+  if (version != kVersion)
     throw std::invalid_argument("model blob unsupported version");
 
   SavedModel out;
@@ -141,6 +148,69 @@ SavedModel deserialize_model(const std::vector<std::uint8_t>& blob) {
   out.classifier.recompute_norms();
   if (r.position() != body)
     throw std::invalid_argument("model blob trailing bytes");
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_classifier(
+    const HdcClassifier& classifier) {
+  Writer w;
+  for (auto b : kClassifierMagic) w.put(b);
+  w.put(kClassifierVersion);
+  w.put(static_cast<std::uint64_t>(classifier.dims()));
+  w.put(static_cast<std::uint64_t>(classifier.num_classes()));
+  w.put(static_cast<std::uint64_t>(classifier.dims() /
+                                   classifier.num_chunks()));
+  w.put(static_cast<std::int32_t>(classifier.bit_width()));
+  for (std::size_t c = 0; c < classifier.num_classes(); ++c)
+    for (std::int32_t v : classifier.class_vector(c)) w.put(v);
+  const std::uint32_t crc = crc32(w.buffer().data(), w.buffer().size());
+  w.put(crc);
+  return std::move(w.buffer());
+}
+
+HdcClassifier deserialize_classifier(const std::vector<std::uint8_t>& blob) {
+  if (blob.size() < kClassifierMagic.size() + sizeof(std::uint32_t) * 2)
+    throw std::invalid_argument("classifier blob too small");
+  const std::size_t body = blob.size() - sizeof(std::uint32_t);
+  std::uint32_t stored;
+  std::memcpy(&stored, blob.data() + body, sizeof(stored));
+  if (crc32(blob.data(), body) != stored)
+    throw std::invalid_argument("classifier blob CRC mismatch");
+
+  Reader r(blob);
+  for (auto expected : kClassifierMagic)
+    if (r.get<std::uint8_t>() != expected)
+      throw std::invalid_argument("classifier blob bad magic");
+  const std::uint32_t version = r.get<std::uint32_t>();
+  if (version > kClassifierVersion)
+    throw UnsupportedVersionError(version, kClassifierVersion);
+  if (version != kClassifierVersion)
+    throw std::invalid_argument("classifier blob unsupported version");
+
+  const auto dims = static_cast<std::size_t>(r.get<std::uint64_t>());
+  const auto classes = static_cast<std::size_t>(r.get<std::uint64_t>());
+  const auto chunk = static_cast<std::size_t>(r.get<std::uint64_t>());
+  const auto bit_width = r.get<std::int32_t>();
+  if (dims == 0 || classes == 0 || chunk == 0 || dims % chunk != 0)
+    throw std::invalid_argument("classifier blob inconsistent geometry");
+  if (bit_width < 1 || bit_width > 16)
+    throw std::invalid_argument("classifier blob bad bit width");
+  if (dims > (1ULL << 26) || classes > (1ULL << 20))
+    throw std::invalid_argument("classifier blob implausible geometry");
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(dims) * classes * sizeof(std::int32_t);
+  if (want != body - r.position())
+    throw std::invalid_argument("classifier blob payload size mismatch");
+
+  HdcClassifier out(dims, classes, chunk);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto& vec = out.mutable_class_vector(c);
+    for (std::size_t j = 0; j < dims; ++j) vec[j] = r.get<std::int32_t>();
+  }
+  out.set_bit_width(static_cast<int>(bit_width));
+  out.recompute_norms();
+  if (r.position() != body)
+    throw std::invalid_argument("classifier blob trailing bytes");
   return out;
 }
 

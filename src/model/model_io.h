@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,13 +32,46 @@ struct SavedModel {
   HdcClassifier classifier{128, 1, 128};
 };
 
+/// A structurally intact blob written by a NEWER tool than this reader: the
+/// magic and CRC check out but the schema version is above what we know how
+/// to parse. Distinct from plain std::invalid_argument (corruption) so
+/// deployment code can say "upgrade the reader" instead of "file damaged" —
+/// and so the lifecycle CheckpointStore does NOT quarantine such files.
+class UnsupportedVersionError : public std::invalid_argument {
+ public:
+  UnsupportedVersionError(std::uint32_t found, std::uint32_t supported)
+      : std::invalid_argument(
+            "model blob schema version " + std::to_string(found) +
+            " is newer than supported version " + std::to_string(supported)),
+        found_(found),
+        supported_(supported) {}
+
+  std::uint32_t found() const { return found_; }
+  std::uint32_t supported() const { return supported_; }
+
+ private:
+  std::uint32_t found_;
+  std::uint32_t supported_;
+};
+
 /// Serialize a trained model + the encoder settings it was built with.
 std::vector<std::uint8_t> serialize_model(const enc::Encoder& encoder,
                                           const HdcClassifier& classifier);
 
-/// Parse a blob; throws std::invalid_argument on any corruption
-/// (bad magic, version, truncation, CRC mismatch).
+/// Parse a blob; throws std::invalid_argument on any corruption (bad magic,
+/// truncation, CRC mismatch) and UnsupportedVersionError when the blob is
+/// intact but written with a newer schema version than this reader.
 SavedModel deserialize_model(const std::vector<std::uint8_t>& blob);
+
+/// Classifier-only image ("GCLS" magic, versioned, CRC footer): geometry,
+/// bit width and class elements without any encoder state. This is the
+/// payload the lifecycle CheckpointStore snapshots — retraining never
+/// changes the encoder, so re-serializing it per version would only bloat
+/// checkpoints and forbid classifier-only rollback.
+std::vector<std::uint8_t> serialize_classifier(const HdcClassifier& classifier);
+
+/// Parse a classifier-only blob; same error contract as deserialize_model.
+HdcClassifier deserialize_classifier(const std::vector<std::uint8_t>& blob);
 
 /// File convenience wrappers.
 void save_model_file(const std::string& path, const enc::Encoder& encoder,

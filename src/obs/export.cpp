@@ -301,6 +301,15 @@ std::string trace_to_json() {
     std::snprintf(buf, sizeof(buf), "%.3f",
                   static_cast<double>(e.end_ns - e.start_ns) * 1e-3);
     out += buf;
+    if (e.num_args > 0) {
+      out += ", \"args\": {";
+      for (std::uint32_t i = 0; i < e.num_args; ++i) {
+        if (i != 0) out += ", ";
+        append_json_string(out, e.args[i].key);
+        out += ": " + std::to_string(e.args[i].value);
+      }
+      out += "}";
+    }
     out += "}";
   }
   out += "\n],\n\"displayTimeUnit\": \"ms\",\n";

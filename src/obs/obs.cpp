@@ -161,11 +161,30 @@ std::uint64_t Registry::now_ns() const {
 
 void Registry::record_span(const char* name, std::uint64_t start_ns,
                            std::uint64_t end_ns) {
+  record_span(name, start_ns, end_ns, nullptr, 0);
+}
+
+void Registry::record_span(const char* name, std::uint64_t start_ns,
+                           std::uint64_t end_ns,
+                           std::initializer_list<SpanArg> args) {
+  record_span(name, start_ns, end_ns, args.begin(), args.size());
+}
+
+void Registry::record_span(const char* name, std::uint64_t start_ns,
+                           std::uint64_t end_ns, const SpanArg* args,
+                           std::size_t num_args) {
   ThreadBuffer& buf = local_buffer(impl_);
   std::lock_guard<std::mutex> lock(buf.mu);
   if (tracing_enabled()) {
     if (buf.spans.size() < kMaxSpansPerThread) {
-      buf.spans.push_back(SpanEvent{name, start_ns, end_ns, buf.track});
+      SpanEvent ev{};
+      ev.name = name;
+      ev.start_ns = start_ns;
+      ev.end_ns = end_ns;
+      ev.track = buf.track;
+      for (std::size_t i = 0; i < num_args && i < SpanEvent::kMaxArgs; ++i)
+        ev.args[ev.num_args++] = args[i];
+      buf.spans.push_back(ev);
     } else {
       ++buf.dropped;
     }
@@ -324,10 +343,20 @@ ScopedSpan::ScopedSpan(const char* name)
   if (name_ != nullptr) start_ns_ = Registry::instance().now_ns();
 }
 
+ScopedSpan::ScopedSpan(const char* name, std::initializer_list<SpanArg> args)
+    : name_(collection_enabled() ? name : nullptr) {
+  if (name_ == nullptr) return;
+  start_ns_ = Registry::instance().now_ns();
+  for (const SpanArg& a : args) {
+    if (num_args_ >= SpanEvent::kMaxArgs) break;
+    args_[num_args_++] = a;
+  }
+}
+
 ScopedSpan::~ScopedSpan() {
   if (name_ == nullptr) return;
   Registry& reg = Registry::instance();
-  reg.record_span(name_, start_ns_, reg.now_ns());
+  reg.record_span(name_, start_ns_, reg.now_ns(), args_.data(), num_args_);
 }
 
 }  // namespace generic::obs

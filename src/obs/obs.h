@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -173,12 +174,26 @@ class Histogram {
 
 // ---- Records the registry aggregates --------------------------------------
 
+/// One key/value metadata pair attached to a span (model version, chunk
+/// index, batch size...). Keys must be string literals — the registry stores
+/// the pointer, same contract as span names. Values are integers: span
+/// metadata here is identifiers and counts, not free-form text.
+struct SpanArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
 /// One completed span, as the trace exporter sees it.
 struct SpanEvent {
+  /// Spans carry at most this many args; extras are dropped at record time.
+  static constexpr std::size_t kMaxArgs = 4;
+
   const char* name = nullptr;
   std::uint64_t start_ns = 0;  ///< since Registry epoch
   std::uint64_t end_ns = 0;
   std::uint32_t track = 0;  ///< per-thread track id (trace "tid")
+  std::uint32_t num_args = 0;
+  std::array<SpanArg, kMaxArgs> args{};
 };
 
 /// Per-name aggregate of every finished span with that name.
@@ -228,6 +243,14 @@ class Registry {
   /// tracing or metrics collection is on (ScopedSpan already checks).
   void record_span(const char* name, std::uint64_t start_ns,
                    std::uint64_t end_ns);
+
+  /// As above, with key/value metadata rendered as the trace event's
+  /// "args" object. At most SpanEvent::kMaxArgs pairs are kept.
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, std::initializer_list<SpanArg> args);
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, const SpanArg* args,
+                   std::size_t num_args);
 
   /// Name the calling thread's trace track ("main", "pool-worker-3", ...).
   void set_current_thread_name(std::string name);
@@ -281,6 +304,10 @@ void set_current_thread_name(std::string name);
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
+  /// Span with key/value metadata: ScopedSpan("serve.swap", {{"version", 3}}).
+  /// Args are evaluated eagerly by the caller, so keep the expressions cheap;
+  /// they are only *recorded* when collection is on.
+  ScopedSpan(const char* name, std::initializer_list<SpanArg> args);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -289,6 +316,8 @@ class ScopedSpan {
  private:
   const char* name_;  ///< nullptr when collection was off at construction
   std::uint64_t start_ns_ = 0;
+  std::uint32_t num_args_ = 0;
+  std::array<SpanArg, SpanEvent::kMaxArgs> args_{};
 };
 
 }  // namespace generic::obs
@@ -307,6 +336,16 @@ class ScopedSpan {
 #define GENERIC_SPAN(name)                 \
   ::generic::obs::ScopedSpan GENERIC_OBS_CONCAT(generic_obs_span_, \
                                                 __LINE__) { name }
+
+/// RAII span carrying key/value metadata, rendered as the trace event's
+/// "args" object: GENERIC_SPAN_ARGS("serve.swap", {"version", v}, {"rung", r});
+/// Each pair is {string-literal key, integer value}; at most
+/// SpanEvent::kMaxArgs pairs are recorded.
+#define GENERIC_SPAN_ARGS(name, ...)                               \
+  ::generic::obs::ScopedSpan GENERIC_OBS_CONCAT(generic_obs_span_, \
+                                                __LINE__) {        \
+    name, { __VA_ARGS__ }                                          \
+  }
 
 /// counter(name) += delta, with the Counter handle cached per call site.
 #define GENERIC_COUNTER_ADD(name, delta)                                 \
@@ -335,6 +374,7 @@ class ScopedSpan {
 #else  // GENERIC_OBS_ENABLED == 0
 
 #define GENERIC_SPAN(name) ((void)0)
+#define GENERIC_SPAN_ARGS(name, ...) ((void)0)
 #define GENERIC_COUNTER_ADD(name, delta) ((void)(delta))
 #define GENERIC_GAUGE_MAX(name, value) ((void)(value))
 #define GENERIC_HISTO_RECORD(name, value) ((void)(value))

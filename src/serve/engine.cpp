@@ -24,12 +24,14 @@ Rng request_rng(std::uint64_t seed, std::uint64_t id) {
 ServeEngine::ServeEngine(const model::HdcClassifier& model,
                          std::span<const hdc::IntHV> queries,
                          std::span<const int> labels, const ServeConfig& cfg,
-                         ThreadPool& pool, std::vector<bool> chunk_ok)
-    : model_(model),
+                         ThreadPool& pool, std::vector<bool> chunk_ok,
+                         ModelLifecycle* lifecycle)
+    : model_(&model),
       queries_(queries),
       labels_(labels),
       cfg_(cfg),
       pool_(pool),
+      lifecycle_(lifecycle),
       ingress_(cfg.queue_capacity),
       free_servers_(cfg.servers),
       backoff_(cfg.backoff_base_us, cfg.backoff_jitter),
@@ -41,11 +43,11 @@ ServeEngine::ServeEngine(const model::HdcClassifier& model,
   if (cfg_.servers == 0)
     throw std::invalid_argument("ServeEngine: need at least one server");
 
-  const std::size_t chunk = model_.dims() / model_.num_chunks();
-  ladder_ = dims_ladder(model_.dims(), chunk, cfg_.min_dims);
+  const std::size_t chunk = model_->dims() / model_->num_chunks();
+  ladder_ = dims_ladder(model_->dims(), chunk, cfg_.min_dims);
   controller_ = DegradeController(ladder_, cfg_);
 
-  if (!chunk_ok.empty() && chunk_ok.size() != model_.num_chunks())
+  if (!chunk_ok.empty() && chunk_ok.size() != model_->num_chunks())
     throw std::invalid_argument("ServeEngine: chunk_ok size mismatch");
   any_faulty_ =
       std::find(chunk_ok.begin(), chunk_ok.end(), false) != chunk_ok.end();
@@ -53,10 +55,12 @@ ServeEngine::ServeEngine(const model::HdcClassifier& model,
   rung_active_.resize(ladder_.size());
   report_.rungs.resize(ladder_.size());
   batch_.resize(ladder_.size());
+  rung_latency_ = std::vector<obs::Histogram>(ladder_.size());
+  report_.versions.push_back(VersionStats{0, 0, 0});
   for (std::size_t r = 0; r < ladder_.size(); ++r) {
     const std::size_t prefix = ladder_[r] / chunk;
     if (any_faulty_) {
-      std::vector<bool> mask(model_.num_chunks(), false);
+      std::vector<bool> mask(model_->num_chunks(), false);
       std::size_t active = 0;
       for (std::size_t k = 0; k < prefix; ++k) {
         mask[k] = chunk_ok[k];
@@ -107,6 +111,8 @@ ServeReport ServeEngine::finish() {
 
   report_.config = cfg_;
   report_.latency = latency_.snapshot();
+  for (std::size_t r = 0; r < report_.rungs.size(); ++r)
+    report_.rungs[r].latency = rung_latency_[r].snapshot();
   report_.steps_down = controller_.steps_down();
   report_.steps_up = controller_.steps_up();
   report_.final_rung = controller_.rung();
@@ -126,10 +132,50 @@ void ServeEngine::control_loop() {
     // Deterministic interleave: everything already scheduled up to and
     // including the arrival instant happens before the arrival itself.
     advance_to(item->first.arrival_us);
+    // Lifecycle installs happen at arrival boundaries: a deterministic
+    // trace point with a deterministic virtual clock, so the swap position
+    // in the served stream is identical for any --threads.
+    poll_lifecycle(std::max(clock_us_, item->first.arrival_us));
     on_arrival(std::move(*item));
   }
   advance_to(~0ull);  // drain every scheduled completion and retry
+  poll_lifecycle(clock_us_);
   for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
+}
+
+void ServeEngine::poll_lifecycle(std::uint64_t now) {
+  if (lifecycle_ == nullptr) return;
+  while (auto upd = lifecycle_->poll(now)) {
+    const std::uint64_t vt = std::max(now, upd->vt);
+    if (upd->rollback) {
+      GENERIC_COUNTER_ADD("serve.rollbacks", 1);
+      report_.swaps.push_back(SwapEvent{vt, upd->version, true});
+      continue;
+    }
+    if (upd->model == nullptr)
+      throw std::logic_error("ServeEngine: lifecycle update without a model");
+    if (upd->model->dims() != model_->dims() ||
+        upd->model->num_classes() != model_->num_classes() ||
+        upd->model->num_chunks() != model_->num_chunks())
+      throw std::invalid_argument(
+          "ServeEngine: swapped-in model geometry mismatch");
+    {
+      GENERIC_SPAN_ARGS("serve.swap",
+                        {"version", static_cast<std::int64_t>(upd->version)},
+                        {"vt_us", static_cast<std::int64_t>(vt)});
+      // Flush every deferred batch against the outgoing model FIRST: a
+      // prediction batch must never span two models (flush_rung asserts
+      // the matching epoch on every entry).
+      for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
+      owned_model_ = std::move(upd->model);
+      model_ = owned_model_.get();
+      ++model_epoch_;
+      model_version_ = upd->version;
+    }
+    GENERIC_COUNTER_ADD("serve.swaps", 1);
+    report_.swaps.push_back(SwapEvent{vt, upd->version, false});
+    report_.versions.push_back(VersionStats{upd->version, 0, 0});
+  }
 }
 
 void ServeEngine::advance_to(std::uint64_t vt_limit) {
@@ -177,7 +223,7 @@ void ServeEngine::start_service(InFlight* f, std::uint64_t now) {
   f->upset = f->rng.bernoulli(cfg_.fault_rate);
   const double u = f->rng.uniform();
   const double frac = static_cast<double>(rung_active_[f->rung]) /
-                      static_cast<double>(model_.num_chunks());
+                      static_cast<double>(model_->num_chunks());
   const double cost = static_cast<double>(cfg_.service_base_us) * frac *
                       (1.0 - cfg_.service_jitter +
                        2.0 * cfg_.service_jitter * u);
@@ -267,13 +313,15 @@ void ServeEngine::resolve_unserved(InFlight* f, Outcome o, std::uint64_t now) {
 
 void ServeEngine::defer_served(InFlight* f, std::uint64_t now) {
   f->finish_us = now;
+  f->epoch = model_epoch_;
   const bool reduced =
-      ladder_[f->rung] < model_.dims() || !rung_mask_[f->rung].empty();
+      ladder_[f->rung] < model_->dims() || !rung_mask_[f->rung].empty();
   f->outcome = reduced ? Outcome::kDegraded
                : f->attempts > 1 ? Outcome::kRetried
                                  : Outcome::kOk;
   const std::uint64_t lat = now - f->req.arrival_us;
   latency_.record(lat);
+  rung_latency_[f->rung].record(lat);
   GENERIC_HISTO_RECORD("serve.latency_us", lat);
   batch_[f->rung].push_back(f);
   if (batch_[f->rung].size() >= cfg_.compute_batch) flush_rung(f->rung);
@@ -282,15 +330,27 @@ void ServeEngine::defer_served(InFlight* f, std::uint64_t now) {
 void ServeEngine::flush_rung(std::size_t rung) {
   auto& b = batch_[rung];
   if (b.empty()) return;
-  GENERIC_SPAN("serve.flush");
+  GENERIC_SPAN_ARGS("serve.flush",
+                    {"rung", static_cast<std::int64_t>(rung)},
+                    {"batch", static_cast<std::int64_t>(b.size())},
+                    {"version", static_cast<std::int64_t>(model_version_)});
   std::vector<hdc::IntHV> qs;
   qs.reserve(b.size());
-  for (const InFlight* f : b) qs.push_back(queries_[f->req.query]);
-  const std::vector<int> preds =
+  for (const InFlight* f : b) {
+    // Swap invariant: every deferred request in this batch was admitted to
+    // it under the model that is about to score it. poll_lifecycle flushes
+    // all batches before installing, so a violation here is an engine bug,
+    // not an input condition.
+    if (f->epoch != model_epoch_)
+      throw std::logic_error("ServeEngine: prediction batch spans a swap");
+    qs.push_back(queries_[f->req.query]);
+  }
+  const std::vector<model::Prediction> preds =
       rung_mask_[rung].empty()
-          ? model_.predict_reduced_batch(qs, ladder_[rung],
-                                         model::NormMode::kUpdated, pool_)
-          : model_.predict_masked_batch(qs, rung_mask_[rung], pool_);
+          ? model_->predict_reduced_margin_batch(
+                qs, ladder_[rung], model::NormMode::kUpdated, pool_)
+          : model_->predict_masked_margin_batch(qs, rung_mask_[rung], pool_);
+  VersionStats& vstats = report_.versions.back();
   for (std::size_t i = 0; i < b.size(); ++i) {
     InFlight* f = b[i];
     ++report_.outcomes[static_cast<std::size_t>(f->outcome)];
@@ -298,15 +358,28 @@ void ServeEngine::flush_rung(std::size_t rung) {
     report_.attempts += f->attempts;
     if (f->attempts > 1) report_.retries += f->attempts - 1;
     report_.makespan_us = std::max(report_.makespan_us, f->finish_us);
-    const bool ok = preds[i] == labels_[f->req.query];
+    const bool ok = preds[i].cls == labels_[f->req.query];
     if (ok) {
       ++report_.correct;
       ++report_.rungs[rung].correct;
+      ++vstats.correct;
     }
     ++report_.rungs[rung].served;
+    ++vstats.served;
+    if (lifecycle_ != nullptr) {
+      ServedObservation obs;
+      obs.vt = f->finish_us;
+      obs.query = f->req.query;
+      obs.rung = rung;
+      obs.margin = preds[i].margin;
+      obs.canary = f->req.canary;
+      obs.correct = ok;
+      obs.label = labels_[f->req.query];
+      lifecycle_->observe(obs);
+    }
     Response r;
     r.outcome = f->outcome;
-    r.predicted = preds[i];
+    r.predicted = preds[i].cls;
     r.dims_used = ladder_[rung];
     r.attempts = f->attempts;
     r.finish_us = f->finish_us;
@@ -422,9 +495,41 @@ std::string serve_report_to_json(const ServeReport& rep) {
     append_double(out, s.served == 0 ? 0.0
                                      : static_cast<double>(s.correct) /
                                            static_cast<double>(s.served));
-    out += "}";
+    out += ", \"latency_us\": {\"count\": " + std::to_string(s.latency.count);
+    out += ", \"p50\": " + std::to_string(s.latency.percentile(0.50));
+    out += ", \"p95\": " + std::to_string(s.latency.percentile(0.95));
+    out += ", \"p99\": " + std::to_string(s.latency.percentile(0.99));
+    out += "}}";
   }
   out += rep.rungs.empty() ? "]" : "\n    ]";
+  out += "\n  },\n";
+
+  out += "  \"lifecycle\": {\n";
+  out += "    \"swaps\": [";
+  for (std::size_t i = 0; i < rep.swaps.size(); ++i) {
+    const SwapEvent& e = rep.swaps[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      {\"vt_us\": " + std::to_string(e.vt);
+    out += ", \"version\": " + std::to_string(e.version);
+    out += ", \"kind\": \"";
+    out += e.rollback ? "rollback" : "swap";
+    out += "\"}";
+  }
+  out += rep.swaps.empty() ? "]" : "\n    ]";
+  out += ",\n    \"versions\": [";
+  for (std::size_t i = 0; i < rep.versions.size(); ++i) {
+    const VersionStats& v = rep.versions[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      {\"version\": " + std::to_string(v.version);
+    out += ", \"served\": " + std::to_string(v.served);
+    out += ", \"correct\": " + std::to_string(v.correct);
+    out += ", \"accuracy\": ";
+    append_double(out, v.served == 0 ? 0.0
+                                     : static_cast<double>(v.correct) /
+                                           static_cast<double>(v.served));
+    out += "}";
+  }
+  out += rep.versions.empty() ? "]" : "\n    ]";
   out += "\n  }\n";
   out += "}\n";
   return out;

@@ -44,6 +44,7 @@
 #include "model/hdc_classifier.h"
 #include "obs/obs.h"
 #include "serve/bounded_queue.h"
+#include "serve/lifecycle_hook.h"
 #include "serve/policy.h"
 #include "serve/types.h"
 
@@ -53,6 +54,21 @@ namespace generic::serve {
 struct RungStats {
   std::size_t dims = 0;           ///< prefix dimensions of this rung
   std::size_t active_chunks = 0;  ///< ok chunks actually scored in the rung
+  std::uint64_t served = 0;
+  std::uint64_t correct = 0;
+  obs::HistogramSnapshot latency;  ///< served latencies of this rung, virtual us
+};
+
+/// One hot-swap (or rejected-shadow rollback) on the virtual timeline.
+struct SwapEvent {
+  std::uint64_t vt = 0;       ///< virtual install / rejection time
+  std::uint64_t version = 0;  ///< lifecycle model version
+  bool rollback = false;      ///< true: shadow failed validation, not installed
+};
+
+/// Serving tally attributed to one installed model version.
+struct VersionStats {
+  std::uint64_t version = 0;
   std::uint64_t served = 0;
   std::uint64_t correct = 0;
 };
@@ -74,6 +90,8 @@ struct ServeReport {
   std::uint64_t steps_up = 0;
   std::size_t final_rung = 0;
   std::vector<RungStats> rungs;
+  std::vector<SwapEvent> swaps;        ///< hot-swaps/rollbacks, virtual order
+  std::vector<VersionStats> versions;  ///< per-model-version tallies
 };
 
 /// Render as schema `generic.serve.v1`: fixed field order, "%.9g" doubles.
@@ -89,10 +107,16 @@ class ServeEngine {
   /// (predict_masked), the graceful-degradation path of
   /// resilience::BlockGuard. Throws if any ladder rung would have no ok
   /// chunk to score.
+  ///
+  /// `lifecycle` (optional, not owned, must outlive the engine) receives a
+  /// ServedObservation per served request and is polled for validated model
+  /// updates at deterministic virtual-time points; see lifecycle_hook.h.
+  /// Installed models must match the initial model's geometry exactly.
   ServeEngine(const model::HdcClassifier& model,
               std::span<const hdc::IntHV> queries, std::span<const int> labels,
               const ServeConfig& cfg, ThreadPool& pool,
-              std::vector<bool> chunk_ok = {});
+              std::vector<bool> chunk_ok = {},
+              ModelLifecycle* lifecycle = nullptr);
   ~ServeEngine();
 
   ServeEngine(const ServeEngine&) = delete;
@@ -121,6 +145,7 @@ class ServeEngine {
     bool upset = false;      ///< current attempt drew a transient upset
     Outcome outcome = Outcome::kFailed;  ///< set when terminal
     std::uint64_t finish_us = 0;
+    std::uint64_t epoch = 0;  ///< model epoch at deferral (swap invariant)
   };
   struct Event {
     std::uint64_t vt = 0;
@@ -147,12 +172,18 @@ class ServeEngine {
   void defer_served(InFlight* f, std::uint64_t now);
   void flush_rung(std::size_t rung);
   void feed_controller(std::uint64_t latency_us);
+  void poll_lifecycle(std::uint64_t now);
 
-  const model::HdcClassifier& model_;
+  /// Current serving model. Starts at the constructor-provided reference;
+  /// after a hot-swap it points into owned_model_ (the engine co-owns every
+  /// installed version so in-flight readers can never dangle).
+  const model::HdcClassifier* model_;
+  std::shared_ptr<const model::HdcClassifier> owned_model_;
   std::span<const hdc::IntHV> queries_;
   std::span<const int> labels_;
   ServeConfig cfg_;
   ThreadPool& pool_;
+  ModelLifecycle* lifecycle_ = nullptr;
 
   std::vector<std::size_t> ladder_;
   /// Per rung: combined chunk mask (ok AND inside the rung prefix) plus the
@@ -176,6 +207,9 @@ class ServeEngine {
   DegradeController controller_;
   std::vector<std::vector<InFlight*>> batch_;  // deferred predicts per rung
   obs::Histogram latency_;                     // served latency, virtual us
+  std::vector<obs::Histogram> rung_latency_;   // per-rung served latency
+  std::uint64_t model_epoch_ = 0;   // bumped at every install
+  std::uint64_t model_version_ = 0; // lifecycle version currently serving
   ServeReport report_;
   bool finished_ = false;
 };

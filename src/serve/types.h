@@ -44,6 +44,10 @@ struct Request {
   std::uint64_t arrival_us = 0;   ///< virtual arrival time
   std::uint64_t deadline_us = 0;  ///< absolute virtual deadline
   std::size_t query = 0;          ///< index into the engine's query set
+  /// Labeled canary: the caller vouches for this request's ground-truth
+  /// label, so the lifecycle may use it for drift accounting and replay
+  /// (docs/lifecycle.md). Serving itself treats canaries like any request.
+  bool canary = false;
 };
 
 /// Everything the engine reports back for one request.

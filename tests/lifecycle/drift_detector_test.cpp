@@ -1,0 +1,125 @@
+// DriftDetector: Page–Hinkley on margins, canary-accuracy EWMA vs peak,
+// stickiness/re-arming, and bit-stable state across identical feeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lifecycle/drift_detector.h"
+
+namespace generic::lifecycle {
+namespace {
+
+DriftConfig fast_config() {
+  DriftConfig cfg;
+  cfg.warmup = 32;
+  cfg.canary_warmup = 8;
+  return cfg;
+}
+
+// A deterministic stationary margin sequence with small bounded wiggle.
+double wiggle(std::uint64_t i, double center) {
+  return center + 0.02 * std::sin(static_cast<double>(i) * 0.7);
+}
+
+TEST(LifecycleDriftDetector, StationaryMarginsStayQuiet) {
+  DriftDetector d(fast_config());
+  for (std::uint64_t i = 0; i < 2000; ++i) d.observe_margin(wiggle(i, 0.5));
+  EXPECT_FALSE(d.alarmed());
+  EXPECT_LT(d.drift_score(), 1.0);
+  EXPECT_EQ(d.observations(), 2000u);
+  EXPECT_NEAR(d.margin_ewma(), 0.5, 0.05);
+}
+
+TEST(LifecycleDriftDetector, DownwardMarginShiftAlarms) {
+  DriftDetector d(fast_config());
+  for (std::uint64_t i = 0; i < 400; ++i) d.observe_margin(wiggle(i, 0.5));
+  ASSERT_FALSE(d.alarmed());
+  std::uint64_t at = 0;
+  for (std::uint64_t i = 0; i < 400 && !d.alarmed(); ++i) {
+    d.observe_margin(wiggle(i, 0.1));
+    at = i;
+  }
+  EXPECT_TRUE(d.alarmed());
+  EXPECT_GE(d.drift_score(), 1.0);
+  // The shift is 0.4 deep against lambda 2.5: detection needs only a
+  // handful of post-shift margins, not hundreds.
+  EXPECT_LT(at, 64u);
+}
+
+TEST(LifecycleDriftDetector, UpwardMarginShiftDoesNotAlarm) {
+  DriftDetector d(fast_config());
+  for (std::uint64_t i = 0; i < 400; ++i) d.observe_margin(wiggle(i, 0.3));
+  for (std::uint64_t i = 0; i < 400; ++i) d.observe_margin(wiggle(i, 0.8));
+  EXPECT_FALSE(d.alarmed()) << "improving margins are not drift";
+}
+
+TEST(LifecycleDriftDetector, CanaryAccuracyDropAlarms) {
+  DriftDetector d(fast_config());
+  for (int i = 0; i < 64; ++i) d.observe_canary(true);
+  ASSERT_FALSE(d.alarmed());
+  EXPECT_NEAR(d.peak_accuracy(), 1.0, 1e-9);
+  while (!d.alarmed() && d.canaries() < 256) d.observe_canary(false);
+  EXPECT_TRUE(d.alarmed());
+  EXPECT_LT(d.accuracy_ewma(), d.peak_accuracy() - 0.15);
+}
+
+TEST(LifecycleDriftDetector, AlarmIsStickyAndResetRearms) {
+  DriftDetector d(fast_config());
+  for (std::uint64_t i = 0; i < 200; ++i) d.observe_margin(0.5);
+  for (std::uint64_t i = 0; i < 200; ++i) d.observe_margin(0.05);
+  ASSERT_TRUE(d.alarmed());
+  // Margins recovering does not clear a sticky alarm.
+  for (std::uint64_t i = 0; i < 200; ++i) d.observe_margin(0.5);
+  EXPECT_TRUE(d.alarmed());
+
+  d.reset();
+  EXPECT_FALSE(d.alarmed());
+  EXPECT_EQ(d.observations(), 0u);
+  EXPECT_EQ(d.canaries(), 0u);
+  EXPECT_EQ(d.drift_score(), 0.0);
+  // Re-armed: full warmup applies again, then the same shift re-alarms.
+  for (std::uint64_t i = 0; i < 200; ++i) d.observe_margin(0.5);
+  EXPECT_FALSE(d.alarmed());
+  for (std::uint64_t i = 0; i < 200; ++i) d.observe_margin(0.05);
+  EXPECT_TRUE(d.alarmed());
+}
+
+TEST(LifecycleDriftDetector, IdenticalFeedsProduceBitIdenticalState) {
+  DriftDetector a(fast_config());
+  DriftDetector b(fast_config());
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const double m = wiggle(i, i < 300 ? 0.5 : 0.2);
+    a.observe_margin(m);
+    b.observe_margin(m);
+    if (i % 3 == 0) {
+      a.observe_canary(i % 6 == 0);
+      b.observe_canary(i % 6 == 0);
+    }
+  }
+  EXPECT_EQ(a.alarmed(), b.alarmed());
+  EXPECT_EQ(a.drift_score(), b.drift_score());    // exact, not approximate
+  EXPECT_EQ(a.margin_ewma(), b.margin_ewma());
+  EXPECT_EQ(a.accuracy_ewma(), b.accuracy_ewma());
+}
+
+TEST(LifecycleDriftDetector, RejectsInvalidConfig) {
+  DriftConfig bad = fast_config();
+  bad.margin_alpha = 0.0;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+  bad = fast_config();
+  bad.accuracy_alpha = 1.5;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+  bad = fast_config();
+  bad.ph_lambda = 0.0;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+  bad = fast_config();
+  bad.ph_delta = -0.1;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+  bad = fast_config();
+  bad.accuracy_drop = 1.0;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace generic::lifecycle

@@ -131,12 +131,66 @@ TEST(ModelIo, BadMagicDetected) {
   EXPECT_EQ(failure_message(blob), "model blob bad magic");
 }
 
-TEST(ModelIo, UnsupportedVersionDetected) {
+TEST(ModelIo, NewerSchemaVersionIsATypedError) {
+  // An intact blob from a NEWER writer is not corruption: the reader must
+  // raise UnsupportedVersionError (so deployment code can say "upgrade the
+  // reader" and the lifecycle CheckpointStore knows not to quarantine).
   Trained t;
   auto blob = serialize_model(t.encoder, t.clf);
   ++blob[4];  // version u32 lives right after the 4-byte magic
   reseal(blob);
-  EXPECT_EQ(failure_message(blob), "model blob unsupported version");
+  try {
+    (void)deserialize_model(blob);
+    FAIL() << "newer-schema blob was accepted";
+  } catch (const UnsupportedVersionError& e) {
+    EXPECT_EQ(e.found(), 2u);
+    EXPECT_EQ(e.supported(), 1u);
+    EXPECT_EQ(std::string(e.what()),
+              "model blob schema version 2 is newer than supported version 1");
+  }
+  // The typed error is still an invalid_argument, so callers that only
+  // distinguish success from failure keep working.
+  EXPECT_THROW((void)deserialize_model(blob), std::invalid_argument);
+}
+
+TEST(ModelIo, NewerVersionBehindBrokenCrcIsJustCorruption) {
+  // A bumped version WITHOUT a valid CRC must stay a plain corruption
+  // complaint — the version field of a damaged blob means nothing.
+  Trained t;
+  auto blob = serialize_model(t.encoder, t.clf);
+  ++blob[4];
+  EXPECT_EQ(failure_message(blob), "model blob CRC mismatch");
+}
+
+TEST(ModelIo, ClassifierBlobRoundTrip) {
+  Trained t;
+  t.clf.quantize(8);
+  const auto blob = serialize_classifier(t.clf);
+  const HdcClassifier loaded = deserialize_classifier(blob);
+  EXPECT_EQ(loaded.dims(), t.clf.dims());
+  EXPECT_EQ(loaded.num_classes(), t.clf.num_classes());
+  EXPECT_EQ(loaded.bit_width(), 8);
+  for (std::size_t c = 0; c < t.clf.num_classes(); ++c) {
+    EXPECT_EQ(loaded.class_vector(c), t.clf.class_vector(c));
+    for (std::size_t k = 0; k < t.clf.num_chunks(); ++k)
+      EXPECT_EQ(loaded.chunk_norm(c, k), t.clf.chunk_norm(c, k));
+  }
+}
+
+TEST(ModelIo, ClassifierBlobCorruptionAndVersioning) {
+  Trained t;
+  auto blob = serialize_classifier(t.clf);
+  {
+    auto bad = blob;
+    bad[bad.size() / 2] ^= 0x10;
+    EXPECT_THROW((void)deserialize_classifier(bad), std::invalid_argument);
+  }
+  {
+    auto newer = blob;
+    ++newer[4];  // version follows the "GCLS" magic
+    reseal(newer);
+    EXPECT_THROW((void)deserialize_classifier(newer), UnsupportedVersionError);
+  }
 }
 
 TEST(ModelIo, EmptyBlobRejected) {

@@ -126,6 +126,62 @@ TEST_F(ObsExport, TraceJsonIsChromeTraceShaped) {
   EXPECT_NE(json.find("generic.trace.v1"), std::string::npos) << json;
 }
 
+TEST_F(ObsExport, TraceJsonRendersSpanArgsInRecordedOrder) {
+  Registry& reg = Registry::instance();
+  set_tracing(true);
+  const std::uint64_t t0 = reg.now_ns();
+  reg.record_span("swap.span", t0, t0 + 1000, {{"version", 3}, {"rung", 2}});
+  const std::string json = trace_to_json();
+  EXPECT_NE(json.find("\"name\": \"swap.span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\": {\"version\": 3, \"rung\": 2}"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(ObsExport, SpanWithoutArgsRendersNoArgsObject) {
+  Registry& reg = Registry::instance();
+  set_tracing(true);
+  const std::uint64_t t0 = reg.now_ns();
+  reg.record_span("plain.span", t0, t0 + 1000);
+  const std::string json = trace_to_json();
+  const std::size_t at = json.find("\"name\": \"plain.span\"");
+  ASSERT_NE(at, std::string::npos) << json;
+  // The rest of this trace event (up to its closing brace) has no "args"
+  // object; only metadata events carry one.
+  const std::string event = json.substr(at, json.find('}', at) - at);
+  EXPECT_EQ(event.find("\"args\""), std::string::npos) << json;
+}
+
+TEST_F(ObsExport, SpanArgsBeyondMaxAreDroppedAtRecordTime) {
+  Registry& reg = Registry::instance();
+  set_tracing(true);
+  const SpanArg many[] = {{"a0", 0}, {"a1", 1}, {"a2", 2},
+                          {"a3", 3}, {"a4", 4}, {"a5", 5}};
+  const std::uint64_t t0 = reg.now_ns();
+  reg.record_span("many.span", t0, t0 + 1000, many, 6);
+  const std::string json = trace_to_json();
+  EXPECT_NE(json.find("\"a3\": 3"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"a4\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"a5\""), std::string::npos) << json;
+}
+
+TEST_F(ObsExport, ScopedSpanMacroAttachesArgs) {
+  set_tracing(true);
+  {
+    GENERIC_SPAN_ARGS("test.macro_span", {"batch", 7}, {"epoch", 1});
+  }
+  const std::string json = trace_to_json();
+#if GENERIC_OBS_ENABLED
+  EXPECT_NE(json.find("\"name\": \"test.macro_span\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\": {\"batch\": 7, \"epoch\": 1}"),
+            std::string::npos)
+      << json;
+#else
+  EXPECT_EQ(json.find("test.macro_span"), std::string::npos) << json;
+#endif
+}
+
 TEST_F(ObsExport, SessionEnablesCollectsAndWritesFiles) {
   const std::string dir = ::testing::TempDir();
   const std::string trace_path = dir + "/obs_session_trace.json";

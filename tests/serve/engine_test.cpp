@@ -277,6 +277,124 @@ TEST(ServeEngineTest, RejectsLadderRungWithNoHealthyChunk) {
                std::invalid_argument);
 }
 
+/// Scripted lifecycle hook: records every observation and hands out one
+/// prepared update when the virtual clock reaches its vt.
+class ScriptedLifecycle : public ModelLifecycle {
+ public:
+  void observe(const ServedObservation& obs) override { seen.push_back(obs); }
+
+  std::optional<ModelUpdate> poll(std::uint64_t now) override {
+    if (pending.has_value() && now >= pending->vt) {
+      ModelUpdate u = std::move(*pending);
+      pending.reset();
+      return u;
+    }
+    return std::nullopt;
+  }
+
+  std::vector<ServedObservation> seen;
+  std::optional<ModelUpdate> pending;
+};
+
+/// A same-geometry model that disagrees with `clf` on purpose: classes 0
+/// and 1 trade accumulators (norms recomputed), so post-swap predictions
+/// are distinguishable from pre-swap ones.
+model::HdcClassifier make_swapped_classes(const model::HdcClassifier& clf) {
+  model::HdcClassifier other = clf;
+  std::swap(other.mutable_class_vector(0), other.mutable_class_vector(1));
+  other.recompute_norms();
+  return other;
+}
+
+TEST(ServeEngineTest, HotSwapInstallsBetweenBatchesAndAttributesVersions) {
+  const TinyWorkload w = make_workload(48);
+  ThreadPool pool(2);
+  const ServeConfig cfg = base_config();
+  const auto next = std::make_shared<const model::HdcClassifier>(
+      make_swapped_classes(w.clf));
+
+  ScriptedLifecycle lc;
+  lc.pending = ModelUpdate{next, 1, 50000, false};
+  ServeEngine engine(w.clf, w.queries, w.labels, cfg, pool, {}, &lc);
+
+  std::vector<ResponseFuture> futures;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    Request r = make_request(i, (i + 1) * 2000, cfg.deadline_us, i);
+    r.canary = (i % 4 == 0);
+    futures.push_back(engine.submit(r));
+  }
+  const ServeReport rep = engine.finish();
+
+  // Exactly one swap, no rollback, and the engine now carries two versions
+  // whose tallies account for every served request exactly once.
+  ASSERT_EQ(rep.swaps.size(), 1u);
+  EXPECT_FALSE(rep.swaps[0].rollback);
+  EXPECT_EQ(rep.swaps[0].version, 1u);
+  EXPECT_GE(rep.swaps[0].vt, 50000u);
+  ASSERT_EQ(rep.versions.size(), 2u);
+  EXPECT_EQ(rep.versions[0].version, 0u);
+  EXPECT_EQ(rep.versions[1].version, 1u);
+  EXPECT_GT(rep.versions[0].served, 0u);
+  EXPECT_GT(rep.versions[1].served, 0u);
+  EXPECT_EQ(rep.versions[0].served + rep.versions[1].served, rep.served);
+
+  // No request dropped and none served by a half-installed model: every
+  // future resolves, and requests arriving after the swap instant match
+  // the NEW model's golden prediction while the earliest requests match
+  // the old one.
+  EXPECT_EQ(rep.served, 48u);
+  std::uint64_t checked_new = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto r = futures[i].try_get();
+    ASSERT_TRUE(r.has_value()) << "unresolved future " << i;
+    const std::uint64_t arrival = (i + 1) * 2000;
+    if (arrival > rep.swaps[0].vt) {
+      EXPECT_EQ(r->predicted, next->predict(w.queries[i])) << i;
+      ++checked_new;
+    }
+  }
+  EXPECT_GT(checked_new, 0u);
+  EXPECT_EQ(futures[0].try_get()->predicted, w.clf.predict(w.queries[0]));
+
+  // The observation stream carries every served request in virtual order,
+  // with canary flags and normalized margins intact.
+  ASSERT_EQ(lc.seen.size(), rep.served);
+  std::uint64_t canaries = 0;
+  for (std::size_t i = 0; i < lc.seen.size(); ++i) {
+    const ServedObservation& o = lc.seen[i];
+    EXPECT_GE(o.margin, 0.0);
+    EXPECT_LE(o.margin, 1.0);
+    EXPECT_EQ(o.label, w.labels[o.query]);
+    if (o.canary) ++canaries;
+    if (i > 0) {
+      EXPECT_GE(o.vt, lc.seen[i - 1].vt);
+    }
+  }
+  EXPECT_EQ(canaries, 12u);
+}
+
+TEST(ServeEngineTest, RollbackIsRecordedWithoutInstalling) {
+  const TinyWorkload w = make_workload(16);
+  ThreadPool pool(1);
+  const ServeConfig cfg = base_config();
+  ScriptedLifecycle lc;
+  lc.pending = ModelUpdate{nullptr, 1, 10000, true};
+  ServeEngine engine(w.clf, w.queries, w.labels, cfg, pool, {}, &lc);
+
+  std::vector<ResponseFuture> futures;
+  for (std::uint64_t i = 0; i < 16; ++i)
+    futures.push_back(
+        engine.submit(make_request(i, (i + 1) * 2000, cfg.deadline_us, i)));
+  const ServeReport rep = engine.finish();
+
+  ASSERT_EQ(rep.swaps.size(), 1u);
+  EXPECT_TRUE(rep.swaps[0].rollback);
+  ASSERT_EQ(rep.versions.size(), 1u);  // nothing installed
+  EXPECT_EQ(rep.versions[0].served, rep.served);
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_EQ(futures[i].try_get()->predicted, w.clf.predict(w.queries[i]));
+}
+
 TEST(ServeEngineTest, SubmitAfterFinishResolvesShed) {
   const TinyWorkload w = make_workload(4);
   ThreadPool pool(1);
