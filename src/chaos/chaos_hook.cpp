@@ -1,0 +1,81 @@
+#include "chaos/chaos_hook.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace generic::chaos {
+
+ChaosHook::ChaosHook(serve::ModelLifecycle* inner,
+                     std::shared_ptr<const model::HdcClassifier> initial,
+                     std::vector<FaultBurst> bursts, std::uint64_t seed)
+    : inner_(inner),
+      current_(std::move(initial)),
+      bursts_(std::move(bursts)),
+      seed_(seed) {
+  if (!current_)
+    throw std::invalid_argument("ChaosHook: initial model is null");
+  std::sort(bursts_.begin(), bursts_.end(),
+            [](const FaultBurst& a, const FaultBurst& b) {
+              return a.vt_us < b.vt_us;
+            });
+}
+
+void ChaosHook::observe(const serve::ServedObservation& obs) {
+  if (inner_) inner_->observe(obs);
+}
+
+std::optional<serve::ModelUpdate> ChaosHook::poll(std::uint64_t now) {
+  // Drain the inner lifecycle first so its updates and our bursts can be
+  // delivered in virtual-time order below.
+  if (inner_) {
+    while (auto upd = inner_->poll(now)) pending_inner_.push_back(*upd);
+  }
+
+  const bool burst_due =
+      next_burst_ < bursts_.size() && bursts_[next_burst_].vt_us <= now;
+  const bool inner_first =
+      !pending_inner_.empty() &&
+      (!burst_due ||
+       pending_inner_.front().vt <= bursts_[next_burst_].vt_us);
+
+  if (inner_first) {
+    serve::ModelUpdate upd = pending_inner_.front();
+    pending_inner_.pop_front();
+    if (upd.model) current_ = upd.model;
+    return upd;
+  }
+  if (!burst_due) return std::nullopt;
+
+  const FaultBurst& burst = bursts_[next_burst_];
+  // Per-burst rng stream: the fault pattern depends only on (seed, index).
+  Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (next_burst_ + 1)));
+
+  auto corrupted = std::make_shared<model::HdcClassifier>(*current_);
+  BurstRecord rec;
+  rec.scheduled_vt_us = burst.vt_us;
+  rec.fired_vt_us = now;
+  rec.version = kChaosVersionBase + next_burst_;
+  rec.fault = burst.fault;
+  if (burst.fault.kind == resilience::FaultKind::kBankCorrelated) {
+    // Sample then inject with the continuing rng — the exact sequence
+    // inject() draws — so the record's bank list is the ground truth.
+    rec.banks = resilience::sample_faulty_banks(burst.fault.rate, rng);
+    resilience::inject_bank_correlated(*corrupted, rec.banks,
+                                       burst.fault.burst_rate, rng);
+  } else {
+    resilience::inject(*corrupted, burst.fault, rng);
+  }
+  current_ = corrupted;
+  fired_.push_back(rec);
+  ++next_burst_;
+
+  serve::ModelUpdate upd;
+  upd.model = std::move(corrupted);
+  upd.version = rec.version;
+  upd.vt = burst.vt_us;
+  upd.rollback = false;
+  return upd;
+}
+
+}  // namespace generic::chaos

@@ -1,0 +1,68 @@
+#include "chaos/load_shape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace generic::chaos {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+double rate_at(const LoadShapeSpec& spec, std::uint64_t vt) {
+  switch (spec.kind) {
+    case LoadKind::kPoisson:
+      return spec.base_rps;
+    case LoadKind::kDiurnal: {
+      const double mid = 0.5 * (spec.low_rps + spec.high_rps);
+      const double amp = 0.5 * (spec.high_rps - spec.low_rps);
+      const double phase = static_cast<double>(vt % spec.period_us) /
+                           static_cast<double>(spec.period_us);
+      // Start at the trough: a campaign warms up at low traffic.
+      return mid - amp * std::cos(kTwoPi * phase);
+    }
+    case LoadKind::kFlash: {
+      const bool in_burst = vt >= spec.flash_start_us &&
+                            vt < spec.flash_start_us + spec.flash_len_us;
+      return in_burst ? spec.base_rps * spec.flash_mult : spec.base_rps;
+    }
+  }
+  throw std::invalid_argument("rate_at: unknown load kind");
+}
+
+double peak_rate(const LoadShapeSpec& spec) {
+  switch (spec.kind) {
+    case LoadKind::kPoisson:
+      return spec.base_rps;
+    case LoadKind::kDiurnal:
+      return std::max(spec.low_rps, spec.high_rps);
+    case LoadKind::kFlash:
+      return spec.base_rps * std::max(spec.flash_mult, 1.0);
+  }
+  throw std::invalid_argument("peak_rate: unknown load kind");
+}
+
+std::vector<std::uint64_t> sample_arrivals(const LoadShapeSpec& spec,
+                                           std::size_t count, Rng& rng) {
+  const double peak = peak_rate(spec);
+  if (!(peak > 0.0))
+    throw std::invalid_argument("sample_arrivals: peak rate must be > 0");
+  if (spec.kind == LoadKind::kDiurnal && spec.period_us == 0)
+    throw std::invalid_argument("sample_arrivals: zero diurnal period");
+  const double mean_gap_us = 1e6 / peak;
+  std::vector<std::uint64_t> arrivals;
+  arrivals.reserve(count);
+  std::uint64_t vt = 0;
+  while (arrivals.size() < count) {
+    const double gap = -std::log(1.0 - rng.uniform()) * mean_gap_us;
+    vt += static_cast<std::uint64_t>(
+        std::max<long long>(std::llround(gap), 1));
+    // Thinning: keep the candidate with probability rate/peak. One uniform
+    // draw per candidate, accepted or not, keeps the stream reproducible.
+    if (rng.uniform() * peak <= rate_at(spec, vt)) arrivals.push_back(vt);
+  }
+  return arrivals;
+}
+
+}  // namespace generic::chaos

@@ -1,0 +1,59 @@
+// Traffic shapes for the chaos campaigns (docs/chaos.md).
+//
+// A LoadShape is a deterministic intensity function rate(vt) over VIRTUAL
+// time, plus a seeded arrival sampler. Three shapes cover the campaign
+// scenarios:
+//
+//   kPoisson — constant-rate open-loop arrivals, the baseline the serving
+//              engine was sized for;
+//   kDiurnal — a sine between low_rps and high_rps with the given period:
+//              the slow day/night swing that walks the engine up and down
+//              its degradation ladder;
+//   kFlash   — base_rps with a multiplicative burst window on top: the
+//              flash crowd that slams the queue into its high-water mark
+//              within a few virtual milliseconds.
+//
+// Arrivals are sampled as a non-homogeneous Poisson process by thinning
+// against the shape's peak rate: exponential gaps at peak_rps, each
+// candidate kept with probability rate(vt) / peak_rps. Every draw comes
+// from the caller's Rng, so a (spec, seed) pair always yields the identical
+// arrival sequence — the property the byte-identical chaos reports build
+// on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace generic::chaos {
+
+enum class LoadKind {
+  kPoisson,  ///< constant base_rps
+  kDiurnal,  ///< sine between low_rps and high_rps, period_us per cycle
+  kFlash,    ///< base_rps, times flash_mult inside the flash window
+};
+
+struct LoadShapeSpec {
+  LoadKind kind = LoadKind::kPoisson;
+  double base_rps = 1000.0;  ///< kPoisson / kFlash baseline intensity
+  double low_rps = 600.0;    ///< kDiurnal trough
+  double high_rps = 2400.0;  ///< kDiurnal crest
+  std::uint64_t period_us = 1'000'000;  ///< kDiurnal cycle length
+  std::uint64_t flash_start_us = 0;     ///< kFlash burst window start
+  std::uint64_t flash_len_us = 0;       ///< kFlash burst window length
+  double flash_mult = 1.0;              ///< kFlash intensity multiplier
+};
+
+/// Instantaneous intensity (requests per virtual second) at `vt`.
+double rate_at(const LoadShapeSpec& spec, std::uint64_t vt);
+
+/// The shape's peak intensity — the thinning envelope.
+double peak_rate(const LoadShapeSpec& spec);
+
+/// `count` arrival timestamps (virtual us, strictly increasing) sampled by
+/// thinning. Pure function of (spec, rng state).
+std::vector<std::uint64_t> sample_arrivals(const LoadShapeSpec& spec,
+                                           std::size_t count, Rng& rng);
+
+}  // namespace generic::chaos

@@ -1,0 +1,456 @@
+#include "chaos/orchestrator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "data/drift.h"
+#include "encoding/encoders.h"
+#include "lifecycle/checkpoint_store.h"
+#include "model/pipeline.h"
+
+namespace generic::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+bool in_flash(const ScenarioSpec& spec, std::uint64_t vt) {
+  return spec.flash_single_class && vt >= spec.load.flash_start_us &&
+         vt < spec.load.flash_start_us + spec.load.flash_len_us;
+}
+
+/// Flip one mid-file byte: enough to break the checkpoint CRC.
+void corrupt_file(const std::string& path) {
+  const auto size = fs::file_size(path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) throw std::runtime_error("cannot corrupt " + path);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.write(&byte, 1);
+}
+
+bool served_outcome(serve::Outcome o) {
+  return o == serve::Outcome::kOk || o == serve::Outcome::kRetried ||
+         o == serve::Outcome::kDegraded;
+}
+
+}  // namespace
+
+ChaosReport run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
+  ThreadPool pool(opt.threads);
+
+  ChaosReport report;
+  report.scenario = spec.name;
+  report.seed = opt.seed;
+  report.requests = spec.requests;
+  report.dims = spec.dims;
+
+  // ---- The world: drift stream, encoder, initial classifier ----
+  data::DriftStreamSpec dspec;
+  dspec.severity = spec.severity;
+  dspec.seed = opt.seed;
+  data::DriftStream stream(dspec);
+
+  const std::size_t epochs = spec.dims >= 1024 ? 8 : 5;
+  const auto ds = stream.make_dataset(spec.train_samples, 200, false);
+  enc::EncoderConfig ecfg;
+  ecfg.dims = spec.dims;
+  enc::GenericEncoder encoder(ecfg);
+  encoder.fit(ds.train_x);
+  const auto train = model::encode_all(encoder, ds.train_x, pool);
+  auto fresh = std::make_shared<model::HdcClassifier>(spec.dims,
+                                                      dspec.classes);
+  fresh->fit_parallel(train, ds.train_y, epochs, pool);
+
+  // ---- Boot: fresh weights, or a (sabotaged) checkpoint store walk ----
+  std::shared_ptr<const model::HdcClassifier> serving = fresh;
+  std::unique_ptr<lifecycle::CheckpointStore> store;
+  if (spec.corrupt_boot) {
+    const fs::path dir =
+        opt.work_dir.empty()
+            ? fs::temp_directory_path() /
+                  ("generic-chaos-" + spec.name + "-" + u64(opt.seed))
+            : fs::path(opt.work_dir);
+    fs::remove_all(dir);
+    store = std::make_unique<lifecycle::CheckpointStore>(dir.string(), 4);
+
+    // Stage history: version 1 is the model we just fit; version 2 is a
+    // further-trained "newer" snapshot — whose file we then corrupt, so
+    // boot must quarantine it and fall back to version 1.
+    store->save(*fresh, 1, 0);
+    model::HdcClassifier newer = *fresh;
+    newer.fit_parallel(train, ds.train_y, 2, pool);
+    corrupt_file(store->save(newer, 2, 0));
+    report.boot.store_versions_seeded = 2;
+
+    auto loaded = store->load_latest();
+    if (!loaded.has_value())
+      throw std::runtime_error("corrupt_boot: no checkpoint survived");
+    report.boot.from_checkpoint = true;
+    report.boot.version = loaded->version;
+    report.boot.quarantined = store->quarantined();
+    serving = std::make_shared<model::HdcClassifier>(std::move(loaded->model));
+  }
+
+  // ---- The serving trace: shaped arrivals over the drift stream ----
+  Rng arrival_rng(opt.seed ^ 0x0A11CE5ULL);
+  const auto arrivals =
+      sample_arrivals(spec.load, spec.requests, arrival_rng);
+
+  // Stream indices: sequential, except that flash-window requests draw the
+  // next sample of the crowd's class (skipped indices are served later, so
+  // every request keeps a distinct query).
+  std::vector<std::uint64_t> stream_index(spec.requests);
+  std::uint64_t next_index = 0;
+  std::deque<std::uint64_t> leftovers;
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    if (in_flash(spec, arrivals[i])) {
+      while (stream.label_at(next_index) != spec.flash_class)
+        leftovers.push_back(next_index++);
+      stream_index[i] = next_index++;
+    } else if (!leftovers.empty()) {
+      stream_index[i] = leftovers.front();
+      leftovers.pop_front();
+    } else {
+      stream_index[i] = next_index++;
+    }
+  }
+
+  std::vector<std::vector<float>> xs;
+  std::vector<int> labels;
+  xs.reserve(spec.requests);
+  labels.reserve(spec.requests);
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    const bool post = spec.drift_enabled && i >= spec.shift_at;
+    auto s = stream.sample(stream_index[i], post);
+    xs.push_back(std::move(s.x));
+    labels.push_back(s.label);
+  }
+  const auto queries = model::encode_all(encoder, xs, pool);
+
+  // ---- Lifecycle + chaos hook + engine ----
+  serve::ServeConfig scfg;
+  scfg.seed = opt.seed ^ 0x5EB7EULL;
+  scfg.min_dims = spec.dims / 4;
+
+  lifecycle::LifecycleConfig lcfg;
+  lcfg.replay_capacity = 256;
+  lcfg.replay_class_cap = spec.replay_class_cap;
+  lcfg.holdout = 96;
+  lcfg.min_replay = 192;
+  lcfg.min_fresh = spec.min_fresh;
+  lcfg.retrain_epochs = 3;
+  lcfg.retrain_cost_us = spec.retrain_cost_us;
+  lcfg.cooldown_us = 50000;
+  lcfg.min_dims = scfg.min_dims;
+  lcfg.threads = opt.threads;
+  lcfg.initial_version = report.boot.version;
+  lcfg.seed = opt.seed ^ 0xC1F3ULL;
+
+  lifecycle::Manager manager(serving, queries, labels, lcfg, store.get());
+  ChaosHook hook(&manager, serving, spec.bursts, opt.seed ^ 0xFA017ULL);
+  serve::ServeEngine engine(*serving, queries, labels, scfg, pool, {},
+                            &hook);
+
+  std::vector<serve::ResponseFuture> futures;
+  futures.reserve(spec.requests);
+  for (std::size_t id = 0; id < spec.requests; ++id) {
+    serve::Request req;
+    req.id = id;
+    req.arrival_us = arrivals[id];
+    req.deadline_us = arrivals[id] + scfg.deadline_us;
+    req.query = id;
+    req.canary = (id % spec.canary_every == 0);
+    futures.push_back(engine.submit(req));
+  }
+  report.serve = engine.finish();
+  report.lifecycle = manager.report();
+  report.replay_class_histogram = manager.replay_class_histogram();
+  report.bursts = hook.fired();
+
+  // ---- Windowed timeline, binned by arrival ----
+  const std::uint64_t span = arrivals.empty() ? 0 : arrivals.back() + 1;
+  report.windows.assign((span + report.window_us - 1) / report.window_us,
+                        WindowStats{});
+  for (std::size_t w = 0; w < report.windows.size(); ++w)
+    report.windows[w].t0_us = w * report.window_us;
+
+  std::uint64_t unresolved = 0;
+  std::array<std::uint64_t, serve::kNumOutcomes> seen{};
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto r = futures[i].try_get();
+    if (!r.has_value()) {
+      ++unresolved;
+      continue;
+    }
+    ++seen[static_cast<std::size_t>(r->outcome)];
+    WindowStats& w = report.windows[arrivals[i] / report.window_us];
+    ++w.arrivals;
+    switch (r->outcome) {
+      case serve::Outcome::kOk:
+      case serve::Outcome::kRetried:
+      case serve::Outcome::kDegraded:
+        ++w.served;
+        break;
+      case serve::Outcome::kShed:
+        ++w.shed;
+        break;
+      case serve::Outcome::kTimeout:
+        ++w.timeout;
+        break;
+      case serve::Outcome::kFailed:
+        ++w.failed;
+        break;
+    }
+    if (served_outcome(r->outcome) && (i % spec.canary_every == 0)) {
+      ++w.canary_total;
+      if (r->predicted == labels[i]) ++w.canary_correct;
+    }
+  }
+
+  // ---- Invariants ----
+  auto check = [&](const std::string& name, bool enabled, double value,
+                   double bound, bool passed) {
+    report.invariants.push_back(
+        InvariantResult{name, enabled, !enabled || passed, value, bound});
+  };
+
+  check("futures_resolved", true, static_cast<double>(unresolved), 0.0,
+        unresolved == 0);
+
+  std::uint64_t outcome_mismatch = 0;
+  for (std::size_t i = 0; i < serve::kNumOutcomes; ++i)
+    if (seen[i] != report.serve.outcomes[i]) ++outcome_mismatch;
+  check("outcome_accounting", true, static_cast<double>(outcome_mismatch),
+        0.0, outcome_mismatch == 0);
+
+  // Per-version tallies must account for every served request exactly once:
+  // the externally visible face of the no-half-swapped-model guarantee.
+  std::uint64_t version_served = 0;
+  for (const auto& v : report.serve.versions) version_served += v.served;
+  check("version_accounting", true, static_cast<double>(version_served),
+        static_cast<double>(report.serve.served),
+        version_served == report.serve.served);
+
+  const std::uint64_t shed =
+      report.serve.outcomes[static_cast<std::size_t>(serve::Outcome::kShed)];
+  const double shed_frac =
+      spec.requests == 0
+          ? 0.0
+          : static_cast<double>(shed) / static_cast<double>(spec.requests);
+  check("shed_fraction", spec.invariants.max_shed_frac < 1.0, shed_frac,
+        spec.invariants.max_shed_frac,
+        shed_frac <= spec.invariants.max_shed_frac);
+
+  std::uint64_t canary_total = 0, canary_correct = 0;
+  for (const auto& w : report.windows) {
+    canary_total += w.canary_total;
+    canary_correct += w.canary_correct;
+  }
+  const double canary_acc =
+      canary_total == 0 ? 0.0
+                        : static_cast<double>(canary_correct) /
+                              static_cast<double>(canary_total);
+  check("canary_accuracy", spec.invariants.min_canary_accuracy > 0.0,
+        canary_acc, spec.invariants.min_canary_accuracy,
+        canary_acc >= spec.invariants.min_canary_accuracy);
+
+  check("lifecycle_swaps", spec.invariants.min_swaps > 0,
+        static_cast<double>(report.lifecycle.swapped),
+        static_cast<double>(spec.invariants.min_swaps),
+        report.lifecycle.swapped >= spec.invariants.min_swaps);
+
+  if (spec.invariants.recovery_window_us > 0) {
+    // Accuracy must recover after the LAST lifecycle (non-chaos) swap.
+    std::uint64_t swap_vt = 0;
+    bool have_swap = false;
+    for (const auto& s : report.serve.swaps)
+      if (!s.rollback && s.version < kChaosVersionBase) {
+        swap_vt = s.vt;
+        have_swap = true;
+      }
+    std::uint64_t total = 0, correct = 0;
+    if (have_swap) {
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        if (i % spec.canary_every != 0) continue;
+        if (arrivals[i] < swap_vt ||
+            arrivals[i] >= swap_vt + spec.invariants.recovery_window_us)
+          continue;
+        const auto r = futures[i].try_get();
+        if (!r.has_value() || !served_outcome(r->outcome)) continue;
+        ++total;
+        if (r->predicted == labels[i]) ++correct;
+      }
+    }
+    const double recovered =
+        total == 0 ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(total);
+    check("accuracy_recovery", true, recovered,
+          spec.invariants.recovery_accuracy,
+          have_swap && total > 0 &&
+              recovered >= spec.invariants.recovery_accuracy);
+  } else {
+    check("accuracy_recovery", false, 0.0, 0.0, true);
+  }
+
+  check("checkpoint_quarantine", spec.invariants.expect_quarantine,
+        static_cast<double>(report.boot.quarantined), 1.0,
+        report.boot.from_checkpoint && report.boot.quarantined >= 1);
+
+  report.passed = true;
+  for (const auto& inv : report.invariants)
+    if (!inv.passed) report.passed = false;
+  return report;
+}
+
+std::string chaos_report_to_json(const ChaosReport& report) {
+  // Field order is part of the schema: equal reports render to equal
+  // bytes. threads and filesystem paths are deliberately absent.
+  std::string out = "{\n";
+  out += "  \"schema\": \"generic.chaos.v1\",\n";
+  out += "  \"scenario\": \"" + report.scenario + "\",\n";
+  out += "  \"seed\": " + u64(report.seed) + ",\n";
+  out += "  \"requests\": " + u64(report.requests) + ",\n";
+  out += "  \"dims\": " + u64(report.dims) + ",\n";
+  out += "  \"boot\": {\"from_checkpoint\": ";
+  out += report.boot.from_checkpoint ? "true" : "false";
+  out += ", \"version\": " + u64(report.boot.version) +
+         ", \"quarantined\": " + u64(report.boot.quarantined) +
+         ", \"store_versions_seeded\": " +
+         u64(report.boot.store_versions_seeded) + "},\n";
+  out += "  \"bursts\": [";
+  for (std::size_t i = 0; i < report.bursts.size(); ++i) {
+    const BurstRecord& b = report.bursts[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"scheduled_vt_us\": " + u64(b.scheduled_vt_us) +
+           ", \"fired_vt_us\": " + u64(b.fired_vt_us) +
+           ", \"version\": " + u64(b.version) + ", \"kind\": \"" +
+           std::string(resilience::fault_kind_name(b.fault.kind)) +
+           "\", \"rate\": " + fmt(b.fault.rate) +
+           ", \"burst_rate\": " + fmt(b.fault.burst_rate) + ", \"banks\": [";
+    for (std::size_t k = 0; k < b.banks.size(); ++k) {
+      if (k != 0) out += ", ";
+      out += u64(b.banks[k]);
+    }
+    out += "]}";
+  }
+  out += report.bursts.empty() ? "],\n" : "\n  ],\n";
+
+  const serve::ServeReport& s = report.serve;
+  out += "  \"serve\": {\n";
+  out += "    \"requests\": " + u64(s.requests) +
+         ",\n    \"makespan_us\": " + u64(s.makespan_us) +
+         ",\n    \"throughput_rps\": " + fmt(s.throughput_rps) +
+         ",\n    \"outcomes\": {";
+  for (std::size_t i = 0; i < serve::kNumOutcomes; ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" +
+           std::string(serve::outcome_name(
+               static_cast<serve::Outcome>(i))) +
+           "\": " + u64(s.outcomes[i]);
+  }
+  out += "},\n";
+  const double accuracy =
+      s.served == 0 ? 0.0
+                    : static_cast<double>(s.correct) /
+                          static_cast<double>(s.served);
+  out += "    \"served\": " + u64(s.served) +
+         ",\n    \"correct\": " + u64(s.correct) +
+         ",\n    \"accuracy\": " + fmt(accuracy) +
+         ",\n    \"steps_down\": " + u64(s.steps_down) +
+         ",\n    \"steps_up\": " + u64(s.steps_up) +
+         ",\n    \"final_rung\": " + u64(s.final_rung) + ",\n";
+  out += "    \"swaps\": [";
+  for (std::size_t i = 0; i < s.swaps.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"vt_us\": " + u64(s.swaps[i].vt) +
+           ", \"version\": " + u64(s.swaps[i].version) + ", \"rollback\": " +
+           (s.swaps[i].rollback ? "true" : "false") + "}";
+  }
+  out += "],\n";
+  out += "    \"versions\": [";
+  for (std::size_t i = 0; i < s.versions.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"version\": " + u64(s.versions[i].version) +
+           ", \"served\": " + u64(s.versions[i].served) +
+           ", \"correct\": " + u64(s.versions[i].correct) + "}";
+  }
+  out += "]\n  },\n";
+
+  const lifecycle::LifecycleReport& l = report.lifecycle;
+  out += "  \"lifecycle\": {\"alarms\": " + u64(l.alarms) +
+         ", \"triggered\": " + u64(l.triggered) +
+         ", \"swapped\": " + u64(l.swapped) +
+         ", \"rolled_back\": " + u64(l.rolled_back) +
+         ", \"replay_size\": " + u64(l.replay_size) +
+         ", \"final_accuracy_ewma\": " + fmt(l.final_accuracy_ewma) +
+         ", \"checkpoints\": {\"saved\": " + u64(l.checkpoints_saved) +
+         ", \"pruned\": " + u64(l.checkpoints_pruned) +
+         ", \"quarantined\": " + u64(l.checkpoints_quarantined) + "}},\n";
+
+  out += "  \"replay_class_histogram\": [";
+  for (std::size_t i = 0; i < report.replay_class_histogram.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += u64(report.replay_class_histogram[i]);
+  }
+  out += "],\n";
+
+  out += "  \"window_us\": " + u64(report.window_us) + ",\n";
+  out += "  \"windows\": [";
+  for (std::size_t i = 0; i < report.windows.size(); ++i) {
+    const WindowStats& w = report.windows[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"t0_us\": " + u64(w.t0_us) +
+           ", \"arrivals\": " + u64(w.arrivals) +
+           ", \"served\": " + u64(w.served) + ", \"shed\": " + u64(w.shed) +
+           ", \"timeout\": " + u64(w.timeout) +
+           ", \"failed\": " + u64(w.failed) +
+           ", \"canary_total\": " + u64(w.canary_total) +
+           ", \"canary_correct\": " + u64(w.canary_correct) + "}";
+  }
+  out += report.windows.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"invariants\": [";
+  for (std::size_t i = 0; i < report.invariants.size(); ++i) {
+    const InvariantResult& inv = report.invariants[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"name\": \"" + inv.name + "\", \"enabled\": ";
+    out += inv.enabled ? "true" : "false";
+    out += ", \"passed\": ";
+    out += inv.passed ? "true" : "false";
+    out += ", \"value\": " + fmt(inv.value) +
+           ", \"bound\": " + fmt(inv.bound) + "}";
+  }
+  out += report.invariants.empty() ? "],\n" : "\n  ],\n";
+  out += std::string("  \"passed\": ") + (report.passed ? "true" : "false") +
+         "\n";
+  out += "}\n";
+  return out;
+}
+
+void write_chaos_json(const std::string& path, const ChaosReport& report) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << chaos_report_to_json(report);
+}
+
+}  // namespace generic::chaos

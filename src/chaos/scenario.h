@@ -1,0 +1,101 @@
+// Declarative chaos scenarios (docs/chaos.md).
+//
+// A ScenarioSpec is a named, fully declarative timeline of everything that
+// goes wrong in one end-to-end campaign run: the traffic shape, an optional
+// concept shift in the query stream, scheduled class-memory fault bursts,
+// and an optionally pre-corrupted checkpoint store at boot. Alongside the
+// failure script it carries the invariant bounds the run must satisfy —
+// the scenario is both the attack and the acceptance test.
+//
+// The registry (all_scenarios) ships the five named campaigns:
+//
+//   diurnal                — day/night sine across the capacity line; the
+//                            ladder must absorb the crest (bounded shed).
+//   flash_crowd            — 6x single-class burst; admission control sheds
+//                            predictably and the per-class replay quota
+//                            keeps the flood from owning the replay buffer.
+//   bank_faults            — a correlated class-memory bank burst corrupts
+//                            the serving model mid-run; drift detection
+//                            must notice and a clean retrain must heal it.
+//   drift_under_overload   — concept shift while demand exceeds capacity;
+//                            the lifecycle must still close its loop.
+//   corrupt_checkpoint_boot— the newest checkpoint on disk is garbage; boot
+//                            must quarantine it and serve from the older
+//                            known-good version.
+//
+// Every spec is a pure value: (spec, seed) fully determines the run and its
+// generic.chaos.v1 report, byte-identical across --threads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/load_shape.h"
+#include "resilience/fault_model.h"
+
+namespace generic::chaos {
+
+/// One scheduled mid-run fault injection on the virtual timeline.
+struct FaultBurst {
+  std::uint64_t vt_us = 0;  ///< injected at the first poll at/after this vt
+  resilience::FaultSpec fault;
+};
+
+/// Bounds the run must satisfy; violations fail the scenario (and the
+/// generic_chaos exit code). A bound of 0 / false disables its check.
+struct InvariantSpec {
+  double max_shed_frac = 1.0;   ///< shed / requests ceiling
+  double min_canary_accuracy = 0.0;  ///< whole-run canary accuracy floor
+  std::size_t min_swaps = 0;    ///< validated lifecycle swaps required
+  /// Accuracy recovery after the LAST lifecycle swap: windowed canary
+  /// accuracy over [swap_vt, swap_vt + recovery_window_us] must reach
+  /// recovery_accuracy. 0 disables.
+  std::uint64_t recovery_window_us = 0;
+  double recovery_accuracy = 0.0;
+  bool expect_quarantine = false;  ///< boot must quarantine >= 1 checkpoint
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::size_t requests = 2000;
+  std::size_t dims = 1024;
+  std::size_t train_samples = 1200;  ///< initial-fit training-set size
+  std::size_t canary_every = 2;
+  LoadShapeSpec load;
+
+  // Concept shift in the query stream (data::DriftStream regimes).
+  bool drift_enabled = false;
+  std::size_t shift_at = 0;  ///< first post-shift request index
+  double severity = 0.75;
+
+  // Flash-crowd class skew: requests inside the flash window draw only
+  // samples of flash_class (the "everyone asks the same question" crowd).
+  bool flash_single_class = false;
+  int flash_class = 0;
+
+  // Scheduled mid-run fault bursts, injected through the ChaosHook.
+  std::vector<FaultBurst> bursts;
+
+  // Boot-time checkpoint corruption: the store is pre-seeded with two
+  // checkpoints and the newest one's bytes are flipped before boot.
+  bool corrupt_boot = false;
+
+  // Lifecycle knobs the scenario needs (0 = keep the orchestrator default).
+  std::size_t replay_class_cap = 0;
+  std::uint64_t retrain_cost_us = 30000;
+  std::size_t min_fresh = 160;
+
+  InvariantSpec invariants;
+};
+
+/// The five named campaigns. `quick` shrinks requests/dims for tests and CI
+/// smoke runs; golden fixtures are generated from the quick specs.
+std::vector<ScenarioSpec> all_scenarios(bool quick);
+
+/// Lookup by name; nullopt when unknown.
+std::optional<ScenarioSpec> find_scenario(const std::string& name, bool quick);
+
+}  // namespace generic::chaos

@@ -1,0 +1,127 @@
+#include "chaos/scenario.h"
+
+namespace generic::chaos {
+namespace {
+
+/// Shared sizing: the engine's two 900 us service lanes saturate around
+/// 2200 rps at full dimensions, ~4x that at the ladder floor (dims / 4).
+/// Scenario rates are chosen against that capacity line.
+ScenarioSpec base(bool quick) {
+  ScenarioSpec s;
+  s.requests = quick ? 1500 : 4000;
+  s.dims = quick ? 512 : 1024;
+  s.train_samples = quick ? 600 : 1200;
+  s.canary_every = 2;
+  return s;
+}
+
+ScenarioSpec diurnal(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "diurnal";
+  s.description =
+      "day/night sine whose crest crosses the capacity line; the "
+      "degradation ladder must absorb the peak with bounded shedding";
+  s.load.kind = LoadKind::kDiurnal;
+  s.load.low_rps = 600.0;
+  s.load.high_rps = 2600.0;
+  s.load.period_us = quick ? 500'000 : 1'000'000;
+  s.invariants.max_shed_frac = 0.10;
+  s.invariants.min_canary_accuracy = 0.60;
+  return s;
+}
+
+ScenarioSpec flash_crowd(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "flash_crowd";
+  s.description =
+      "6x single-class burst on a relaxed baseline; admission control "
+      "sheds the overflow and the per-class replay quota keeps the flood "
+      "from owning the canary replay buffer";
+  s.load.kind = LoadKind::kFlash;
+  s.load.base_rps = 900.0;
+  s.load.flash_start_us = quick ? 300'000 : 800'000;
+  s.load.flash_len_us = quick ? 250'000 : 500'000;
+  s.load.flash_mult = 6.0;
+  s.flash_single_class = true;
+  s.flash_class = 2;
+  s.replay_class_cap = 32;
+  s.invariants.max_shed_frac = 0.45;
+  s.invariants.min_canary_accuracy = 0.55;
+  return s;
+}
+
+ScenarioSpec bank_faults(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "bank_faults";
+  s.description =
+      "a correlated class-memory bank burst corrupts the serving model "
+      "mid-run; drift detection must notice the collapse and a clean "
+      "retrain must hot-swap the damage away";
+  s.load.kind = LoadKind::kPoisson;
+  s.load.base_rps = 1200.0;
+  FaultBurst burst;
+  burst.vt_us = quick ? 400'000 : 1'000'000;
+  burst.fault.kind = resilience::FaultKind::kBankCorrelated;
+  burst.fault.rate = 0.5;
+  burst.fault.burst_rate = 0.05;
+  s.bursts.push_back(burst);
+  s.min_fresh = quick ? 100 : 160;
+  s.invariants.max_shed_frac = 0.05;
+  s.invariants.min_swaps = 1;
+  s.invariants.recovery_window_us = quick ? 400'000 : 800'000;
+  s.invariants.recovery_accuracy = 0.60;
+  return s;
+}
+
+ScenarioSpec drift_under_overload(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "drift_under_overload";
+  s.description =
+      "concept shift while demand exceeds capacity: the ladder defends "
+      "the SLO, shedding stays bounded, and the lifecycle still closes "
+      "its drift -> retrain -> validate -> swap loop";
+  s.load.kind = LoadKind::kPoisson;
+  s.load.base_rps = 2600.0;
+  s.drift_enabled = true;
+  s.shift_at = s.requests * 2 / 5;
+  s.severity = 0.75;
+  s.min_fresh = quick ? 100 : 160;
+  s.invariants.max_shed_frac = 0.35;
+  s.invariants.min_swaps = 1;
+  s.invariants.recovery_window_us = quick ? 200'000 : 400'000;
+  s.invariants.recovery_accuracy = 0.55;
+  return s;
+}
+
+ScenarioSpec corrupt_checkpoint_boot(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "corrupt_checkpoint_boot";
+  s.description =
+      "the newest on-disk checkpoint is garbage at boot; the store must "
+      "quarantine it, fall back to the older known-good version, and "
+      "serving must proceed normally from it";
+  s.requests = quick ? 1000 : 2500;
+  s.load.kind = LoadKind::kPoisson;
+  s.load.base_rps = 1000.0;
+  s.corrupt_boot = true;
+  s.invariants.max_shed_frac = 0.05;
+  s.invariants.min_canary_accuracy = 0.60;
+  s.invariants.expect_quarantine = true;
+  return s;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> all_scenarios(bool quick) {
+  return {diurnal(quick), flash_crowd(quick), bank_faults(quick),
+          drift_under_overload(quick), corrupt_checkpoint_boot(quick)};
+}
+
+std::optional<ScenarioSpec> find_scenario(const std::string& name,
+                                          bool quick) {
+  for (auto& s : all_scenarios(quick))
+    if (s.name == name) return s;
+  return std::nullopt;
+}
+
+}  // namespace generic::chaos

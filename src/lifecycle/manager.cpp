@@ -44,7 +44,8 @@ Manager::Manager(std::shared_ptr<const model::HdcClassifier> initial,
       cfg_(cfg),
       store_(store),
       pool_(cfg.threads),
-      detector_(cfg.drift) {
+      detector_(cfg.drift),
+      next_version_(cfg.initial_version + 1) {
   if (!current_) throw std::invalid_argument("Manager: initial model is null");
   if (queries_.size() != labels_.size())
     throw std::invalid_argument("Manager: queries/labels size mismatch");
@@ -64,7 +65,7 @@ Manager::Manager(std::shared_ptr<const model::HdcClassifier> initial,
     throw std::invalid_argument("Manager: epsilon must be >= 0");
 
   VersionRecord rec;
-  rec.version = 0;
+  rec.version = cfg_.initial_version;
   rec.from_retrain = false;
   rec.installed = true;
   rec.vt = 0;
@@ -81,8 +82,7 @@ void Manager::observe(const serve::ServedObservation& obs) {
   detector_.observe_margin(obs.margin);
   if (obs.canary) {
     detector_.observe_canary(obs.correct);
-    replay_.push_back(obs.query);
-    if (replay_.size() > cfg_.replay_capacity) replay_.pop_front();
+    bank_canary(obs.query);
     if (was_alarmed) ++fresh_canaries_;
   }
   if (!was_alarmed && detector_.alarmed()) {
@@ -92,6 +92,36 @@ void Manager::observe(const serve::ServedObservation& obs) {
     events_.push_back(
         LifecycleEvent{obs.vt, EventKind::kDriftAlarm, 0,
                        detector_.drift_score()});
+  }
+}
+
+void Manager::bank_canary(std::uint64_t query) {
+  replay_.push_back(query);
+  const auto cls = static_cast<std::size_t>(labels_[query]);
+  if (cls >= replay_class_counts_.size())
+    replay_class_counts_.resize(cls + 1, 0);
+  ++replay_class_counts_[cls];
+
+  auto evict_oldest_of = [&](std::size_t target) {
+    for (auto it = replay_.begin(); it != replay_.end(); ++it) {
+      if (static_cast<std::size_t>(labels_[*it]) == target) {
+        replay_.erase(it);
+        --replay_class_counts_[target];
+        return;
+      }
+    }
+  };
+
+  // Class quota first: an over-quota class recycles its own oldest canary,
+  // so the flood never displaces other classes' replay.
+  if (cfg_.replay_class_cap > 0 &&
+      replay_class_counts_[cls] > cfg_.replay_class_cap) {
+    evict_oldest_of(cls);
+  }
+  if (replay_.size() > cfg_.replay_capacity) {
+    const auto front_cls = static_cast<std::size_t>(labels_[replay_.front()]);
+    replay_.pop_front();
+    --replay_class_counts_[front_cls];
   }
 }
 
@@ -281,6 +311,7 @@ std::string lifecycle_report_to_json(const LifecycleReport& report) {
          ", \"ph_lambda\": " + fmt(c.drift.ph_lambda) +
          ", \"accuracy_drop\": " + fmt(c.drift.accuracy_drop) + "},\n";
   out += "    \"replay_capacity\": " + u64(c.replay_capacity) +
+         ",\n    \"replay_class_cap\": " + u64(c.replay_class_cap) +
          ",\n    \"holdout\": " + u64(c.holdout) +
          ",\n    \"min_replay\": " + u64(c.min_replay) +
          ",\n    \"min_fresh\": " + u64(c.min_fresh) +
@@ -289,6 +320,7 @@ std::string lifecycle_report_to_json(const LifecycleReport& report) {
          ",\n    \"cooldown_us\": " + u64(c.cooldown_us) +
          ",\n    \"epsilon\": " + fmt(c.epsilon) +
          ",\n    \"min_dims\": " + u64(c.min_dims) +
+         ",\n    \"initial_version\": " + u64(c.initial_version) +
          ",\n    \"seed\": " + u64(c.seed) +
          ",\n    \"shadow_fault_rate\": " + fmt(c.shadow_fault_rate) + "\n";
   out += "  },\n";

@@ -48,6 +48,12 @@ namespace generic::lifecycle {
 struct LifecycleConfig {
   DriftConfig drift;
   std::size_t replay_capacity = 512;  ///< bounded canary replay buffer
+  /// Per-class replay quota (0 = unbounded). With a cap, banking a canary
+  /// whose class already holds `replay_class_cap` entries evicts the OLDEST
+  /// canary of that same class instead of growing the class further — so a
+  /// single-class flash crowd cannot flood the buffer and starve retrain
+  /// validation of every other class.
+  std::size_t replay_class_cap = 0;
   std::size_t holdout = 96;    ///< newest replay entries reserved for validation
   std::size_t min_replay = 192;       ///< no retrain below this many canaries
   /// Canaries that must arrive AFTER the alarm edge before a retrain
@@ -60,6 +66,11 @@ struct LifecycleConfig {
   double epsilon = 0.02;       ///< allowed holdout accuracy drop, per rung
   std::size_t min_dims = 512;  ///< validation ladder floor (match serving cfg)
   std::size_t threads = 1;     ///< lanes of the manager's own pool (0 = hw)
+  /// Version of the model the manager starts from: 0 for a fresh boot, or
+  /// the checkpoint's version when restarting from CheckpointStore — the
+  /// first retrain then becomes initial_version + 1, so version numbering
+  /// stays monotone across restarts.
+  std::uint64_t initial_version = 0;
   std::uint64_t seed = 0xC1F3; ///< shadow-corruption rng root (test hook)
   double shadow_fault_rate = 0.0;  ///< corrupt the shadow before validation
                                    ///< (tests the rejection gate; keep 0 in
@@ -143,6 +154,11 @@ class Manager : public serve::ModelLifecycle {
 
   const DriftDetector& detector() const { return detector_; }
   std::size_t replay_size() const { return replay_.size(); }
+  /// Canaries currently banked per class label (index == label). Exposed
+  /// for the class-balancing tests and chaos invariant checks.
+  const std::vector<std::size_t>& replay_class_histogram() const {
+    return replay_class_counts_;
+  }
   bool retrain_in_flight() const { return job_ != nullptr; }
 
  private:
@@ -172,10 +188,13 @@ class Manager : public serve::ModelLifecycle {
   CheckpointStore* store_ = nullptr;
   ThreadPool pool_;  ///< the manager's own lanes; never the engine's pool
 
+  void bank_canary(std::uint64_t query);
+
   DriftDetector detector_;
   std::deque<std::uint64_t> replay_;  ///< canary query indices, oldest first
+  std::vector<std::size_t> replay_class_counts_;  ///< per-class replay tally
   std::unique_ptr<RetrainJob> job_;
-  std::uint64_t next_version_ = 1;  ///< the initial model is version 0
+  std::uint64_t next_version_;  ///< first retrain: initial_version + 1
   std::uint64_t cooldown_until_ = 0;
   std::uint64_t fresh_canaries_ = 0;  ///< canaries since the alarm edge
   std::uint64_t last_vt_ = 0;

@@ -1,5 +1,6 @@
 #include "resilience/fault_model.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -23,7 +24,8 @@ std::uint32_t corrupt_word(std::uint32_t word, int bw, FaultKind kind,
         word |= bit;
         break;
       case FaultKind::kDeadBlock:
-        break;  // handled at block granularity, not per bit
+      case FaultKind::kBankCorrelated:
+        break;  // handled at block / bank granularity, not per bit
     }
   }
   return word;
@@ -57,13 +59,16 @@ std::string_view fault_kind_name(FaultKind kind) {
       return "stuck_at_1";
     case FaultKind::kDeadBlock:
       return "dead_block";
+    case FaultKind::kBankCorrelated:
+      return "bank_correlated";
   }
   throw std::invalid_argument("fault_kind_name: unknown kind");
 }
 
 FaultKind fault_kind_from_name(std::string_view name) {
   for (FaultKind k : {FaultKind::kTransient, FaultKind::kStuckAt0,
-                      FaultKind::kStuckAt1, FaultKind::kDeadBlock})
+                      FaultKind::kStuckAt1, FaultKind::kDeadBlock,
+                      FaultKind::kBankCorrelated})
     if (name == fault_kind_name(k)) return k;
   throw std::invalid_argument("unknown fault kind: " + std::string(name));
 }
@@ -71,6 +76,9 @@ FaultKind fault_kind_from_name(std::string_view name) {
 void inject(hdc::BinaryHV& hv, const FaultSpec& spec, Rng& rng,
             std::size_t block) {
   if (spec.rate <= 0.0) return;
+  if (spec.kind == FaultKind::kBankCorrelated)
+    throw std::invalid_argument(
+        "inject: bank-correlated faults target class memory only");
   if (spec.kind == FaultKind::kDeadBlock) {
     if (block == 0) throw std::invalid_argument("inject: zero block size");
     for (std::size_t base = 0; base < hv.dims(); base += block)
@@ -93,6 +101,7 @@ void inject(hdc::BinaryHV& hv, const FaultSpec& spec, Rng& rng,
         hv.set(i, true);
         break;
       case FaultKind::kDeadBlock:
+      case FaultKind::kBankCorrelated:
         break;  // unreachable
     }
   }
@@ -103,6 +112,9 @@ void inject(hdc::IntHV& acc, const FaultSpec& spec, Rng& rng, int bit_width,
   if (spec.rate <= 0.0) return;
   if (bit_width < 1 || bit_width > 16)
     throw std::invalid_argument("inject: bit_width must be in [1, 16]");
+  if (spec.kind == FaultKind::kBankCorrelated)
+    throw std::invalid_argument(
+        "inject: bank-correlated faults target class memory only");
   if (spec.kind == FaultKind::kDeadBlock) {
     if (block == 0) throw std::invalid_argument("inject: zero block size");
     for (std::size_t base = 0; base < acc.size(); base += block)
@@ -119,6 +131,11 @@ void inject(model::HdcClassifier& clf, const FaultSpec& spec, Rng& rng) {
   if (spec.rate <= 0.0) return;
   if (spec.kind == FaultKind::kDeadBlock) {
     inject_dead_blocks(clf, sample_dead_chunks(clf.num_chunks(), spec.rate, rng));
+    return;
+  }
+  if (spec.kind == FaultKind::kBankCorrelated) {
+    inject_bank_correlated(clf, sample_faulty_banks(spec.rate, rng),
+                           spec.burst_rate, rng);
     return;
   }
   const int bw = clf.bit_width();
@@ -148,6 +165,28 @@ std::vector<std::size_t> sample_dead_chunks(std::size_t num_chunks,
   for (std::size_t k = 0; k < num_chunks; ++k)
     if (rng.bernoulli(rate)) dead.push_back(k);
   return dead;
+}
+
+std::vector<std::size_t> sample_faulty_banks(double rate, Rng& rng) {
+  std::vector<std::size_t> banks;
+  for (std::size_t b = 0; b < kClassMemoryBanks; ++b)
+    if (rng.bernoulli(rate)) banks.push_back(b);
+  return banks;
+}
+
+void inject_bank_correlated(model::HdcClassifier& clf,
+                            const std::vector<std::size_t>& banks,
+                            double bit_rate, Rng& rng) {
+  if (bit_rate <= 0.0 || banks.empty()) return;
+  const int bw = clf.bit_width();
+  for (std::size_t c = 0; c < clf.num_classes(); ++c) {
+    const std::size_t bank = c % kClassMemoryBanks;
+    if (std::find(banks.begin(), banks.end(), bank) == banks.end()) continue;
+    auto& vec = clf.mutable_class_vector(c);
+    for (auto& v : vec)
+      v = corrupt_element(v, bw, FaultKind::kTransient, bit_rate, rng);
+  }
+  // Norms stay stale on purpose, like every class-memory injector.
 }
 
 }  // namespace generic::resilience

@@ -16,6 +16,16 @@
 //   kDeadBlock  — an entire 128-dimension block (one norm2 chunk, i.e. one
 //                 class-memory row span per class) reads as zero: the model
 //                 of a dead SRAM row / failed bank segment.
+//   kBankCorrelated
+//               — a correlated burst confined to whole class-memory BANKS:
+//                 the GENERIC ASIC stores class accumulators in 16 separate
+//                 class memories (§4.2.2), and a marginal bank — a sagging
+//                 rail, a failing sense-amp column — corrupts every word it
+//                 holds while the other banks stay clean. Each of the 16
+//                 banks is hit with probability `rate`; inside a hit bank
+//                 every stored bit flips with probability `burst_rate`.
+//                 Class c lives in bank c % 16, so with <= 16 classes one
+//                 hit bank is one corrupted class vector.
 //
 // Faults target the three memories of the datapath:
 //   * class memory      — inject(HdcClassifier&, ...)
@@ -42,7 +52,14 @@ enum class FaultKind {
   kStuckAt0,   ///< each bit stuck to 0 with probability `rate`
   kStuckAt1,   ///< each bit stuck to 1 with probability `rate`
   kDeadBlock,  ///< each 128-dim block dead (reads 0) with probability `rate`
+  kBankCorrelated,  ///< each of the 16 class-memory banks hit with
+                    ///< probability `rate`; hit banks flip bits at
+                    ///< `burst_rate` (class memory only)
 };
+
+/// Class-memory banks of the GENERIC ASIC (§4.2.2): 16 separate SRAMs, one
+/// class accumulator per bank; class c of a wider model maps to bank c % 16.
+inline constexpr std::size_t kClassMemoryBanks = 16;
 
 /// Stable short name used in campaign JSON ("transient", "stuck_at_0", ...).
 std::string_view fault_kind_name(FaultKind kind);
@@ -52,10 +69,13 @@ FaultKind fault_kind_from_name(std::string_view name);
 
 /// One fault population: a kind plus its rate. For the per-bit kinds `rate`
 /// is the per-bit probability; for kDeadBlock it is the per-block
-/// probability. Compose several FaultSpecs by applying them in sequence.
+/// probability; for kBankCorrelated it is the per-bank probability and
+/// `burst_rate` is the per-bit flip rate inside an affected bank. Compose
+/// several FaultSpecs by applying them in sequence.
 struct FaultSpec {
   FaultKind kind = FaultKind::kTransient;
   double rate = 0.0;
+  double burst_rate = 0.05;  ///< used by kBankCorrelated only
 };
 
 /// Corrupt a bit-packed bipolar hypervector (item/level memory row).
@@ -88,5 +108,22 @@ void inject_dead_blocks(model::HdcClassifier& clf,
 /// ground-truth dead set by replaying the same rng state.
 std::vector<std::size_t> sample_dead_chunks(std::size_t num_chunks,
                                             double rate, Rng& rng);
+
+/// The per-bank decision the kBankCorrelated inject() makes: exactly
+/// kClassMemoryBanks Bernoulli(rate) draws, in bank order, REGARDLESS of
+/// how many classes the model holds — the fault pattern is a property of
+/// the 16 physical banks, not of the model mapped onto them. Exposed so
+/// callers (the chaos orchestrator, tests) can learn the ground-truth hit
+/// set by replaying the same rng state.
+std::vector<std::size_t> sample_faulty_banks(double rate, Rng& rng);
+
+/// Deterministically corrupt an explicit set of class-memory banks: every
+/// class c with c % kClassMemoryBanks in `banks` suffers independent bit
+/// flips at `bit_rate` per stored bit (classes ascending, elements in
+/// order — bit-exact for a fixed rng state). Chunk norms stay stale, like
+/// every class-memory injector (see inject() above).
+void inject_bank_correlated(model::HdcClassifier& clf,
+                            const std::vector<std::size_t>& banks,
+                            double bit_rate, Rng& rng);
 
 }  // namespace generic::resilience

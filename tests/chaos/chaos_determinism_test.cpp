@@ -1,0 +1,184 @@
+// The chaos campaigns' two load-bearing contracts:
+//
+//  1. Determinism — every scenario's generic.chaos.v1 report is a pure
+//     function of (spec, seed): byte-identical across worker thread counts
+//     (1/2/7) and pinned byte-for-byte by the golden fixtures under
+//     tests/chaos/golden/. To regenerate after an INTENTIONAL change:
+//       GENERIC_UPDATE_GOLDEN=1 ./tests/test_chaos \
+//           --gtest_filter='ChaosGolden.*'
+//     then commit the fixtures and call the change out in the PR.
+//
+//  2. The scenarios actually tell their stories: every invariant passes,
+//     the bank burst fires and is healed by a clean hot-swap, and the
+//     corrupt-checkpoint boot quarantines the bad file and falls back.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/orchestrator.h"
+
+#ifndef GENERIC_GOLDEN_DIR
+#error "GENERIC_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace generic::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kSeed = 0xC4A05;
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Scratch dir unique per (scenario, tag) so ctest -j cases never collide.
+std::string scratch_dir(const std::string& scenario, const std::string& tag) {
+  const fs::path dir = fs::path(testing::TempDir()) /
+                       ("chaos-" + scenario + "-" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+ChaosReport run(const ScenarioSpec& spec, std::size_t threads,
+                const std::string& tag) {
+  RunOptions opt;
+  opt.seed = kSeed;
+  opt.threads = threads;
+  opt.work_dir = scratch_dir(spec.name, tag);
+  return run_scenario(spec, opt);
+}
+
+TEST(ChaosScenario, RegistryShipsTheFiveCampaigns) {
+  const auto scenarios = all_scenarios(true);
+  ASSERT_EQ(scenarios.size(), 5u);
+  const char* expected[] = {"diurnal", "flash_crowd", "bank_faults",
+                            "drift_under_overload",
+                            "corrupt_checkpoint_boot"};
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    EXPECT_EQ(scenarios[i].name, expected[i]);
+  EXPECT_TRUE(find_scenario("bank_faults", true).has_value());
+  EXPECT_FALSE(find_scenario("nope", true).has_value());
+  // Quick and full specs are distinct sizings of the same campaign.
+  EXPECT_LT(find_scenario("diurnal", true)->requests,
+            find_scenario("diurnal", false)->requests);
+}
+
+TEST(ChaosDeterminism, ReportsByteIdenticalAcrossThreads) {
+  for (const auto& spec : all_scenarios(true)) {
+    const std::string t1 =
+        chaos_report_to_json(run(spec, 1, "t1"));
+    const std::string t2 =
+        chaos_report_to_json(run(spec, 2, "t2"));
+    const std::string t7 =
+        chaos_report_to_json(run(spec, 7, "t7"));
+    EXPECT_EQ(t1, t2) << spec.name << ": threads 1 vs 2";
+    EXPECT_EQ(t1, t7) << spec.name << ": threads 1 vs 7";
+  }
+}
+
+TEST(ChaosGolden, ReportsMatchCommittedFixtures) {
+  for (const auto& spec : all_scenarios(true)) {
+    const std::string got = chaos_report_to_json(run(spec, 2, "golden"));
+    const std::string path =
+        std::string(GENERIC_GOLDEN_DIR) + "/" + spec.name + ".json";
+
+    if (std::getenv("GENERIC_UPDATE_GOLDEN") != nullptr) {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(f) << "cannot write fixture " << path;
+      f << got;
+      continue;
+    }
+    const std::string want = read_file(path);
+    ASSERT_FALSE(want.empty())
+        << "missing fixture " << path
+        << " — run with GENERIC_UPDATE_GOLDEN=1 to create it";
+    EXPECT_EQ(got, want)
+        << spec.name
+        << " diverged from its committed fixture; if the change is "
+           "intentional, regenerate with GENERIC_UPDATE_GOLDEN=1";
+  }
+  if (std::getenv("GENERIC_UPDATE_GOLDEN") != nullptr)
+    GTEST_SKIP() << "fixtures regenerated under " << GENERIC_GOLDEN_DIR;
+}
+
+TEST(ChaosScenario, EveryCampaignPassesItsInvariants) {
+  for (const auto& spec : all_scenarios(true)) {
+    const ChaosReport report = run(spec, 2, "inv");
+    EXPECT_TRUE(report.passed) << spec.name;
+    for (const auto& inv : report.invariants)
+      EXPECT_TRUE(inv.passed)
+          << spec.name << ": " << inv.name << " value=" << inv.value
+          << " bound=" << inv.bound;
+  }
+}
+
+TEST(ChaosScenario, BankBurstFiresCollapsesAndHeals) {
+  const auto spec = find_scenario("bank_faults", true);
+  ASSERT_TRUE(spec.has_value());
+  const ChaosReport report = run(*spec, 2, "story");
+
+  // The burst fired as a chaos-version install at its scheduled time.
+  ASSERT_EQ(report.bursts.size(), 1u);
+  const BurstRecord& burst = report.bursts[0];
+  EXPECT_EQ(burst.version, kChaosVersionBase);
+  EXPECT_GE(burst.fired_vt_us, burst.scheduled_vt_us);
+  EXPECT_FALSE(burst.banks.empty());
+  bool chaos_install = false, heal_swap = false;
+  std::uint64_t chaos_vt = 0, heal_vt = 0;
+  for (const auto& s : report.serve.swaps) {
+    if (s.version >= kChaosVersionBase && !s.rollback) {
+      chaos_install = true;
+      chaos_vt = s.vt;
+    }
+    if (s.version < kChaosVersionBase && !s.rollback && !heal_swap) {
+      heal_swap = true;
+      heal_vt = s.vt;
+    }
+  }
+  EXPECT_TRUE(chaos_install);
+  ASSERT_TRUE(heal_swap) << "no clean retrain swap healed the burst";
+  EXPECT_GT(heal_vt, chaos_vt);
+
+  // The corrupted version measurably collapsed accuracy; the healed
+  // versions won it back.
+  double corrupted_acc = 1.0, healed_acc = 0.0;
+  for (const auto& v : report.serve.versions) {
+    const double acc = v.served == 0 ? 0.0
+                                     : static_cast<double>(v.correct) /
+                                           static_cast<double>(v.served);
+    if (v.version >= kChaosVersionBase) corrupted_acc = acc;
+    if (v.version > 0 && v.version < kChaosVersionBase) healed_acc = acc;
+  }
+  EXPECT_LT(corrupted_acc, 0.6);
+  EXPECT_GT(healed_acc, 0.8);
+  EXPECT_GE(report.lifecycle.swapped, 1u);
+}
+
+TEST(ChaosScenario, CorruptCheckpointBootQuarantinesAndFallsBack) {
+  const auto spec = find_scenario("corrupt_checkpoint_boot", true);
+  ASSERT_TRUE(spec.has_value());
+  const ChaosReport report = run(*spec, 2, "story");
+
+  EXPECT_TRUE(report.boot.from_checkpoint);
+  EXPECT_EQ(report.boot.store_versions_seeded, 2u);
+  EXPECT_EQ(report.boot.quarantined, 1u);
+  // The newest (corrupted) version 2 was refused; boot fell back to 1.
+  EXPECT_EQ(report.boot.version, 1u);
+  // Lifecycle version numbering continues from the booted checkpoint.
+  ASSERT_FALSE(report.lifecycle.versions.empty());
+  EXPECT_EQ(report.lifecycle.versions[0].version, 1u);
+  EXPECT_TRUE(report.passed);
+  for (const auto& inv : report.invariants) EXPECT_TRUE(inv.passed) << inv.name;
+}
+
+}  // namespace
+}  // namespace generic::chaos

@@ -1,0 +1,100 @@
+#include "chaos/load_shape.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace generic::chaos {
+namespace {
+
+TEST(ChaosLoadShape, PoissonRateIsConstant) {
+  LoadShapeSpec s;
+  s.kind = LoadKind::kPoisson;
+  s.base_rps = 1234.0;
+  EXPECT_DOUBLE_EQ(rate_at(s, 0), 1234.0);
+  EXPECT_DOUBLE_EQ(rate_at(s, 999'999), 1234.0);
+  EXPECT_DOUBLE_EQ(peak_rate(s), 1234.0);
+}
+
+TEST(ChaosLoadShape, DiurnalSwingsTroughToCrest) {
+  LoadShapeSpec s;
+  s.kind = LoadKind::kDiurnal;
+  s.low_rps = 600.0;
+  s.high_rps = 2400.0;
+  s.period_us = 1'000'000;
+  // Phase 0 is the trough (campaigns warm up at low traffic), half a
+  // period later is the crest, and a full period wraps around.
+  EXPECT_NEAR(rate_at(s, 0), 600.0, 1e-9);
+  EXPECT_NEAR(rate_at(s, 500'000), 2400.0, 1e-9);
+  EXPECT_NEAR(rate_at(s, 1'000'000), 600.0, 1e-9);
+  EXPECT_DOUBLE_EQ(peak_rate(s), 2400.0);
+  for (std::uint64_t vt = 0; vt < 1'000'000; vt += 50'000) {
+    EXPECT_GE(rate_at(s, vt), 600.0 - 1e-9);
+    EXPECT_LE(rate_at(s, vt), 2400.0 + 1e-9);
+  }
+}
+
+TEST(ChaosLoadShape, FlashMultiplierOnlyInsideWindow) {
+  LoadShapeSpec s;
+  s.kind = LoadKind::kFlash;
+  s.base_rps = 900.0;
+  s.flash_start_us = 100'000;
+  s.flash_len_us = 50'000;
+  s.flash_mult = 6.0;
+  EXPECT_DOUBLE_EQ(rate_at(s, 99'999), 900.0);
+  EXPECT_DOUBLE_EQ(rate_at(s, 100'000), 5400.0);
+  EXPECT_DOUBLE_EQ(rate_at(s, 149'999), 5400.0);
+  EXPECT_DOUBLE_EQ(rate_at(s, 150'000), 900.0);
+  EXPECT_DOUBLE_EQ(peak_rate(s), 5400.0);
+}
+
+TEST(ChaosLoadShape, ArrivalsAreSeedDeterministicAndIncreasing) {
+  LoadShapeSpec s;
+  s.kind = LoadKind::kDiurnal;
+  Rng r1(42), r2(42), r3(43);
+  const auto a = sample_arrivals(s, 500, r1);
+  const auto b = sample_arrivals(s, 500, r2);
+  const auto c = sample_arrivals(s, 500, r3);
+  ASSERT_EQ(a.size(), 500u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GT(a[i], a[i - 1]);
+}
+
+TEST(ChaosLoadShape, ThinningTracksTheIntensity) {
+  // Over one diurnal period the crest half must see clearly more arrivals
+  // than the trough half — the thinning sanity check.
+  LoadShapeSpec s;
+  s.kind = LoadKind::kDiurnal;
+  s.low_rps = 400.0;
+  s.high_rps = 2000.0;
+  s.period_us = 1'000'000;
+  Rng rng(7);
+  const auto arrivals = sample_arrivals(s, 1000, rng);
+  std::size_t trough = 0, crest = 0;
+  for (const auto vt : arrivals) {
+    const std::uint64_t phase = vt % s.period_us;
+    if (phase < 250'000 || phase >= 750'000)
+      ++trough;
+    else
+      ++crest;
+  }
+  EXPECT_GT(crest, trough * 2);
+}
+
+TEST(ChaosLoadShape, RejectsDegenerateSpecs) {
+  LoadShapeSpec zero;
+  zero.kind = LoadKind::kPoisson;
+  zero.base_rps = 0.0;
+  Rng rng(1);
+  EXPECT_THROW(sample_arrivals(zero, 10, rng), std::invalid_argument);
+
+  LoadShapeSpec no_period;
+  no_period.kind = LoadKind::kDiurnal;
+  no_period.period_us = 0;
+  EXPECT_THROW(sample_arrivals(no_period, 10, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace generic::chaos

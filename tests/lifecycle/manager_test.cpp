@@ -238,6 +238,71 @@ TEST(LifecycleManager, ValidatedSwapIsCheckpointed) {
         << c;
 }
 
+TEST(LifecycleManager, ReplayClassCapBoundsFloodedClass) {
+  const Scenario s = make_scenario();
+  LifecycleConfig cfg = fast_config();
+  cfg.replay_class_cap = 8;
+  Manager manager(s.initial, s.queries, s.labels, cfg);
+
+  // A single-class flash crowd: 90 class-0 canaries, then a trickle of
+  // class 1. Labels follow i % 3, so query 3k is class 0, 3k+1 is class 1.
+  std::uint64_t vt = 0;
+  auto observe = [&](std::uint64_t query) {
+    vt += 1000;
+    serve::ServedObservation obs;
+    obs.vt = vt;
+    obs.query = query;
+    obs.margin = 0.5;  // confident: never trip the detector here
+    obs.canary = true;
+    obs.correct = true;
+    obs.label = s.labels[query];
+    manager.observe(obs);
+    manager.poll(vt);
+  };
+  for (std::uint64_t k = 0; k < 90; ++k) observe(3 * (k % 100));
+  for (std::uint64_t k = 0; k < 5; ++k) observe(3 * k + 1);
+
+  const auto& hist = manager.replay_class_histogram();
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_EQ(hist[0], cfg.replay_class_cap)
+      << "the flooded class must saturate at the quota, not fill the buffer";
+  EXPECT_EQ(hist[1], 5u);
+  EXPECT_EQ(manager.replay_size(), cfg.replay_class_cap + 5);
+
+  // Without the cap the same flood owns the whole buffer.
+  Manager greedy(s.initial, s.queries, s.labels, fast_config());
+  for (std::uint64_t k = 0; k < 90; ++k) {
+    vt += 1000;
+    serve::ServedObservation obs;
+    obs.vt = vt;
+    obs.query = 3 * (k % 100);
+    obs.margin = 0.5;
+    obs.canary = true;
+    obs.correct = true;
+    obs.label = 0;
+    greedy.observe(obs);
+    greedy.poll(vt);
+  }
+  EXPECT_EQ(greedy.replay_class_histogram()[0], 90u);
+}
+
+TEST(LifecycleManager, InitialVersionContinuesNumberingAcrossRestart) {
+  // Booting from a version-5 checkpoint must not reuse version numbers:
+  // the first retrain becomes 6, and the report's initial record says 5.
+  const Scenario s = make_scenario();
+  LifecycleConfig cfg = fast_config();
+  cfg.initial_version = 5;
+  Manager manager(s.initial, s.queries, s.labels, cfg);
+  const RunResult run = run_scenario(s, manager);
+
+  ASSERT_EQ(run.updates.size(), 1u);
+  EXPECT_EQ(run.updates[0].version, 6u);
+  ASSERT_EQ(run.report.versions.size(), 2u);
+  EXPECT_EQ(run.report.versions[0].version, 5u);
+  EXPECT_FALSE(run.report.versions[0].from_retrain);
+  EXPECT_EQ(run.report.versions[1].version, 6u);
+}
+
 TEST(LifecycleManager, RejectsInvalidConstruction) {
   const Scenario s = make_scenario();
   const LifecycleConfig good = fast_config();

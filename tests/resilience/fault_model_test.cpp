@@ -151,6 +151,90 @@ TEST(FaultModel, BinaryHvInjection) {
   for (std::size_t i = 0; i < 256; ++i) EXPECT_FALSE(blocky.bit(i));
 }
 
+TEST(FaultModel, BankCorrelatedHitsOnlyDrawnBanks) {
+  // Unlike kDeadBlock — which kills one chunk across ALL classes — the
+  // bank-correlated burst corrupts whole class vectors and leaves every
+  // class outside the hit banks untouched.
+  auto clf = small_model(512, 6);
+  const auto golden = clf;
+  Rng r(123);
+  inject_bank_correlated(clf, {1, 4}, 0.5, r);
+  for (std::size_t c = 0; c < clf.num_classes(); ++c) {
+    const bool hit = (c % kClassMemoryBanks == 1) || (c % kClassMemoryBanks == 4);
+    if (hit) {
+      EXPECT_NE(clf.class_vector(c), golden.class_vector(c)) << "class " << c;
+    } else {
+      EXPECT_EQ(clf.class_vector(c), golden.class_vector(c)) << "class " << c;
+    }
+  }
+}
+
+TEST(FaultModel, BankCorrelatedSamplingMatchesInjection) {
+  auto a = small_model(256, 6);
+  auto b = a;
+  Rng sample_rng(77), inject_rng(77);
+  const auto banks = sample_faulty_banks(0.3, sample_rng);
+  const double burst = 0.4;
+  inject_bank_correlated(a, banks, burst, sample_rng);
+  inject(b, {FaultKind::kBankCorrelated, 0.3, burst}, inject_rng);
+  for (std::size_t c = 0; c < a.num_classes(); ++c)
+    EXPECT_EQ(a.class_vector(c), b.class_vector(c)) << "class " << c;
+}
+
+TEST(FaultModel, BankCorrelatedIsSeedDeterministic) {
+  auto a = small_model(256, 6);
+  auto b = small_model(256, 6);
+  Rng ra(42), rb(42);
+  inject(a, {FaultKind::kBankCorrelated, 0.5, 0.2}, ra);
+  inject(b, {FaultKind::kBankCorrelated, 0.5, 0.2}, rb);
+  for (std::size_t c = 0; c < a.num_classes(); ++c)
+    EXPECT_EQ(a.class_vector(c), b.class_vector(c));
+}
+
+TEST(FaultModel, BankCorrelatedDrawsAllSixteenBanks) {
+  // The hit pattern belongs to the 16 physical banks, not the model: at
+  // rate 1.0 every bank is drawn, and with 6 classes exactly banks 0..5
+  // land on storage.
+  Rng r(1);
+  const auto banks = sample_faulty_banks(1.0, r);
+  ASSERT_EQ(banks.size(), kClassMemoryBanks);
+  auto clf = small_model(256, 6);
+  const auto golden = clf;
+  Rng ri(9);
+  inject(clf, {FaultKind::kBankCorrelated, 1.0, 1.0}, ri);
+  // burst_rate 1.0 flips every bit of every stored word.
+  for (std::size_t c = 0; c < clf.num_classes(); ++c)
+    EXPECT_NE(clf.class_vector(c), golden.class_vector(c));
+}
+
+TEST(FaultModel, BankCorrelatedLeavesNormsStale) {
+  auto clf = small_model(256, 3);
+  const auto norm_before = clf.chunk_norm(1, 0);
+  Rng r(3);
+  inject(clf, {FaultKind::kBankCorrelated, 1.0, 0.5}, r);
+  EXPECT_EQ(clf.chunk_norm(1, 0), norm_before);
+}
+
+TEST(FaultModel, BankCorrelatedRejectsEncoderMemories) {
+  // The mode is defined over the 16 class-memory banks; item/level rows and
+  // accumulators have no bank structure to correlate over.
+  Rng rng(2);
+  auto hv = hdc::BinaryHV::random(128, rng);
+  EXPECT_THROW(
+      { Rng r(1); inject(hv, {FaultKind::kBankCorrelated, 0.1}, r); },
+      std::invalid_argument);
+  hdc::IntHV acc(128, 1);
+  EXPECT_THROW(
+      { Rng r(1); inject(acc, {FaultKind::kBankCorrelated, 0.1}, r, 8); },
+      std::invalid_argument);
+}
+
+TEST(FaultModel, BankCorrelatedNameRoundTrips) {
+  EXPECT_EQ(fault_kind_name(FaultKind::kBankCorrelated), "bank_correlated");
+  EXPECT_EQ(fault_kind_from_name("bank_correlated"),
+            FaultKind::kBankCorrelated);
+}
+
 TEST(FaultModel, IntHvInjectionRespectsBitWidth) {
   hdc::IntHV acc(256, 3);
   Rng r(9);

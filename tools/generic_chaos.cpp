@@ -1,0 +1,92 @@
+// generic_chaos — named end-to-end chaos campaigns (docs/chaos.md).
+//
+// Runs one (or every) registered scenario through the chaos orchestrator:
+// shaped traffic, concept shifts, correlated class-memory fault bursts and
+// corrupted checkpoints, all seeded and on virtual time, with a
+// generic.chaos.v1 report per scenario and a per-invariant verdict.
+//
+//   generic_chaos [--scenario=all|NAME] [--quick] [--seed=S] [--threads=N]
+//                 [--out=DIR] [--work-dir=DIR] [--list]
+//
+// --out writes <DIR>/<scenario>.json per scenario. --list prints the
+// registry and exits. Exit code: 0 when every run passed its invariants,
+// 1 otherwise.
+//
+// Determinism: every report is a pure function of (scenario, --quick,
+// --seed). --threads only changes wall-clock speed — the CI chaos job
+// cmp's reports across thread counts.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "chaos/orchestrator.h"
+
+using namespace generic;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const bool list = flags.has("--list");
+  const std::string which = flags.value("--scenario", "all");
+  const std::uint64_t seed = flags.size("--seed", 0xC4A05);
+  const std::size_t threads = flags.threads();
+  const std::string out_dir = flags.value("--out", "");
+  const std::string work_dir = flags.value("--work-dir", "");
+  flags.done();
+
+  if (list) {
+    for (const auto& s : chaos::all_scenarios(quick))
+      std::printf("%-24s %zu requests, D=%zu — %s\n", s.name.c_str(),
+                  s.requests, s.dims, s.description.c_str());
+    return 0;
+  }
+
+  std::vector<chaos::ScenarioSpec> specs;
+  if (which == "all") {
+    specs = chaos::all_scenarios(quick);
+  } else {
+    auto s = chaos::find_scenario(which, quick);
+    if (!s.has_value()) {
+      std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
+                   which.c_str());
+      return 1;
+    }
+    specs.push_back(std::move(*s));
+  }
+
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+
+  bool all_passed = true;
+  for (const auto& spec : specs) {
+    chaos::RunOptions opt;
+    opt.seed = seed;
+    opt.threads = threads;
+    opt.work_dir =
+        work_dir.empty() ? "" : work_dir + "/" + spec.name;
+
+    const chaos::ChaosReport report = chaos::run_scenario(spec, opt);
+    all_passed = all_passed && report.passed;
+
+    std::printf("%-24s %s  (%zu requests", spec.name.c_str(),
+                report.passed ? "PASS" : "FAIL", spec.requests);
+    if (report.boot.from_checkpoint)
+      std::printf(", booted v%llu, %llu quarantined",
+                  static_cast<unsigned long long>(report.boot.version),
+                  static_cast<unsigned long long>(report.boot.quarantined));
+    std::printf(")\n");
+    for (const auto& inv : report.invariants) {
+      if (!inv.enabled) continue;
+      std::printf("  %-22s %s  value=%.4g bound=%.4g\n", inv.name.c_str(),
+                  inv.passed ? "ok" : "VIOLATED", inv.value, inv.bound);
+    }
+
+    if (!out_dir.empty()) {
+      const std::string path = out_dir + "/" + spec.name + ".json";
+      chaos::write_chaos_json(path, report);
+      std::printf("  report written to %s\n", path.c_str());
+    }
+  }
+  return all_passed ? 0 : 1;
+}

@@ -129,9 +129,31 @@ int main(int argc, char** argv) {
   lcfg.seed = seed ^ 0xC1F3ULL;
   lcfg.shadow_fault_rate = shadow_fault_rate;
 
+  // --ckpt-dir both saves validated versions AND restarts from disk: when
+  // the store already holds a checkpoint of matching geometry, boot serves
+  // from it (corrupt files are quarantined, the walk falls back to older
+  // versions) and version numbering continues where the last run stopped.
   std::unique_ptr<lifecycle::CheckpointStore> store;
-  if (!ckpt_dir.empty())
+  if (!ckpt_dir.empty()) {
     store = std::make_unique<lifecycle::CheckpointStore>(ckpt_dir, 4);
+    if (auto loaded = store->load_latest(); loaded.has_value()) {
+      if (loaded->model.dims() == dims &&
+          loaded->model.num_classes() == dspec.classes) {
+        initial = std::make_shared<model::HdcClassifier>(
+            std::move(loaded->model));
+        lcfg.initial_version = loaded->version;
+        std::printf("booted from checkpoint version %llu (%llu corrupt "
+                    "quarantined)\n",
+                    static_cast<unsigned long long>(loaded->version),
+                    static_cast<unsigned long long>(store->quarantined()));
+      } else {
+        std::fprintf(stderr,
+                     "warning: checkpoint geometry mismatch "
+                     "(D=%zu/%zu classes); using the fresh model\n",
+                     loaded->model.dims(), loaded->model.num_classes());
+      }
+    }
+  }
 
   lifecycle::Manager manager(initial, queries, labels, lcfg, store.get());
   serve::ServeEngine engine(*initial, queries, labels, cfg, pool, {},

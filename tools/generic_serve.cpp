@@ -6,7 +6,7 @@
 //                 [--max-attempts=3] [--min-dims=512]
 //                 [--service-base-us=900] [--fault-rate=P]
 //                 [--fault-bit-rate=P] [--dead-chunks=K] [--seed=S]
-//                 [--threads=N] [--out=serve.json]
+//                 [--threads=N] [--checkpoint-dir=DIR] [--out=serve.json]
 //                 [--trace=out.json] [--metrics=out.json]
 //                 [--metrics-every=SECONDS]
 //
@@ -23,8 +23,15 @@
 // flips at --fault-bit-rate, detected by parity and retried with backoff);
 // --dead-chunks kills K dimension blocks in the model and serves around
 // them through the masked prediction path.
+//
+// --checkpoint-dir restarts from disk: boot loads the newest checkpoint
+// that verifies (corrupt files are quarantined and the walk falls back to
+// the next-older version), skipping the training phase entirely; a cold
+// store trains as usual and saves the fresh model for the next boot.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +39,7 @@
 #include "common/thread_pool.h"
 #include "data/benchmarks.h"
 #include "encoding/encoders.h"
+#include "lifecycle/checkpoint_store.h"
 #include "model/pipeline.h"
 #include "obs/export.h"
 #include "resilience/fault_model.h"
@@ -71,6 +79,7 @@ int main(int argc, char** argv) {
 
   const std::size_t dead_chunks = flags.size("--dead-chunks", 0);
   const std::size_t threads = flags.threads();
+  const std::string ckpt_dir = flags.value("--checkpoint-dir", "");
   const std::string out_path = flags.value("--out", "");
   const double metrics_every = fvalue(flags, "--metrics-every", 0.0);
   obs::Session obs_session(flags.value("--trace", ""),
@@ -94,7 +103,42 @@ int main(int argc, char** argv) {
   const auto train = model::encode_all(encoder, ds.train_x);
   const auto test = model::encode_all(encoder, ds.test_x);
   model::HdcClassifier clf(dims, ds.num_classes);
-  clf.fit_parallel(train, ds.train_y, epochs, pool);
+
+  // Restart-from-checkpoint: boot from the newest verifying checkpoint
+  // (corrupt files get quarantined, the walk falls back to older
+  // versions); train fresh only when nothing on disk fits.
+  std::unique_ptr<lifecycle::CheckpointStore> store;
+  bool booted = false;
+  if (!ckpt_dir.empty()) {
+    store = std::make_unique<lifecycle::CheckpointStore>(ckpt_dir, 4);
+    if (auto loaded = store->load_latest(); loaded.has_value()) {
+      if (loaded->model.dims() == dims &&
+          loaded->model.num_classes() == ds.num_classes) {
+        clf = std::move(loaded->model);
+        booted = true;
+        std::printf("booted from checkpoint version %llu (%llu corrupt "
+                    "quarantined)\n",
+                    static_cast<unsigned long long>(loaded->version),
+                    static_cast<unsigned long long>(store->quarantined()));
+      } else {
+        std::fprintf(stderr,
+                     "warning: checkpoint geometry mismatch "
+                     "(D=%zu/%zu classes); retraining\n",
+                     loaded->model.dims(), loaded->model.num_classes());
+      }
+    }
+  }
+  if (!booted) {
+    clf.fit_parallel(train, ds.train_y, epochs, pool);
+    if (store) {
+      std::uint64_t next_version = 1;
+      for (const auto& info : store->list())
+        next_version = std::max(next_version, info.version + 1);
+      store->save(clf, next_version, 0);
+      std::printf("trained model checkpointed as version %llu\n",
+                  static_cast<unsigned long long>(next_version));
+    }
+  }
 
   // Optional faulty-block scenario: actually kill the blocks in class
   // memory, then tell the engine which chunks to serve around — the
