@@ -7,11 +7,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <map>
 #include <set>
 #include <string>
 #include <string_view>
 
+#include "hdc/kernels.h"
 #include "obs/obs.h"
 
 namespace generic::bench {
@@ -109,6 +111,21 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::set<std::string> requested_;
 };
+
+/// Consume --kernel-backend=<auto|scalar|avx2|avx512|neon> and force the
+/// XOR+popcount kernel backend (hdc/kernels.h) before any hypervector work
+/// runs. GENERIC_KERNEL_BACKEND sets the same thing from the environment;
+/// the flag wins because it resolves first. Unknown or uncompiled backends
+/// exit(2) with the list of choices this binary actually has.
+inline void apply_kernel_backend(Flags& flags) {
+  const std::string name = flags.value("--kernel-backend", "auto");
+  try {
+    hdc::kernels::set_backend_from_string(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--kernel-backend: %s\n", e.what());
+    std::exit(2);
+  }
+}
 
 inline void print_rule(std::size_t width) {
   for (std::size_t i = 0; i < width; ++i) std::fputc('-', stdout);

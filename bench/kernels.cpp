@@ -1,0 +1,200 @@
+// Microbenchmark for the runtime-dispatched XOR+popcount kernel backends
+// (hdc/kernels.h) and the stored-vs-rematerialized item/level memory trade
+// (hdc/item_memory.h).
+//
+// For every backend available on this host it measures:
+//   * hamming_blocked  — one query vs one reference (1v1 span kernel)
+//   * nearest_hamming  — one query vs `--classes` rows (the tile×rows
+//                        kernel that dominates classification/serving)
+// and reports Mwords/s plus speedup vs the forced-scalar reference. Every
+// measured distance is cross-checked against scalar before timing: a
+// backend that is fast but wrong fails loudly here, not in production.
+//
+// The remat section times GenericEncoder encode throughput with stored vs
+// rematerialized level memory and reports both footprints — the
+// Schmuck/Benini/Rahimi memory/recompute trade, quantified.
+//
+// All numbers land in generic.metrics.v1 gauges when --metrics is given:
+//   kernels.<backend>.blocked_mwords_per_s
+//   kernels.<backend>.nearest_mwords_per_s
+//   kernels.<backend>.nearest_speedup_milli   (1000 = scalar parity)
+//   remat.encode_stored_ns_per_sample / remat.encode_remat_ns_per_sample
+//   remat.recompute_overhead_milli
+//   remat.footprint.stored_payload_bytes / remat.footprint.remat_payload_bytes
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "encoding/encoders.h"
+#include "hdc/hypervector.h"
+#include "hdc/kernels.h"
+#include "hdc/ops.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+
+using namespace generic;
+namespace k = hdc::kernels;
+
+namespace {
+
+struct Workload {
+  hdc::BinaryHV query;
+  std::vector<hdc::BinaryHV> refs;
+  std::vector<hdc::BinaryHV> queries;
+};
+
+Workload make_workload(std::size_t dims, std::size_t classes,
+                       std::size_t queries) {
+  Rng rng(0xBE7C8);
+  Workload w;
+  w.query = hdc::BinaryHV::random(dims, rng);
+  for (std::size_t c = 0; c < classes; ++c)
+    w.refs.push_back(hdc::BinaryHV::random(dims, rng));
+  for (std::size_t q = 0; q < queries; ++q)
+    w.queries.push_back(hdc::BinaryHV::random(dims, rng));
+  return w;
+}
+
+/// Time `body` (which processes `words_per_rep` packed words per call)
+/// until ~target_s elapsed; returns Mwords/s.
+template <typename F>
+double measure_mwords(F&& body, double words_per_rep, double target_s) {
+  // Calibrate: run once, scale the rep count to the time budget.
+  obs::Stopwatch warm;
+  body();
+  const double once = warm.seconds();
+  std::size_t reps = once > 0 ? static_cast<std::size_t>(target_s / once) : 1;
+  if (reps < 3) reps = 3;
+  obs::Stopwatch timer;
+  for (std::size_t r = 0; r < reps; ++r) body();
+  const double secs = timer.seconds();
+  return words_per_rep * static_cast<double>(reps) / secs / 1e6;
+}
+
+void set_gauge(const std::string& name, double v) {
+  obs::Registry::instance().gauge(name).set(
+      v < 0 ? 0 : static_cast<std::uint64_t>(v + 0.5));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.has("--quick");
+  const std::size_t dims = flags.size("--dims", 4096);
+  const std::size_t classes = flags.size("--classes", 64);
+  const std::size_t queries = flags.size("--queries", 32);
+  obs::Session session(flags.value("--trace", ""),
+                       flags.value("--metrics", ""));
+  bench::apply_kernel_backend(flags);
+  flags.done();
+  const k::Backend session_backend = k::active_backend();
+
+  const double target_s = quick ? 0.05 : 0.4;
+  const Workload w = make_workload(dims, classes, queries);
+  const double words = static_cast<double>(w.query.num_words());
+
+  // Scalar truths every backend is diffed against before it is timed.
+  k::set_backend(k::Backend::kScalar);
+  const std::size_t want_blocked = hdc::hamming_blocked(w.query, w.refs[0]);
+  std::vector<std::size_t> want_nearest;
+  for (const auto& q : w.queries)
+    want_nearest.push_back(hdc::nearest_hamming(q, w.refs));
+
+  std::printf("kernels: dims=%zu classes=%zu queries=%zu active=%s\n", dims,
+              classes, queries,
+              std::string(k::to_string(session_backend)).c_str());
+  std::printf("%-8s %22s %22s %10s\n", "backend", "blocked Mwords/s",
+              "nearest Mwords/s", "speedup");
+  bench::print_rule(66);
+
+  double scalar_nearest = 0.0;
+  for (k::Backend backend : k::compiled_backends()) {
+    if (!k::available(backend)) continue;
+    k::set_backend(backend);
+    const std::string name(k::to_string(backend));
+
+    // Correctness gate: bit-identical distances and winners or abort.
+    if (hdc::hamming_blocked(w.query, w.refs[0]) != want_blocked) {
+      std::fprintf(stderr, "%s: blocked distance diverged from scalar\n",
+                   name.c_str());
+      return 1;
+    }
+    for (std::size_t q = 0; q < w.queries.size(); ++q)
+      if (hdc::nearest_hamming(w.queries[q], w.refs) != want_nearest[q]) {
+        std::fprintf(stderr, "%s: nearest winner diverged from scalar\n",
+                     name.c_str());
+        return 1;
+      }
+
+    std::size_t sink = 0;
+    const double blocked = measure_mwords(
+        [&] { sink += hdc::hamming_blocked(w.query, w.refs[0]); }, words,
+        target_s);
+    const double nearest = measure_mwords(
+        [&] {
+          for (const auto& q : w.queries)
+            sink += hdc::nearest_hamming(q, w.refs);
+        },
+        words * static_cast<double>(classes * queries), target_s);
+    if (backend == k::Backend::kScalar) scalar_nearest = nearest;
+    const double speedup = scalar_nearest > 0 ? nearest / scalar_nearest : 0;
+
+    std::printf("%-8s %22.0f %22.0f %9.2fx%s\n", name.c_str(), blocked,
+                nearest, speedup, sink == 0 ? " " : "");
+    set_gauge("kernels." + name + ".blocked_mwords_per_s", blocked);
+    set_gauge("kernels." + name + ".nearest_mwords_per_s", nearest);
+    set_gauge("kernels." + name + ".nearest_speedup_milli", speedup * 1000.0);
+  }
+
+  // ---- stored vs rematerialized memories ---------------------------------
+  Rng rng(0x5A17);
+  const std::size_t features = 32;
+  const std::size_t samples = quick ? 16 : 64;
+  std::vector<std::vector<float>> xs(samples, std::vector<float>(features));
+  for (auto& x : xs)
+    for (auto& v : x) v = static_cast<float>(rng.uniform()) * 2.0f - 1.0f;
+
+  enc::EncoderConfig cfg;
+  cfg.dims = dims;
+  enc::GenericEncoder stored(cfg);
+  cfg.remat = true;
+  enc::GenericEncoder remat(cfg);
+  stored.fit(xs);
+  remat.fit(xs);
+
+  std::size_t enc_sink = 0;
+  auto encode_all_with = [&](const enc::Encoder& e) {
+    for (const auto& x : xs) enc_sink += static_cast<std::size_t>(e.encode(x)[0]);
+  };
+  const double stored_mw = measure_mwords([&] { encode_all_with(stored); },
+                                          static_cast<double>(samples),
+                                          target_s);
+  const double remat_mw = measure_mwords([&] { encode_all_with(remat); },
+                                         static_cast<double>(samples),
+                                         target_s);
+  // measure_mwords returned "Msamples/s"; invert into ns/sample.
+  const double stored_ns = 1e3 / stored_mw;
+  const double remat_ns = 1e3 / remat_mw;
+  const double overhead = stored_ns > 0 ? remat_ns / stored_ns : 0;
+
+  std::printf("\nremat: generic encoder, dims=%zu levels=%zu%s\n", dims,
+              cfg.levels, enc_sink == std::size_t(-1) ? "!" : "");
+  std::printf("  stored: %10.0f ns/sample  footprint %8zu B\n", stored_ns,
+              stored.memory_footprint_bytes());
+  std::printf("  remat : %10.0f ns/sample  footprint %8zu B  (%.2fx encode "
+              "cost)\n",
+              remat_ns, remat.memory_footprint_bytes(), overhead);
+  set_gauge("remat.encode_stored_ns_per_sample", stored_ns);
+  set_gauge("remat.encode_remat_ns_per_sample", remat_ns);
+  set_gauge("remat.recompute_overhead_milli", overhead * 1000.0);
+  set_gauge("remat.footprint.stored_payload_bytes",
+            static_cast<double>(stored.memory_footprint_bytes()));
+  set_gauge("remat.footprint.remat_payload_bytes",
+            static_cast<double>(remat.memory_footprint_bytes()));
+
+  k::set_backend(session_backend);
+  return 0;
+}

@@ -32,6 +32,10 @@ struct EncoderConfig {
   std::size_t window = 3;     ///< window length n (ngram / generic)
   bool use_ids = true;        ///< generic: bind window ids; false => ids = {0}
   std::uint64_t seed = 0xD5A22ULL;  ///< item/level memory seed
+  /// Rematerialize item/level hypervectors from the seed on every access
+  /// instead of storing them (hdc::ItemStorage::kRematerialized): near-zero
+  /// memory footprint, extra recompute per encode, bit-identical encodings.
+  bool remat = false;
 };
 
 class Encoder {
@@ -69,6 +73,11 @@ class Encoder {
   }
 
   virtual std::string_view name() const = 0;
+
+  /// Bytes of item/level hypervector payload this encoder currently holds.
+  /// Near zero with cfg.remat (only seed rows remain); the stored-vs-remat
+  /// trade bench/kernels and the remat tests measure.
+  virtual std::size_t memory_footprint_bytes() const { return 0; }
 
   std::size_t dims() const { return cfg_.dims; }
   const EncoderConfig& config() const { return cfg_; }

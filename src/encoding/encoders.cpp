@@ -6,6 +6,34 @@
 
 namespace generic::enc {
 
+namespace {
+
+hdc::ItemStorage storage_of(const EncoderConfig& cfg) {
+  return cfg.remat ? hdc::ItemStorage::kRematerialized
+                   : hdc::ItemStorage::kStored;
+}
+
+/// Row of an item memory as a const reference regardless of storage mode:
+/// stored rows are referenced in place, rematerialized rows land in
+/// `scratch`. The reference is invalidated by the next call with the same
+/// scratch — callers copy or consume it before the next lookup.
+const hdc::BinaryHV& item_row(const hdc::ItemMemory& mem, std::size_t key,
+                              hdc::BinaryHV& scratch) {
+  if (mem.storage() == hdc::ItemStorage::kStored) return mem.get(key);
+  scratch = mem.materialize(key);
+  return scratch;
+}
+
+/// Same contract for level memories.
+const hdc::BinaryHV& level_row(const hdc::LevelMemory& mem, std::size_t bin,
+                               hdc::BinaryHV& scratch) {
+  if (mem.storage() == hdc::ItemStorage::kStored) return mem.level(bin);
+  scratch = mem.materialize(bin);
+  return scratch;
+}
+
+}  // namespace
+
 void Encoder::fit(std::span<const std::vector<float>> samples) {
   quantizer_ = Quantizer(cfg_.levels);
   quantizer_.fit(samples);
@@ -55,13 +83,18 @@ std::unique_ptr<Encoder> make_encoder(EncoderKind kind,
 // ---------------------------------------------------------------- RP
 
 RpEncoder::RpEncoder(const EncoderConfig& cfg)
-    : Encoder(cfg), ids_(cfg.dims, cfg.seed) {}
+    : Encoder(cfg), ids_(cfg.dims, cfg.seed, storage_of(cfg)) {}
+
+std::size_t RpEncoder::memory_footprint_bytes() const {
+  return ids_.footprint_bytes();
+}
 
 hdc::IntHV RpEncoder::encode(std::span<const float> sample) const {
   const auto bins = quantize(sample);
   hdc::IntHV acc(cfg_.dims, 0);
+  hdc::BinaryHV scratch;
   for (std::size_t i = 0; i < bins.size(); ++i) {
-    const hdc::BinaryHV& id = ids_.get(i);
+    const hdc::BinaryHV& id = item_row(ids_, i, scratch);
     const auto value = static_cast<std::int32_t>(bins[i]);
     if (value == 0) continue;
     // acc += value * bipolar(id): split into set/unset bits via two passes
@@ -84,16 +117,20 @@ hdc::IntHV RpEncoder::encode(std::span<const float> sample) const {
 
 LevelIdEncoder::LevelIdEncoder(const EncoderConfig& cfg)
     : Encoder(cfg),
-      ids_(cfg.dims, cfg.seed),
-      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {}
+      ids_(cfg.dims, cfg.seed, storage_of(cfg)),
+      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL, storage_of(cfg)) {}
+
+std::size_t LevelIdEncoder::memory_footprint_bytes() const {
+  return ids_.footprint_bytes() + levels_.footprint_bytes();
+}
 
 hdc::IntHV LevelIdEncoder::encode(std::span<const float> sample) const {
   const auto bins = quantize(sample);
   hdc::IntHV acc(cfg_.dims, 0);
   hdc::BinaryHV bound(cfg_.dims);
   for (std::size_t i = 0; i < bins.size(); ++i) {
-    bound = levels_.level(bins[i]);
-    bound ^= ids_.get(i);
+    bound = level_row(levels_, bins[i], bound);
+    ids_.xor_row_into(i, bound);
     bound.accumulate_into(acc);
   }
   return acc;
@@ -102,21 +139,32 @@ hdc::IntHV LevelIdEncoder::encode(std::span<const float> sample) const {
 // ---------------------------------------------------------------- permutation
 
 PermutationEncoder::PermutationEncoder(const EncoderConfig& cfg)
-    : Encoder(cfg), levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {}
+    : Encoder(cfg),
+      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL, storage_of(cfg)) {}
+
+std::size_t PermutationEncoder::memory_footprint_bytes() const {
+  return levels_.footprint_bytes();
+}
 
 hdc::IntHV PermutationEncoder::encode(std::span<const float> sample) const {
   const auto bins = quantize(sample);
   hdc::IntHV acc(cfg_.dims, 0);
+  hdc::BinaryHV scratch;
   for (std::size_t i = 0; i < bins.size(); ++i)
-    levels_.level(bins[i]).rotated(i).accumulate_into(acc);
+    level_row(levels_, bins[i], scratch).rotated(i).accumulate_into(acc);
   return acc;
 }
 
 // ---------------------------------------------------------------- ngram
 
 NgramEncoder::NgramEncoder(const EncoderConfig& cfg)
-    : Encoder(cfg), levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {
+    : Encoder(cfg),
+      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL, storage_of(cfg)) {
   if (cfg.window == 0) throw std::invalid_argument("ngram: window == 0");
+}
+
+std::size_t NgramEncoder::memory_footprint_bytes() const {
+  return levels_.footprint_bytes();
 }
 
 hdc::IntHV NgramEncoder::encode(std::span<const float> sample) const {
@@ -125,10 +173,11 @@ hdc::IntHV NgramEncoder::encode(std::span<const float> sample) const {
   hdc::IntHV acc(cfg_.dims, 0);
   if (bins.size() < n) return acc;
   hdc::BinaryHV window_hv(cfg_.dims);
+  hdc::BinaryHV scratch;
   for (std::size_t i = 0; i + n <= bins.size(); ++i) {
-    window_hv = levels_.level(bins[i]);
+    window_hv = level_row(levels_, bins[i], scratch);
     for (std::size_t j = 1; j < n; ++j)
-      window_hv ^= levels_.level(bins[i + j]).rotated(j);
+      window_hv ^= level_row(levels_, bins[i + j], scratch).rotated(j);
     window_hv.accumulate_into(acc);
   }
   return acc;
@@ -139,8 +188,13 @@ hdc::IntHV NgramEncoder::encode(std::span<const float> sample) const {
 GenericEncoder::GenericEncoder(const EncoderConfig& cfg)
     : Encoder(cfg),
       ids_(cfg.dims, cfg.seed ^ 0x6E2E21CULL),
-      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL) {
+      levels_(cfg.dims, cfg.levels, cfg.seed ^ 0x11EE1ULL, storage_of(cfg)) {
   if (cfg.window == 0) throw std::invalid_argument("generic: window == 0");
+}
+
+std::size_t GenericEncoder::memory_footprint_bytes() const {
+  // The seeded id memory is already the ASIC's compressed form: one row.
+  return ids_.footprint_bytes() + levels_.footprint_bytes();
 }
 
 hdc::IntHV GenericEncoder::encode(std::span<const float> sample) const {
@@ -149,13 +203,14 @@ hdc::IntHV GenericEncoder::encode(std::span<const float> sample) const {
   hdc::IntHV acc(cfg_.dims, 0);
   if (bins.size() < n) return acc;
   hdc::BinaryHV window_hv(cfg_.dims);
+  hdc::BinaryHV scratch;
   // id_i is the seed id rotated by i, matching the hardware tmp-register
   // scheme; rotate incrementally instead of re-deriving per window.
   hdc::BinaryHV id = ids_.seed_id();
   for (std::size_t i = 0; i + n <= bins.size(); ++i) {
-    window_hv = levels_.level(bins[i]);
+    window_hv = level_row(levels_, bins[i], scratch);
     for (std::size_t j = 1; j < n; ++j)
-      window_hv ^= levels_.level(bins[i + j]).rotated(j);
+      window_hv ^= level_row(levels_, bins[i + j], scratch).rotated(j);
     if (cfg_.use_ids) window_hv ^= id;
     window_hv.accumulate_into(acc);
     if (cfg_.use_ids) id = id.rotated(1);
@@ -166,8 +221,12 @@ hdc::IntHV GenericEncoder::encode(std::span<const float> sample) const {
 // ---------------------------------------------------------------- sym-ngram
 
 SymbolNgramEncoder::SymbolNgramEncoder(const EncoderConfig& cfg)
-    : Encoder(cfg), items_(cfg.dims, cfg.seed ^ 0x51B01ULL) {
+    : Encoder(cfg), items_(cfg.dims, cfg.seed ^ 0x51B01ULL, storage_of(cfg)) {
   if (cfg.window == 0) throw std::invalid_argument("sym-ngram: window == 0");
+}
+
+std::size_t SymbolNgramEncoder::memory_footprint_bytes() const {
+  return items_.footprint_bytes();
 }
 
 hdc::IntHV SymbolNgramEncoder::encode(std::span<const float> sample) const {
@@ -176,10 +235,11 @@ hdc::IntHV SymbolNgramEncoder::encode(std::span<const float> sample) const {
   hdc::IntHV acc(cfg_.dims, 0);
   if (bins.size() < n) return acc;
   hdc::BinaryHV window_hv(cfg_.dims);
+  hdc::BinaryHV scratch;
   for (std::size_t i = 0; i + n <= bins.size(); ++i) {
-    window_hv = items_.get(bins[i]);
+    window_hv = item_row(items_, bins[i], scratch);
     for (std::size_t j = 1; j < n; ++j)
-      window_hv ^= items_.get(bins[i + j]).rotated(j);
+      window_hv ^= item_row(items_, bins[i + j], scratch).rotated(j);
     window_hv.accumulate_into(acc);
   }
   return acc;

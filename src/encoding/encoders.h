@@ -15,6 +15,7 @@ class RpEncoder final : public Encoder {
   explicit RpEncoder(const EncoderConfig& cfg);
   hdc::IntHV encode(std::span<const float> sample) const override;
   std::string_view name() const override { return "rp"; }
+  std::size_t memory_footprint_bytes() const override;
 
  private:
   hdc::ItemMemory ids_;
@@ -27,6 +28,7 @@ class LevelIdEncoder final : public Encoder {
   explicit LevelIdEncoder(const EncoderConfig& cfg);
   hdc::IntHV encode(std::span<const float> sample) const override;
   std::string_view name() const override { return "level-id"; }
+  std::size_t memory_footprint_bytes() const override;
 
  private:
   hdc::ItemMemory ids_;
@@ -41,6 +43,7 @@ class PermutationEncoder final : public Encoder {
   explicit PermutationEncoder(const EncoderConfig& cfg);
   hdc::IntHV encode(std::span<const float> sample) const override;
   std::string_view name() const override { return "permute"; }
+  std::size_t memory_footprint_bytes() const override;
 
  private:
   hdc::LevelMemory levels_;
@@ -54,6 +57,7 @@ class NgramEncoder final : public Encoder {
   explicit NgramEncoder(const EncoderConfig& cfg);
   hdc::IntHV encode(std::span<const float> sample) const override;
   std::string_view name() const override { return "ngram"; }
+  std::size_t memory_footprint_bytes() const override;
 
  private:
   hdc::LevelMemory levels_;
@@ -70,6 +74,7 @@ class GenericEncoder final : public Encoder {
   explicit GenericEncoder(const EncoderConfig& cfg);
   hdc::IntHV encode(std::span<const float> sample) const override;
   std::string_view name() const override { return "generic"; }
+  std::size_t memory_footprint_bytes() const override;
 
   const hdc::SeededItemMemory& id_memory() const { return ids_; }
   const hdc::LevelMemory& level_memory() const { return levels_; }
@@ -95,6 +100,7 @@ class SymbolNgramEncoder final : public Encoder {
   explicit SymbolNgramEncoder(const EncoderConfig& cfg);
   hdc::IntHV encode(std::span<const float> sample) const override;
   std::string_view name() const override { return "sym-ngram"; }
+  std::size_t memory_footprint_bytes() const override;
 
  private:
   hdc::ItemMemory items_;

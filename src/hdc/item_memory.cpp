@@ -4,10 +4,15 @@
 
 namespace generic::hdc {
 
-ItemMemory::ItemMemory(std::size_t dims, std::uint64_t seed)
-    : dims_(dims), seed_(seed) {}
+ItemMemory::ItemMemory(std::size_t dims, std::uint64_t seed,
+                       ItemStorage storage)
+    : dims_(dims), seed_(seed), storage_(storage) {}
 
 const BinaryHV& ItemMemory::get(std::size_t key) const {
+  if (storage_ == ItemStorage::kRematerialized)
+    throw std::logic_error(
+        "ItemMemory::get: rematerialized memory has no stored rows; use "
+        "materialize()");
   // The lock covers both the growth and the read: deque::push_back never
   // invalidates existing elements, but indexing concurrently with growth is
   // still a data race. Returned references stay valid after unlock.
@@ -23,10 +28,33 @@ const BinaryHV& ItemMemory::get(std::size_t key) const {
   return table_[key];
 }
 
+BinaryHV ItemMemory::materialize(std::size_t key) const {
+  // The exact generation rule get() uses to fill the table: row k is a pure
+  // function of (seed, k), never of access order or storage mode.
+  Rng rng(seed_ ^ (0xC0FFEEULL + key * 0x9E3779B97F4A7C15ULL));
+  return BinaryHV::random(dims_, rng);
+}
+
+void ItemMemory::xor_row_into(std::size_t key, BinaryHV& acc) const {
+  if (storage_ == ItemStorage::kStored)
+    acc ^= get(key);
+  else
+    acc ^= materialize(key);
+}
+
+std::size_t ItemMemory::footprint_bytes() const {
+  if (storage_ == ItemStorage::kRematerialized) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = 0;
+  for (const auto& hv : table_) bytes += hv.num_words() * sizeof(std::uint64_t);
+  return bytes;
+}
+
 LevelMemory::LevelMemory(std::size_t dims, std::size_t levels,
-                         std::uint64_t seed)
-    : dims_(dims) {
+                         std::uint64_t seed, ItemStorage storage)
+    : dims_(dims), num_levels_(levels), seed_(seed), storage_(storage) {
   if (levels == 0) throw std::invalid_argument("LevelMemory: levels == 0");
+  if (storage_ == ItemStorage::kRematerialized) return;
   Rng rng(seed);
   levels_.reserve(levels);
   levels_.push_back(BinaryHV::random(dims, rng));
@@ -45,6 +73,47 @@ LevelMemory::LevelMemory(std::size_t dims, std::size_t levels,
     for (; cursor < target && cursor < dims; ++cursor) next.flip(order[cursor]);
     levels_.push_back(std::move(next));
   }
+}
+
+const BinaryHV& LevelMemory::level(std::size_t bin) const {
+  if (storage_ == ItemStorage::kRematerialized)
+    throw std::logic_error(
+        "LevelMemory::level: rematerialized memory has no stored rows; use "
+        "materialize()");
+  return levels_.at(bin);
+}
+
+BinaryHV& LevelMemory::mutable_level(std::size_t bin) {
+  if (storage_ == ItemStorage::kRematerialized)
+    throw std::logic_error(
+        "LevelMemory::mutable_level: rematerialized memory has no stored "
+        "rows");
+  return levels_.at(bin);
+}
+
+BinaryHV LevelMemory::materialize(std::size_t bin) const {
+  if (bin >= num_levels_)
+    throw std::out_of_range("LevelMemory::materialize: bin out of range");
+  // Replay the construction rule up to `bin`: same rng stream, same shuffled
+  // flip order, same flip count, so the row is bit-identical to what the
+  // stored table holds for this (seed, dims, levels).
+  Rng rng(seed_);
+  BinaryHV row = BinaryHV::random(dims_, rng);
+  if (bin == 0 || num_levels_ == 1) return row;
+  std::vector<std::size_t> order(dims_);
+  for (std::size_t i = 0; i < dims_; ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t total_flips = dims_ / 2;
+  const std::size_t target = total_flips * bin / (num_levels_ - 1);
+  for (std::size_t cursor = 0; cursor < target && cursor < dims_; ++cursor)
+    row.flip(order[cursor]);
+  return row;
+}
+
+std::size_t LevelMemory::footprint_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& hv : levels_) bytes += hv.num_words() * sizeof(std::uint64_t);
+  return bytes;
 }
 
 SeededItemMemory::SeededItemMemory(std::size_t dims, std::uint64_t seed) {

@@ -9,6 +9,13 @@
 // ~orthogonal while nearby levels stay similar — "meaningful distance ...
 // is preserved" in the paper's words.
 //
+// Both memories are pure functions of (seed, dims, key): every row can be
+// rebuilt on demand instead of stored. ItemStorage::kRematerialized opts a
+// memory into that mode (Schmuck/Benini/Rahimi's seed-regeneration trick,
+// PAPERS.md): footprint_bytes() drops to zero and materialize() recomputes
+// rows bit-identically to what the stored table would hold, trading memory
+// for recompute — measured in bench/kernels.
+//
 // SeededItemMemory mirrors the ASIC's id-memory compression (§4.3.1): ids
 // are not stored but generated on the fly by permuting a single seed id by
 // k positions. Permutation preserves orthogonality, shrinking 512 KB of id
@@ -25,6 +32,15 @@
 
 namespace generic::hdc {
 
+/// How an item/level memory keeps its rows. kStored materializes each row
+/// once and serves stable references; kRematerialized stores nothing and
+/// regenerates rows from the seed on every access (bit-identical rows,
+/// zero footprint, recompute cost per access).
+enum class ItemStorage {
+  kStored,
+  kRematerialized,
+};
+
 /// Table of independent random hypervectors, lazily generated but
 /// deterministic in (seed, key). get() is safe to call from concurrent
 /// encode_batch workers: growth happens under a lock and entry k is always
@@ -32,22 +48,39 @@ namespace generic::hdc {
 /// thread faulted an entry in first.
 class ItemMemory {
  public:
-  ItemMemory(std::size_t dims, std::uint64_t seed);
+  ItemMemory(std::size_t dims, std::uint64_t seed,
+             ItemStorage storage = ItemStorage::kStored);
 
-  /// Hypervector for `key`; generated on first use.
+  /// Hypervector for `key`; generated on first use. Stored mode only (a
+  /// rematerialized memory has no stable row to reference — throws
+  /// std::logic_error; use materialize()).
   const BinaryHV& get(std::size_t key) const;
 
+  /// Rebuild the row for `key` from the seed. Works in both modes and is
+  /// bit-identical to what get() returns / would return.
+  BinaryHV materialize(std::size_t key) const;
+
+  /// acc ^= row(key), without requiring a stable stored row. The binding
+  /// step every id-using encoder performs, mode-agnostic.
+  void xor_row_into(std::size_t key, BinaryHV& acc) const;
+
+  /// Bytes of hypervector payload currently held (stored rows so far);
+  /// zero in rematerialized mode.
+  std::size_t footprint_bytes() const;
+
   /// Mutable access for fault injection (resilience::inject): corrupting
-  /// the stored id models a defective item-memory row.
+  /// the stored id models a defective item-memory row. Stored mode only.
   BinaryHV& mutable_get(std::size_t key) {
     return const_cast<BinaryHV&>(get(key));
   }
 
+  ItemStorage storage() const { return storage_; }
   std::size_t dims() const { return dims_; }
 
  private:
   std::size_t dims_;
   std::uint64_t seed_;
+  ItemStorage storage_;
   // deque: growing the table must not invalidate references handed out by
   // get() — callers hold them across further lookups.
   mutable std::mutex mu_;
@@ -57,26 +90,49 @@ class ItemMemory {
 /// Distance-preserving level hypervectors for quantized scalars.
 class LevelMemory {
  public:
-  LevelMemory(std::size_t dims, std::size_t levels, std::uint64_t seed);
+  LevelMemory(std::size_t dims, std::size_t levels, std::uint64_t seed,
+              ItemStorage storage = ItemStorage::kStored);
 
-  const BinaryHV& level(std::size_t bin) const { return levels_.at(bin); }
-  /// Mutable access for fault injection into a level row.
-  BinaryHV& mutable_level(std::size_t bin) { return levels_.at(bin); }
-  std::size_t num_levels() const { return levels_.size(); }
+  /// Stored mode only (throws std::logic_error in rematerialized mode —
+  /// use materialize()).
+  const BinaryHV& level(std::size_t bin) const;
+
+  /// Rebuild level `bin` from (seed, dims, levels): base row plus the
+  /// first total_flips*bin/(levels-1) flips of the shuffled flip order.
+  /// Bit-identical to the stored row in either mode.
+  BinaryHV materialize(std::size_t bin) const;
+
+  /// Bytes of level payload held; zero in rematerialized mode.
+  std::size_t footprint_bytes() const;
+
+  /// Mutable access for fault injection into a level row. Stored mode only.
+  BinaryHV& mutable_level(std::size_t bin);
+
+  ItemStorage storage() const { return storage_; }
+  std::size_t num_levels() const { return num_levels_; }
   std::size_t dims() const { return dims_; }
 
  private:
   std::size_t dims_;
+  std::size_t num_levels_;
+  std::uint64_t seed_;
+  ItemStorage storage_;
   std::vector<BinaryHV> levels_;
 };
 
-/// The ASIC's compressed id scheme: id_k = rho^k(seed_id).
+/// The ASIC's compressed id scheme: id_k = rho^k(seed_id). Always
+/// rematerialized by construction — only the seed row is stored.
 class SeededItemMemory {
  public:
   SeededItemMemory(std::size_t dims, std::uint64_t seed);
 
   /// id for window index k, generated by rotating the seed id.
   BinaryHV get(std::size_t k) const { return seed_id_.rotated(k); }
+
+  /// Bytes held: the one seed row.
+  std::size_t footprint_bytes() const {
+    return seed_id_.num_words() * sizeof(std::uint64_t);
+  }
 
   const BinaryHV& seed_id() const { return seed_id_; }
   /// Mutable access for fault injection: a corrupted seed id corrupts the

@@ -1,0 +1,27 @@
+// Internal seam between the kernels dispatch TU and the backend TUs.
+//
+// Each backend lives in its own translation unit so its ISA flags (-mavx2,
+// -mavx512vpopcntdq) never leak into code that runs before dispatch has
+// checked the CPU. kernels.cpp only links the table accessors that CMake
+// compiled in (GENERIC_KERNELS_HAVE_*).
+#pragma once
+
+#include "hdc/kernels.h"
+
+namespace generic::hdc::kernels::detail {
+
+const Kernels& scalar_table();
+
+#if defined(GENERIC_KERNELS_HAVE_AVX2)
+const Kernels& avx2_table();
+#endif
+
+#if defined(GENERIC_KERNELS_HAVE_AVX512)
+const Kernels& avx512_table();
+#endif
+
+#if defined(GENERIC_KERNELS_HAVE_NEON)
+const Kernels& neon_table();
+#endif
+
+}  // namespace generic::hdc::kernels::detail

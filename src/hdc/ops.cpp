@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "hdc/kernels.h"
 #include "obs/obs.h"
 
 namespace generic::hdc {
@@ -44,60 +45,45 @@ BinaryHV bind_sequence(std::span<const BinaryHV> symbols) {
   return out;
 }
 
-namespace {
-
-/// popcount(a ^ b) over one word span; the compiler unrolls/vectorizes the
-/// fixed-stride loop, and the 4-way accumulators break the popcount
-/// dependency chain.
-std::size_t xor_popcount_span(const std::uint64_t* a, const std::uint64_t* b,
-                              std::size_t n) {
-  std::size_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += static_cast<std::size_t>(popcount64(a[i] ^ b[i]));
-    s1 += static_cast<std::size_t>(popcount64(a[i + 1] ^ b[i + 1]));
-    s2 += static_cast<std::size_t>(popcount64(a[i + 2] ^ b[i + 2]));
-    s3 += static_cast<std::size_t>(popcount64(a[i + 3] ^ b[i + 3]));
-  }
-  for (; i < n; ++i)
-    s0 += static_cast<std::size_t>(popcount64(a[i] ^ b[i]));
-  return s0 + s1 + s2 + s3;
-}
-
-}  // namespace
-
 std::size_t hamming_blocked(const BinaryHV& a, const BinaryHV& b) {
   if (a.dims() != b.dims())
     throw std::invalid_argument("hamming_blocked: dimension mismatch");
   GENERIC_COUNTER_ADD("ops.hamming.calls", 1);
   GENERIC_COUNTER_ADD("ops.hamming.rows", 1);
+  const kernels::Kernels& k = kernels::active();
   const auto wa = a.words();
   const auto wb = b.words();
   std::size_t total = 0;
   for (std::size_t t = 0; t < wa.size(); t += kHammingTileWords) {
     const std::size_t len = std::min(kHammingTileWords, wa.size() - t);
-    total += xor_popcount_span(wa.data() + t, wb.data() + t, len);
+    total += k.xor_popcount(wa.data() + t, wb.data() + t, len);
   }
   return total;
 }
 
 std::vector<std::size_t> hamming_many(const BinaryHV& query,
                                       std::span<const BinaryHV> refs) {
+  // Validate before touching any row: a mismatched ref list must throw up
+  // front, never return a partial (or, for an empty query, all-zero) result.
+  for (const auto& ref : refs)
+    if (ref.dims() != query.dims())
+      throw std::invalid_argument("hamming_many: dimension mismatch");
   GENERIC_COUNTER_ADD("ops.hamming.calls", 1);
   GENERIC_COUNTER_ADD("ops.hamming.rows", refs.size());
   std::vector<std::size_t> out(refs.size(), 0);
+  if (refs.empty() || query.words().empty()) return out;
+  const kernels::Kernels& k = kernels::active();
   const auto qw = query.words();
+  std::vector<const std::uint64_t*> rows(refs.size());
   // Tile-major: one query tile is streamed against every row before the
   // next tile is touched, so the query words stay cache-resident even when
   // refs holds thousands of rows.
   for (std::size_t t = 0; t < qw.size(); t += kHammingTileWords) {
     const std::size_t len = std::min(kHammingTileWords, qw.size() - t);
-    for (std::size_t r = 0; r < refs.size(); ++r) {
-      if (refs[r].dims() != query.dims())
-        throw std::invalid_argument("hamming_many: dimension mismatch");
-      out[r] +=
-          xor_popcount_span(qw.data() + t, refs[r].words().data() + t, len);
-    }
+    for (std::size_t r = 0; r < refs.size(); ++r)
+      rows[r] = refs[r].words().data() + t;
+    k.xor_popcount_many(qw.data() + t, rows.data(), rows.size(), len,
+                        out.data());
   }
   return out;
 }

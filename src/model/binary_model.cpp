@@ -21,17 +21,9 @@ hdc::BinaryHV BinaryModel::binarize(const hdc::IntHV& v) {
 int BinaryModel::predict_packed(const hdc::BinaryHV& query) const {
   if (query.dims() != dims_)
     throw std::invalid_argument("BinaryModel: query dimension mismatch");
-  int best = 0;
-  std::size_t best_hamming = std::numeric_limits<std::size_t>::max();
-  for (std::size_t c = 0; c < classes_.size(); ++c) {
-    // max dot == min hamming for bipolar vectors of equal norm.
-    const std::size_t h = query.hamming(classes_[c]);
-    if (h < best_hamming) {
-      best_hamming = h;
-      best = static_cast<int>(c);
-    }
-  }
-  return best;
+  // max dot == min hamming for bipolar vectors of equal norm; ties resolve
+  // to the lowest class index in both formulations.
+  return static_cast<int>(hdc::nearest_hamming(query, classes_));
 }
 
 int BinaryModel::predict(const hdc::IntHV& query) const {

@@ -98,5 +98,28 @@ TEST(BindSequence, OrderSensitive) {
             0.15);
 }
 
+// Regression: validation used to run per-ref inside the tile loop, so a
+// mismatched list could do work before throwing — and an EMPTY query (zero
+// words means zero tile iterations) never validated at all, silently
+// returning all-zero distances for refs of any dimensionality. Validation
+// is now hoisted before any work.
+TEST(HammingMany, MismatchedRefThrowsBeforeAnyWork) {
+  Rng rng(23);
+  const auto query = BinaryHV::random(128, rng);
+  const std::vector<BinaryHV> refs{BinaryHV::random(128, rng),
+                                   BinaryHV::random(64, rng)};
+  EXPECT_THROW(hamming_many(query, refs), std::invalid_argument);
+}
+
+TEST(HammingMany, EmptyQueryStillValidatesRefDimensions) {
+  const BinaryHV empty_query;  // dims == 0, zero words
+  const std::vector<BinaryHV> refs{BinaryHV(64)};
+  EXPECT_THROW(hamming_many(empty_query, refs), std::invalid_argument);
+  // Matching zero-dim refs are legal and trivially all-zero.
+  const std::vector<BinaryHV> zero_refs{BinaryHV(), BinaryHV()};
+  const auto dists = hamming_many(empty_query, zero_refs);
+  EXPECT_EQ(dists, (std::vector<std::size_t>{0, 0}));
+}
+
 }  // namespace
 }  // namespace generic::hdc

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "hdc/kernels.h"
 #include "serve/engine.h"
 #include "serve_test_util.h"
 
@@ -98,6 +99,31 @@ TEST(ServeDeterminismTest, SameLaneCountReproducesItself) {
   const ServeConfig cfg = stress_config();
   const auto trace = make_trace(cfg, 200, w.queries.size());
   EXPECT_EQ(run_once(w, trace, cfg, 2), run_once(w, trace, cfg, 2));
+}
+
+// End-to-end backend invariance: the generic.serve.v1 report must be
+// byte-identical no matter which XOR+popcount kernel backend
+// (hdc/kernels.h) serves the predictions — SIMD selection can never be
+// observable in a report, only in wall-clock.
+TEST(ServeKernelInvariance, ReportByteIdenticalAcrossKernelBackends) {
+  namespace k = hdc::kernels;
+  const test::TinyWorkload w = test::make_workload(64);
+  const ServeConfig cfg = stress_config();
+  const auto trace = make_trace(cfg, 250, w.queries.size());
+
+  const k::Backend saved = k::active_backend();
+  k::set_backend(k::Backend::kScalar);
+  const std::string baseline = run_once(w, trace, cfg, 2);
+  EXPECT_NE(baseline.find("\"schema\": \"generic.serve.v1\""),
+            std::string::npos);
+  for (k::Backend backend : k::compiled_backends()) {
+    if (!k::available(backend) || backend == k::Backend::kScalar) continue;
+    k::set_backend(backend);
+    EXPECT_EQ(run_once(w, trace, cfg, 2), baseline)
+        << "backend " << k::to_string(backend)
+        << " leaked into the serve report";
+  }
+  k::set_backend(saved);
 }
 
 TEST(ServeDeterminismTest, ReportCountsAreConsistent) {

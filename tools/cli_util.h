@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <string_view>
+
+#include "hdc/kernels.h"
 
 namespace generic::tools {
 
@@ -35,6 +38,21 @@ inline double flag_double(int argc, char** argv, std::string_view key,
                           double fallback) {
   const std::string v = flag_value(argc, argv, key);
   return v.empty() ? fallback : std::stod(v);
+}
+
+/// Apply --kernel-backend=<auto|scalar|avx2|avx512|neon>: force the
+/// XOR+popcount kernel backend (hdc/kernels.h) before any hypervector work
+/// runs. GENERIC_KERNEL_BACKEND sets the same thing from the environment;
+/// the flag wins because it resolves first. Unknown or uncompiled backends
+/// exit(2) with the list of choices this binary actually has.
+inline void apply_kernel_backend(int argc, char** argv) {
+  const std::string name = flag_value(argc, argv, "--kernel-backend", "auto");
+  try {
+    hdc::kernels::set_backend_from_string(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--kernel-backend: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 [[noreturn]] inline void usage_exit(const char* text) {

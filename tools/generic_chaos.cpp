@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   const std::size_t threads = flags.threads();
   const std::string out_dir = flags.value("--out", "");
   const std::string work_dir = flags.value("--work-dir", "");
+  bench::apply_kernel_backend(flags);
   flags.done();
 
   if (list) {

@@ -40,9 +40,11 @@ int main(int argc, char** argv) {
         "       [--fault-campaign [--fault-kinds=...] [--fault-rates=...]\n"
         "        [--fault-trials=5] [--fault-seed=64023] [--degrade]\n"
         "        [--fault-out=campaign.json] [--threads=N]]\n"
-        "       [--trace=out.json] [--metrics=out.json]\n");
+        "       [--trace=out.json] [--metrics=out.json]\n"
+        "       [--kernel-backend=auto|scalar|avx2|avx512|neon]\n");
   obs::Session obs_session(tools::flag_value(argc, argv, "--trace"),
                            tools::flag_value(argc, argv, "--metrics"));
+  tools::apply_kernel_backend(argc, argv);
 
   try {
     const auto saved = model::load_model_file(model_path);

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   const std::string lifecycle_out = flags.value("--lifecycle-out", "");
   obs::Session obs_session(flags.value("--trace", ""),
                            flags.value("--metrics", ""));
+  bench::apply_kernel_backend(flags);
   flags.done();
 
   if (rate_rps == 0 || canary_every == 0 || requests == 0 ||

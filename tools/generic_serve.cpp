@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   obs::Session obs_session(flags.value("--trace", ""),
                            flags.value("--metrics", ""));
   obs_session.stream_metrics_every(metrics_every);
+  bench::apply_kernel_backend(flags);
   flags.done();
 
   if (rate_rps == 0) {

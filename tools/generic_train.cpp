@@ -27,9 +27,11 @@ int main(int argc, char** argv) {
         "usage: generic_train --data=train.csv --model=out.ghdc\n"
         "       [--dims=4096] [--levels=64] [--window=3] [--no-ids]\n"
         "       [--epochs=20] [--test-frac=0.25] [--label-col=-1] [--seed=1]\n"
-        "       [--trace=out.json] [--metrics=out.json]\n");
+        "       [--trace=out.json] [--metrics=out.json]\n"
+        "       [--kernel-backend=auto|scalar|avx2|avx512|neon]\n");
   obs::Session obs_session(tools::flag_value(argc, argv, "--trace"),
                            tools::flag_value(argc, argv, "--metrics"));
+  tools::apply_kernel_backend(argc, argv);
 
   try {
     auto samples = data::load_labeled_csv(
