@@ -77,6 +77,40 @@ class Flags {
     return static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
   }
 
+  /// Like size(), but zero is an error too: use for counts and intervals
+  /// where 0 can only be a typo (silently accepting --metrics-every=0 or
+  /// --rate=0 would run forever or divide by zero downstream).
+  std::size_t positive_size(std::string_view key, std::size_t fallback) {
+    const std::string v = value(key, "");
+    if (v.empty()) return fallback;
+    const std::size_t n = size(key, fallback);
+    if (n == 0)
+      die("flag '" + std::string(key) + "' must be a positive integer");
+    return n;
+  }
+
+  /// Real value of `--key=X`, or `fallback` when absent. The whole token
+  /// must parse (strtod leftovers are an error, not a truncation).
+  double real(std::string_view key, double fallback) {
+    const std::string v = value(key, "");
+    if (v.empty()) return fallback;
+    char* end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+      die("flag '" + std::string(key) + "' needs a number, got '" + v + "'");
+    return x;
+  }
+
+  /// Like real(), but the value must be strictly positive (rates, periods).
+  double positive_real(std::string_view key, double fallback) {
+    const std::string v = value(key, "");
+    if (v.empty()) return fallback;
+    const double x = real(key, fallback);
+    if (!(x > 0.0))
+      die("flag '" + std::string(key) + "' must be > 0, got '" + v + "'");
+    return x;
+  }
+
   /// Pool lane count from `--threads=N` / `--threads N`. Default 1 — every
   /// bench stays serial, and therefore byte-identical to its pre-parallel
   /// output, unless asked; 0 also means serial.

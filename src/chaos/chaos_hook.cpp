@@ -4,7 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/rtrace.h"
+
 namespace generic::chaos {
+
+namespace rtrace = obs::rtrace;
 
 ChaosHook::ChaosHook(serve::ModelLifecycle* inner,
                      std::shared_ptr<const model::HdcClassifier> initial,
@@ -68,6 +72,8 @@ std::optional<serve::ModelUpdate> ChaosHook::poll(std::uint64_t now) {
   }
   current_ = corrupted;
   fired_.push_back(rec);
+  rtrace::record(rtrace::EventKind::kFaultInject, now, rtrace::kNoRequest,
+                 rec.version, 0, static_cast<std::int64_t>(next_burst_));
   ++next_burst_;
 
   serve::ModelUpdate upd;

@@ -16,6 +16,7 @@
 #include "encoding/encoders.h"
 #include "lifecycle/checkpoint_store.h"
 #include "model/pipeline.h"
+#include "obs/export.h"
 
 namespace generic::chaos {
 namespace {
@@ -57,6 +58,15 @@ bool served_outcome(serve::Outcome o) {
 
 ChaosReport run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
   ThreadPool pool(opt.threads);
+
+  // Arm the black box: every scenario records into the flight ring so an
+  // invariant failure can be dumped post mortem; the full trace log is
+  // opt-in (RunOptions::rtrace) because it keeps every event of the run.
+  const bool prev_trace = obs::rtrace::trace_enabled();
+  const bool prev_flight = obs::rtrace::flight_enabled();
+  obs::rtrace::reset();
+  obs::rtrace::set_flight(true);
+  obs::rtrace::set_trace(opt.rtrace);
 
   ChaosReport report;
   report.scenario = spec.name;
@@ -319,6 +329,11 @@ ChaosReport run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
   report.passed = true;
   for (const auto& inv : report.invariants)
     if (!inv.passed) report.passed = false;
+
+  report.rtrace = obs::rtrace::trace_log();
+  report.flight = obs::rtrace::flight_log();
+  obs::rtrace::set_trace(prev_trace);
+  obs::rtrace::set_flight(prev_flight);
   return report;
 }
 
@@ -327,7 +342,7 @@ std::string chaos_report_to_json(const ChaosReport& report) {
   // bytes. threads and filesystem paths are deliberately absent.
   std::string out = "{\n";
   out += "  \"schema\": \"generic.chaos.v1\",\n";
-  out += "  \"scenario\": \"" + report.scenario + "\",\n";
+  out += "  \"scenario\": " + obs::json_escape(report.scenario) + ",\n";
   out += "  \"seed\": " + u64(report.seed) + ",\n";
   out += "  \"requests\": " + u64(report.requests) + ",\n";
   out += "  \"dims\": " + u64(report.dims) + ",\n";
@@ -379,6 +394,17 @@ std::string chaos_report_to_json(const ChaosReport& report) {
          ",\n    \"steps_down\": " + u64(s.steps_down) +
          ",\n    \"steps_up\": " + u64(s.steps_up) +
          ",\n    \"final_rung\": " + u64(s.final_rung) + ",\n";
+  out += "    \"slo_alerts\": [";
+  for (std::size_t i = 0; i < s.slo_alerts.size(); ++i) {
+    const serve::BurnAlert& a = s.slo_alerts[i];
+    if (i != 0) out += ", ";
+    out += "{\"vt_us\": " + u64(a.vt);
+    out += ", \"kind\": \"";
+    out += a.fired ? "fire" : "clear";
+    out += "\", \"fast_burn\": " + fmt(a.fast_burn);
+    out += ", \"slow_burn\": " + fmt(a.slow_burn) + "}";
+  }
+  out += "],\n";
   out += "    \"swaps\": [";
   for (std::size_t i = 0; i < s.swaps.size(); ++i) {
     if (i != 0) out += ", ";
@@ -433,7 +459,7 @@ std::string chaos_report_to_json(const ChaosReport& report) {
   for (std::size_t i = 0; i < report.invariants.size(); ++i) {
     const InvariantResult& inv = report.invariants[i];
     out += (i == 0 ? "\n" : ",\n");
-    out += "    {\"name\": \"" + inv.name + "\", \"enabled\": ";
+    out += "    {\"name\": " + obs::json_escape(inv.name) + ", \"enabled\": ";
     out += inv.enabled ? "true" : "false";
     out += ", \"passed\": ";
     out += inv.passed ? "true" : "false";

@@ -20,6 +20,7 @@
 #include "chaos/chaos_hook.h"
 #include "chaos/scenario.h"
 #include "lifecycle/manager.h"
+#include "obs/rtrace.h"
 #include "serve/engine.h"
 
 namespace generic::chaos {
@@ -31,6 +32,9 @@ struct RunOptions {
   /// (and wiped) by the run; empty = a per-(scenario, seed) directory under
   /// the system temp dir. Never rendered into the report.
   std::string work_dir;
+  /// Collect the full request-trace log (ChaosReport::rtrace) in addition
+  /// to the always-on flight ring. Off by default: the full log is large.
+  bool rtrace = false;
 };
 
 /// Outcome/accuracy tallies over one fixed virtual-time window, binned by
@@ -79,6 +83,12 @@ struct ChaosReport {
   std::vector<WindowStats> windows;
   std::vector<InvariantResult> invariants;
   bool passed = false;  ///< every enabled invariant held
+  /// Observability captures, NOT rendered into generic.chaos.v1 (the report
+  /// stays a pure summary): the full rtrace log (empty unless
+  /// RunOptions::rtrace) and the flight-recorder ring, which the chaos tool
+  /// auto-dumps as generic.flight.v1 when an invariant fails.
+  obs::rtrace::TraceLog rtrace;
+  obs::rtrace::FlightLog flight;
 };
 
 /// Run one scenario end to end. Throws std::runtime_error only on

@@ -1,6 +1,7 @@
 #include "lifecycle/manager.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -8,11 +9,19 @@
 
 #include "common/rng.h"
 #include "obs/obs.h"
+#include "obs/rtrace.h"
 #include "resilience/fault_model.h"
 #include "serve/policy.h"
 
 namespace generic::lifecycle {
+
+namespace rtrace = obs::rtrace;
+
 namespace {
+
+std::int64_t milli(double v) {
+  return static_cast<std::int64_t>(std::llround(v * 1000.0));
+}
 
 std::string fmt(double v) {
   char buf[32];
@@ -89,6 +98,8 @@ void Manager::observe(const serve::ServedObservation& obs) {
     ++alarms_;
     fresh_canaries_ = 0;
     GENERIC_COUNTER_ADD("lifecycle.alarms", 1);
+    rtrace::record(rtrace::EventKind::kDriftAlarm, obs.vt, rtrace::kNoRequest,
+                   0, 0, milli(detector_.drift_score()));
     events_.push_back(
         LifecycleEvent{obs.vt, EventKind::kDriftAlarm, 0,
                        detector_.drift_score()});
@@ -152,7 +163,11 @@ std::optional<serve::ModelUpdate> Manager::poll(std::uint64_t now) {
       GENERIC_COUNTER_ADD("lifecycle.swaps", 1);
       events_.push_back(
           LifecycleEvent{job->ready_vt, EventKind::kSwap, job->version, score});
-      if (store_) store_->save(*job->shadow, job->version, job->ready_vt);
+      if (store_) {
+        store_->save(*job->shadow, job->version, job->ready_vt);
+        rtrace::record(rtrace::EventKind::kCheckpointSave, job->ready_vt,
+                       rtrace::kNoRequest, job->version);
+      }
       current_ = job->shadow;
       upd.model = std::move(job->shadow);
     } else {
@@ -182,6 +197,8 @@ void Manager::start_retrain(std::uint64_t now) {
   job->trigger_vt = now;
   job->ready_vt = now + cfg_.retrain_cost_us;
   job->version = next_version_++;
+  rtrace::record(rtrace::EventKind::kRetrainStart, now, rtrace::kNoRequest,
+                 job->version, 0, milli(detector_.drift_score()));
   events_.push_back(LifecycleEvent{now, EventKind::kRetrainStart, job->version,
                                    detector_.drift_score()});
 

@@ -1,0 +1,74 @@
+// Deterministic SLO burn-rate monitor (docs/observability.md).
+//
+// Error-budget framing: with an availability target slo_target (fraction of
+// requests that must finish within the latency SLO), the error budget is
+// 1 - slo_target. The burn rate over a window is
+//
+//   burn = bad_fraction(window) / (1 - slo_target)
+//
+// so burn == 1 means "spending budget exactly as provisioned" and burn == 14
+// over a short window means a fast outage. Following the classic
+// multi-window multi-burn-rate alerting recipe, an alert FIRES when both a
+// fast (short) and a slow (long) rolling window exceed their thresholds —
+// the fast window gives reaction time, the slow window suppresses blips —
+// and CLEARS with hysteresis once both fall under half their thresholds.
+//
+// Windows roll over VIRTUAL time and observations arrive in the engine's
+// deterministic completion order, so the alert edges land on exact virtual
+// timestamps: they are part of the byte-stable generic.serve.v1 /
+// generic.chaos.v1 reports and of the rtrace stream (kSloAlert).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace generic::serve {
+
+/// One alert edge on the virtual timeline.
+struct BurnAlert {
+  std::uint64_t vt = 0;      ///< virtual time of the edge
+  bool fired = true;         ///< true: alert fired; false: alert cleared
+  double fast_burn = 0.0;    ///< fast-window burn rate at the edge
+  double slow_burn = 0.0;    ///< slow-window burn rate at the edge
+};
+
+class BurnMonitor {
+ public:
+  explicit BurnMonitor(const ServeConfig& cfg);
+
+  /// Feed one terminal request outcome at virtual time `vt` (the engine's
+  /// resolution order). `good` == finished within the SLO; sheds, timeouts
+  /// and failures are bad by definition. Returns an alert edge when this
+  /// observation flips the alert state.
+  std::optional<BurnAlert> observe(std::uint64_t vt, bool good);
+
+  bool active() const { return active_; }
+  double fast_burn() const;
+  double slow_burn() const;
+
+ private:
+  struct Window {
+    std::uint64_t span_us;
+    std::deque<std::pair<std::uint64_t, bool>> events;  ///< (vt, good)
+    std::uint64_t bad = 0;
+
+    void add(std::uint64_t vt, bool good);
+    void prune(std::uint64_t now);
+    double burn(double budget) const;
+    std::size_t total() const { return events.size(); }
+  };
+
+  double budget_;  ///< 1 - slo_target, clamped away from zero
+  double fast_threshold_;
+  double slow_threshold_;
+  std::size_t min_events_;
+  Window fast_;
+  Window slow_;
+  bool active_ = false;
+};
+
+}  // namespace generic::serve

@@ -6,9 +6,12 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/rtrace.h"
 #include "resilience/fault_model.h"
 
 namespace generic::serve {
+
+namespace rtrace = obs::rtrace;
 
 namespace {
 
@@ -35,7 +38,8 @@ ServeEngine::ServeEngine(const model::HdcClassifier& model,
       ingress_(cfg.queue_capacity),
       free_servers_(cfg.servers),
       backoff_(cfg.backoff_base_us, cfg.backoff_jitter),
-      controller_({1}, cfg) {  // placeholder; rebuilt below with the ladder
+      controller_({1}, cfg),  // placeholder; rebuilt below with the ladder
+      burn_(cfg) {
   if (queries_.size() != labels_.size())
     throw std::invalid_argument("ServeEngine: queries/labels size mismatch");
   if (queries_.empty())
@@ -149,6 +153,8 @@ void ServeEngine::poll_lifecycle(std::uint64_t now) {
     const std::uint64_t vt = std::max(now, upd->vt);
     if (upd->rollback) {
       GENERIC_COUNTER_ADD("serve.rollbacks", 1);
+      rtrace::record(rtrace::EventKind::kRollback, vt, rtrace::kNoRequest,
+                     upd->version);
       report_.swaps.push_back(SwapEvent{vt, upd->version, true});
       continue;
     }
@@ -166,11 +172,20 @@ void ServeEngine::poll_lifecycle(std::uint64_t now) {
       // Flush every deferred batch against the outgoing model FIRST: a
       // prediction batch must never span two models (flush_rung asserts
       // the matching epoch on every entry).
+      std::size_t deferred = 0;
+      for (const auto& b : batch_) deferred += b.size();
+      rtrace::record(rtrace::EventKind::kSwapFlush, vt, rtrace::kNoRequest,
+                     model_version_,
+                     static_cast<std::uint32_t>(controller_.rung()),
+                     static_cast<std::int64_t>(deferred));
       for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
       owned_model_ = std::move(upd->model);
       model_ = owned_model_.get();
       ++model_epoch_;
       model_version_ = upd->version;
+      rtrace::record(rtrace::EventKind::kSwapInstall, vt, rtrace::kNoRequest,
+                     model_version_,
+                     static_cast<std::uint32_t>(controller_.rung()));
     }
     GENERIC_COUNTER_ADD("serve.swaps", 1);
     report_.swaps.push_back(SwapEvent{vt, upd->version, false});
@@ -203,6 +218,10 @@ void ServeEngine::on_arrival(Item&& item) {
   InFlight* f = owned.get();
   inflight_.push_back(std::move(owned));
 
+  rtrace::record(rtrace::EventKind::kAdmit, f->req.arrival_us, f->req.id,
+                 model_version_,
+                 static_cast<std::uint32_t>(controller_.rung()),
+                 static_cast<std::int64_t>(pending_.size()));
   if (pending_.size() >= cfg_.high_water) {
     resolve_unserved(f, Outcome::kShed, f->req.arrival_us);
     return;
@@ -211,6 +230,10 @@ void ServeEngine::on_arrival(Item&& item) {
     start_service(f, f->req.arrival_us);
   } else {
     pending_.push_back(f);
+    rtrace::record(rtrace::EventKind::kEnqueue, f->req.arrival_us, f->req.id,
+                   model_version_,
+                   static_cast<std::uint32_t>(controller_.rung()),
+                   static_cast<std::int64_t>(pending_.size()));
   }
 }
 
@@ -218,6 +241,13 @@ void ServeEngine::start_service(InFlight* f, std::uint64_t now) {
   --free_servers_;
   ++f->attempts;
   f->rung = controller_.rung();
+  if (f->attempts > 1)
+    rtrace::record(rtrace::EventKind::kRetryAttempt, now, f->req.id,
+                   model_version_, static_cast<std::uint32_t>(f->rung),
+                   static_cast<std::int64_t>(f->attempts));
+  rtrace::record(rtrace::EventKind::kEncode, now, f->req.id, model_version_,
+                 static_cast<std::uint32_t>(f->rung),
+                 static_cast<std::int64_t>(ladder_[f->rung]));
   // Draw order per attempt is fixed (upset, then jitter) so the stream is
   // identical however the attempt came to be scheduled.
   f->upset = f->rng.bernoulli(cfg_.fault_rate);
@@ -249,6 +279,9 @@ void ServeEngine::on_completion(InFlight* f, std::uint64_t now) {
   }
   if (corrupted) {
     GENERIC_COUNTER_ADD("serve.upsets", 1);
+    rtrace::record(rtrace::EventKind::kUpset, now, f->req.id, model_version_,
+                   static_cast<std::uint32_t>(f->rung),
+                   static_cast<std::int64_t>(f->attempts));
     if (f->attempts >= cfg_.max_attempts) {
       resolve_unserved(f, Outcome::kFailed, now);
     } else {
@@ -258,10 +291,10 @@ void ServeEngine::on_completion(InFlight* f, std::uint64_t now) {
     }
   } else if (now > f->req.deadline_us) {
     resolve_unserved(f, Outcome::kTimeout, now);
-    feed_controller(now - f->req.arrival_us);
+    feed_controller(now, now - f->req.arrival_us);
   } else {
     defer_served(f, now);
-    feed_controller(now - f->req.arrival_us);
+    feed_controller(now, now - f->req.arrival_us);
   }
   pull_pending(now);
 }
@@ -282,6 +315,10 @@ void ServeEngine::pull_pending(std::uint64_t now) {
   while (free_servers_ > 0 && !pending_.empty()) {
     InFlight* g = pending_.front();
     pending_.pop_front();
+    rtrace::record(rtrace::EventKind::kDequeue, now, g->req.id,
+                   model_version_,
+                   static_cast<std::uint32_t>(controller_.rung()),
+                   static_cast<std::int64_t>(pending_.size()));
     if (now > g->req.deadline_us) {
       // Fail fast at dequeue: no point burning a server on a request whose
       // budget is already gone.
@@ -292,11 +329,37 @@ void ServeEngine::pull_pending(std::uint64_t now) {
   }
 }
 
-void ServeEngine::feed_controller(std::uint64_t latency_us) {
+void ServeEngine::feed_controller(std::uint64_t now, std::uint64_t latency_us) {
+  const std::size_t before = controller_.rung();
   controller_.on_completion(latency_us, pending_.size());
+  const std::size_t after = controller_.rung();
+  if (after != before)
+    rtrace::record(rtrace::EventKind::kDegradeStep, now, rtrace::kNoRequest,
+                   model_version_, static_cast<std::uint32_t>(after),
+                   static_cast<std::int64_t>(after) -
+                       static_cast<std::int64_t>(before));
+}
+
+void ServeEngine::feed_burn(std::uint64_t vt, bool good) {
+  if (auto edge = burn_.observe(vt, good)) {
+    GENERIC_COUNTER_ADD("serve.slo_alerts", 1);
+    rtrace::record(rtrace::EventKind::kSloAlert, vt, rtrace::kNoRequest,
+                   model_version_, edge->fired ? 1u : 0u,
+                   std::llround(edge->fast_burn * 1000.0));
+    report_.slo_alerts.push_back(*edge);
+  }
 }
 
 void ServeEngine::resolve_unserved(InFlight* f, Outcome o, std::uint64_t now) {
+  const rtrace::EventKind kind = o == Outcome::kShed
+                                     ? rtrace::EventKind::kShed
+                                 : o == Outcome::kTimeout
+                                     ? rtrace::EventKind::kTimeout
+                                     : rtrace::EventKind::kFailed;
+  rtrace::record(kind, now, f->req.id, model_version_,
+                 static_cast<std::uint32_t>(controller_.rung()),
+                 static_cast<std::int64_t>(f->attempts));
+  feed_burn(now, false);
   f->outcome = o;
   f->finish_us = now;
   ++report_.outcomes[static_cast<std::size_t>(o)];
@@ -320,6 +383,7 @@ void ServeEngine::defer_served(InFlight* f, std::uint64_t now) {
                : f->attempts > 1 ? Outcome::kRetried
                                  : Outcome::kOk;
   const std::uint64_t lat = now - f->req.arrival_us;
+  feed_burn(now, lat <= cfg_.slo_us);
   latency_.record(lat);
   rung_latency_[f->rung].record(lat);
   GENERIC_HISTO_RECORD("serve.latency_us", lat);
@@ -366,6 +430,9 @@ void ServeEngine::flush_rung(std::size_t rung) {
     }
     ++report_.rungs[rung].served;
     ++vstats.served;
+    rtrace::record(rtrace::EventKind::kPredict, f->finish_us, f->req.id,
+                   model_version_, static_cast<std::uint32_t>(rung),
+                   static_cast<std::int64_t>(preds[i].cls));
     if (lifecycle_ != nullptr) {
       ServedObservation obs;
       obs.vt = f->finish_us;
@@ -435,6 +502,17 @@ std::string serve_report_to_json(const ServeReport& rep) {
   out += ",\n    \"cooldown\": " + std::to_string(c.cooldown) + ",\n";
   out += "    \"step_up_frac\": ";
   append_double(out, c.step_up_frac);
+  out += ",\n    \"slo_target\": ";
+  append_double(out, c.slo_target);
+  out += ",\n    \"burn_fast_window_us\": " +
+         std::to_string(c.burn_fast_window_us) + ",\n";
+  out += "    \"burn_slow_window_us\": " +
+         std::to_string(c.burn_slow_window_us) + ",\n";
+  out += "    \"burn_fast_threshold\": ";
+  append_double(out, c.burn_fast_threshold);
+  out += ",\n    \"burn_slow_threshold\": ";
+  append_double(out, c.burn_slow_threshold);
+  out += ",\n    \"burn_min_events\": " + std::to_string(c.burn_min_events);
   out += "\n  },\n";
   out += "  \"requests\": " + std::to_string(rep.requests) + ",\n";
   out += "  \"makespan_us\": " + std::to_string(rep.makespan_us) + ",\n";
@@ -503,6 +581,21 @@ std::string serve_report_to_json(const ServeReport& rep) {
   }
   out += rep.rungs.empty() ? "]" : "\n    ]";
   out += "\n  },\n";
+
+  out += "  \"slo_alerts\": [";
+  for (std::size_t i = 0; i < rep.slo_alerts.size(); ++i) {
+    const BurnAlert& a = rep.slo_alerts[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"vt_us\": " + std::to_string(a.vt);
+    out += ", \"kind\": \"";
+    out += a.fired ? "fire" : "clear";
+    out += "\", \"fast_burn\": ";
+    append_double(out, a.fast_burn);
+    out += ", \"slow_burn\": ";
+    append_double(out, a.slow_burn);
+    out += "}";
+  }
+  out += rep.slo_alerts.empty() ? "],\n" : "\n  ],\n";
 
   out += "  \"lifecycle\": {\n";
   out += "    \"swaps\": [";

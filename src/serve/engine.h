@@ -44,6 +44,7 @@
 #include "model/hdc_classifier.h"
 #include "obs/obs.h"
 #include "serve/bounded_queue.h"
+#include "serve/burn_monitor.h"
 #include "serve/lifecycle_hook.h"
 #include "serve/policy.h"
 #include "serve/types.h"
@@ -92,6 +93,7 @@ struct ServeReport {
   std::vector<RungStats> rungs;
   std::vector<SwapEvent> swaps;        ///< hot-swaps/rollbacks, virtual order
   std::vector<VersionStats> versions;  ///< per-model-version tallies
+  std::vector<BurnAlert> slo_alerts;   ///< burn-rate alert edges, virtual order
 };
 
 /// Render as schema `generic.serve.v1`: fixed field order, "%.9g" doubles.
@@ -171,7 +173,8 @@ class ServeEngine {
   void resolve_unserved(InFlight* f, Outcome o, std::uint64_t now);
   void defer_served(InFlight* f, std::uint64_t now);
   void flush_rung(std::size_t rung);
-  void feed_controller(std::uint64_t latency_us);
+  void feed_controller(std::uint64_t now, std::uint64_t latency_us);
+  void feed_burn(std::uint64_t vt, bool good);
   void poll_lifecycle(std::uint64_t now);
 
   /// Current serving model. Starts at the constructor-provided reference;
@@ -205,6 +208,7 @@ class ServeEngine {
   std::uint64_t clock_us_ = 0;
   BackoffPolicy backoff_;
   DegradeController controller_;
+  BurnMonitor burn_;
   std::vector<std::vector<InFlight*>> batch_;  // deferred predicts per rung
   obs::Histogram latency_;                     // served latency, virtual us
   std::vector<obs::Histogram> rung_latency_;   // per-rung served latency

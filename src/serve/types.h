@@ -121,6 +121,16 @@ struct ServeConfig {
   double ewma_alpha = 0.2;          ///< latency EWMA weight (controller)
   std::uint32_t cooldown = 16;      ///< completions between rung moves
   double step_up_frac = 0.5;        ///< step up when ewma < frac * slo
+
+  // SLO burn-rate alerting (serve/burn_monitor.h). An alert fires when BOTH
+  // rolling virtual-time windows burn the error budget (1 - slo_target)
+  // faster than their thresholds, and clears at half the thresholds.
+  double slo_target = 0.99;         ///< fraction of requests in-SLO
+  std::uint64_t burn_fast_window_us = 100000;  ///< fast window span
+  std::uint64_t burn_slow_window_us = 500000;  ///< slow window span
+  double burn_fast_threshold = 14.0;  ///< fast-window burn to fire
+  double burn_slow_threshold = 6.0;   ///< slow-window burn to fire
+  std::size_t burn_min_events = 32;   ///< per-window floor before firing
 };
 
 }  // namespace generic::serve

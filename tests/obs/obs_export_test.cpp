@@ -308,6 +308,33 @@ TEST_F(ObsExport, StreamingIgnoredWithoutMetricsPath) {
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
 }
 
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "\"plain\"");
+  EXPECT_EQ(json_escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_escape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_escape("line\nbreak\ttab\rret"),
+            "\"line\\nbreak\\ttab\\rret\"");
+  EXPECT_EQ(json_escape(std::string("bell\x07") + "\x1f"),
+            "\"bell\\u0007\\u001f\"");
+  EXPECT_EQ(json_escape("\b\f"), "\"\\b\\f\"");
+}
+
+TEST(JsonEscape, HighBytesDoNotSignExtend) {
+  // A 0x80..0xff byte run through a signed char used to sign-extend into
+  // an 8-hex-digit escape ending in ffXX; it must stay either literal
+  // (valid UTF-8 continuation bytes pass through) or a 4-digit escape.
+  std::string s;
+  s.push_back(static_cast<char>(0xff));
+  const std::string out = json_escape(s);
+  EXPECT_EQ(out.find("ffffff"), std::string::npos) << out;
+}
+
+TEST(JsonEscape, AppendVariantAppendsWithoutQuotes) {
+  std::string out = "prefix:";
+  append_json_escaped(out, "a\"b");
+  EXPECT_EQ(out, "prefix:a\\\"b");
+}
+
 TEST_F(ObsExport, CollectMetricsReportsProcessFacts) {
   set_metrics(true);
   GENERIC_COUNTER_ADD("test.collect", 2);

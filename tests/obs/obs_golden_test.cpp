@@ -86,6 +86,8 @@ std::string run_pinned_metrics() {
   };
   drop_zeros(snap.counters);
   drop_zeros(snap.gauges);
+  std::erase_if(snap.histograms,
+                [](const auto& kv) { return kv.second.count == 0; });
   obs::set_tracing(false);
   obs::set_metrics(false);
   reg.reset();

@@ -6,11 +6,20 @@
 // generic.chaos.v1 report per scenario and a per-invariant verdict.
 //
 //   generic_chaos [--scenario=all|NAME] [--quick] [--seed=S] [--threads=N]
-//                 [--out=DIR] [--work-dir=DIR] [--list]
+//                 [--out=DIR] [--work-dir=DIR] [--list] [--rtrace=DIR]
+//                 [--flight-dump=DIR]
 //
 // --out writes <DIR>/<scenario>.json per scenario. --list prints the
 // registry and exits. Exit code: 0 when every run passed its invariants,
 // 1 otherwise.
+//
+// Black box: every scenario records into the rtrace flight ring. A failed
+// invariant auto-dumps the ring as <scenario>.flight.json (into
+// --flight-dump, else --out, else the working directory) so the decisions
+// that led to the violation can be read post mortem; --flight-dump also
+// dumps passing runs. --rtrace additionally writes the FULL causal trace
+// per scenario as <scenario>.rtrace.json plus a Chrome/Perfetto view
+// <scenario>.rtrace.chrome.json.
 //
 // Determinism: every report is a pure function of (scenario, --quick,
 // --seed). --threads only changes wall-clock speed — the CI chaos job
@@ -34,6 +43,8 @@ int main(int argc, char** argv) {
   const std::size_t threads = flags.threads();
   const std::string out_dir = flags.value("--out", "");
   const std::string work_dir = flags.value("--work-dir", "");
+  const std::string rtrace_dir = flags.value("--rtrace", "");
+  const std::string flight_dir = flags.value("--flight-dump", "");
   bench::apply_kernel_backend(flags);
   flags.done();
 
@@ -58,6 +69,8 @@ int main(int argc, char** argv) {
   }
 
   if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+  if (!rtrace_dir.empty()) std::filesystem::create_directories(rtrace_dir);
+  if (!flight_dir.empty()) std::filesystem::create_directories(flight_dir);
 
   bool all_passed = true;
   for (const auto& spec : specs) {
@@ -66,6 +79,7 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.work_dir =
         work_dir.empty() ? "" : work_dir + "/" + spec.name;
+    opt.rtrace = !rtrace_dir.empty();
 
     const chaos::ChaosReport report = chaos::run_scenario(spec, opt);
     all_passed = all_passed && report.passed;
@@ -87,6 +101,25 @@ int main(int argc, char** argv) {
       const std::string path = out_dir + "/" + spec.name + ".json";
       chaos::write_chaos_json(path, report);
       std::printf("  report written to %s\n", path.c_str());
+    }
+    if (!rtrace_dir.empty()) {
+      const std::string base = rtrace_dir + "/" + spec.name;
+      obs::rtrace::write_rtrace_json(base + ".rtrace.json", report.rtrace);
+      obs::rtrace::write_rtrace_chrome_json(base + ".rtrace.chrome.json",
+                                            report.rtrace);
+      std::printf("  rtrace written to %s.rtrace.json\n", base.c_str());
+    }
+    // The black box: always dumped on demand, and automatically on any
+    // invariant failure so the postmortem ships with the verdict.
+    if (!flight_dir.empty() || !report.passed) {
+      const std::string dir = !flight_dir.empty() ? flight_dir
+                              : !out_dir.empty()  ? out_dir
+                                                  : std::string(".");
+      const std::string path = dir + "/" + spec.name + ".flight.json";
+      obs::rtrace::write_flight_json(path, report.flight);
+      std::printf("  flight recorder %s to %s\n",
+                  report.passed ? "dumped" : "auto-dumped on failure",
+                  path.c_str());
     }
   }
   return all_passed ? 0 : 1;

@@ -11,6 +11,8 @@
 //                     [--shadow-fault-rate=P] [--ckpt-dir=DIR]
 //                     [--out=serve.json] [--lifecycle-out=lifecycle.json]
 //                     [--trace=out.json] [--metrics=out.json]
+//                     [--rtrace=out.json] [--rtrace-chrome=out.json]
+//                     [--flight-dump=out.json]
 //
 // Determinism: the whole run — every arrival, margin, alarm, retrain
 // trigger, validation verdict and swap, and both JSON reports — is a pure
@@ -34,50 +36,46 @@
 #include "lifecycle/manager.h"
 #include "model/pipeline.h"
 #include "obs/export.h"
+#include "obs/rtrace.h"
 #include "serve/engine.h"
 
 using namespace generic;
-
-namespace {
-
-double fvalue(bench::Flags& flags, std::string_view key, double fallback) {
-  const std::string v = flags.value(key, "");
-  return v.empty() ? fallback : std::stod(v);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const bool quick = flags.has("--quick");
   const std::size_t dims = quick ? 1024 : 2048;
   const std::size_t epochs = quick ? 5 : 10;
-  const std::size_t requests = flags.size("--requests", quick ? 2000 : 4000);
-  const std::size_t rate_rps = flags.size("--rate", 1200);
+  const std::size_t requests =
+      flags.positive_size("--requests", quick ? 2000 : 4000);
+  const std::size_t rate_rps = flags.positive_size("--rate", 1200);
   const std::size_t shift_at =
       flags.size("--shift-at", quick ? 600 : 1000);
-  const std::size_t canary_every = flags.size("--canary-every", 2);
-  const double severity = fvalue(flags, "--severity", 0.75);
+  const std::size_t canary_every = flags.positive_size("--canary-every", 2);
+  const double severity = flags.real("--severity", 0.75);
   const std::uint64_t seed = flags.size("--seed", 0xD21F7);
   const std::size_t threads = flags.threads();
   const std::uint64_t retrain_cost_us =
-      flags.size("--retrain-cost-us", 30000);
-  const double shadow_fault_rate = fvalue(flags, "--shadow-fault-rate", 0.0);
+      flags.positive_size("--retrain-cost-us", 30000);
+  const double shadow_fault_rate = flags.real("--shadow-fault-rate", 0.0);
   const std::string ckpt_dir = flags.value("--ckpt-dir", "");
   const std::string out_path = flags.value("--out", "");
   const std::string lifecycle_out = flags.value("--lifecycle-out", "");
+  const std::string rtrace_path = flags.value("--rtrace", "");
+  const std::string rtrace_chrome = flags.value("--rtrace-chrome", "");
+  const std::string flight_path = flags.value("--flight-dump", "");
   obs::Session obs_session(flags.value("--trace", ""),
                            flags.value("--metrics", ""));
   bench::apply_kernel_backend(flags);
   flags.done();
 
-  if (rate_rps == 0 || canary_every == 0 || requests == 0 ||
-      shift_at >= requests) {
-    std::fprintf(stderr,
-                 "error: need --rate > 0, --canary-every > 0 and "
-                 "--shift-at < --requests\n");
-    return 1;
+  if (shift_at >= requests) {
+    std::fprintf(stderr, "error: need --shift-at < --requests\n");
+    return 2;
   }
+
+  obs::rtrace::set_trace(!rtrace_path.empty() || !rtrace_chrome.empty());
+  obs::rtrace::set_flight(!flight_path.empty());
 
   set_global_threads(threads);
   ThreadPool& pool = global_pool();
@@ -249,6 +247,19 @@ int main(int argc, char** argv) {
   if (!lifecycle_out.empty()) {
     lifecycle::write_lifecycle_json(lifecycle_out, lreport);
     std::printf("lifecycle report written to %s\n", lifecycle_out.c_str());
+  }
+  if (!rtrace_path.empty()) {
+    obs::rtrace::write_rtrace_json(rtrace_path, obs::rtrace::trace_log());
+    std::printf("rtrace written to %s\n", rtrace_path.c_str());
+  }
+  if (!rtrace_chrome.empty()) {
+    obs::rtrace::write_rtrace_chrome_json(rtrace_chrome,
+                                          obs::rtrace::trace_log());
+    std::printf("rtrace chrome trace written to %s\n", rtrace_chrome.c_str());
+  }
+  if (!flight_path.empty()) {
+    obs::rtrace::write_flight_json(flight_path, obs::rtrace::flight_log());
+    std::printf("flight recorder dumped to %s\n", flight_path.c_str());
   }
   return 0;
 }

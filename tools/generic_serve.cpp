@@ -8,7 +8,14 @@
 //                 [--fault-bit-rate=P] [--dead-chunks=K] [--seed=S]
 //                 [--threads=N] [--checkpoint-dir=DIR] [--out=serve.json]
 //                 [--trace=out.json] [--metrics=out.json]
-//                 [--metrics-every=SECONDS]
+//                 [--metrics-every=SECONDS] [--rtrace=out.json]
+//                 [--rtrace-chrome=out.json] [--flight-dump=out.json]
+//
+// --rtrace / --rtrace-chrome write the request-level causal trace
+// (generic.rtrace.v1 / Chrome trace events with per-request flow arrows);
+// --flight-dump writes the last-N-events flight ring (generic.flight.v1).
+// All three are on virtual time and byte-identical across --threads and
+// kernel backends (docs/observability.md).
 //
 // Trains a classifier on a Table 1 benchmark clone in-process, then drives
 // it through the ServeEngine with a seeded open-loop Poisson load: arrival
@@ -42,19 +49,11 @@
 #include "lifecycle/checkpoint_store.h"
 #include "model/pipeline.h"
 #include "obs/export.h"
+#include "obs/rtrace.h"
 #include "resilience/fault_model.h"
 #include "serve/engine.h"
 
 using namespace generic;
-
-namespace {
-
-double fvalue(bench::Flags& flags, std::string_view key, double fallback) {
-  const std::string v = flags.value(key, "");
-  return v.empty() ? fallback : std::stod(v);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
@@ -62,36 +61,39 @@ int main(int argc, char** argv) {
   const std::string name = flags.value("--dataset", "FACE");
   const std::size_t dims = quick ? 2048 : 4096;
   const std::size_t epochs = quick ? 5 : 20;
-  const std::size_t requests = flags.size("--requests", quick ? 800 : 4000);
-  const std::size_t rate_rps = flags.size("--rate", 1800);
+  const std::size_t requests =
+      flags.positive_size("--requests", quick ? 800 : 4000);
+  const std::size_t rate_rps = flags.positive_size("--rate", 1800);
 
   serve::ServeConfig cfg;
-  cfg.servers = flags.size("--servers", cfg.servers);
-  cfg.deadline_us = flags.size("--deadline-us", cfg.deadline_us);
-  cfg.slo_us = flags.size("--slo-us", cfg.slo_us);
-  cfg.max_attempts =
-      static_cast<std::uint32_t>(flags.size("--max-attempts", cfg.max_attempts));
-  cfg.min_dims = flags.size("--min-dims", cfg.min_dims);
-  cfg.service_base_us = flags.size("--service-base-us", cfg.service_base_us);
-  cfg.fault_rate = fvalue(flags, "--fault-rate", cfg.fault_rate);
-  cfg.fault_bit_rate = fvalue(flags, "--fault-bit-rate", cfg.fault_bit_rate);
+  cfg.servers = flags.positive_size("--servers", cfg.servers);
+  cfg.deadline_us = flags.positive_size("--deadline-us", cfg.deadline_us);
+  cfg.slo_us = flags.positive_size("--slo-us", cfg.slo_us);
+  cfg.max_attempts = static_cast<std::uint32_t>(
+      flags.positive_size("--max-attempts", cfg.max_attempts));
+  cfg.min_dims = flags.positive_size("--min-dims", cfg.min_dims);
+  cfg.service_base_us =
+      flags.positive_size("--service-base-us", cfg.service_base_us);
+  cfg.fault_rate = flags.real("--fault-rate", cfg.fault_rate);
+  cfg.fault_bit_rate = flags.real("--fault-bit-rate", cfg.fault_bit_rate);
   cfg.seed = flags.size("--seed", cfg.seed);
 
   const std::size_t dead_chunks = flags.size("--dead-chunks", 0);
   const std::size_t threads = flags.threads();
   const std::string ckpt_dir = flags.value("--checkpoint-dir", "");
   const std::string out_path = flags.value("--out", "");
-  const double metrics_every = fvalue(flags, "--metrics-every", 0.0);
+  const std::string rtrace_path = flags.value("--rtrace", "");
+  const std::string rtrace_chrome = flags.value("--rtrace-chrome", "");
+  const std::string flight_path = flags.value("--flight-dump", "");
+  const double metrics_every = flags.positive_real("--metrics-every", 0.0);
   obs::Session obs_session(flags.value("--trace", ""),
                            flags.value("--metrics", ""));
   obs_session.stream_metrics_every(metrics_every);
   bench::apply_kernel_backend(flags);
   flags.done();
 
-  if (rate_rps == 0) {
-    std::fprintf(stderr, "error: --rate must be positive\n");
-    return 1;
-  }
+  obs::rtrace::set_trace(!rtrace_path.empty() || !rtrace_chrome.empty());
+  obs::rtrace::set_flight(!flight_path.empty());
 
   set_global_threads(threads);
   ThreadPool& pool = global_pool();
@@ -246,6 +248,19 @@ int main(int argc, char** argv) {
   if (!out_path.empty()) {
     serve::write_serve_json(out_path, report);
     std::printf("report written to %s\n", out_path.c_str());
+  }
+  if (!rtrace_path.empty()) {
+    obs::rtrace::write_rtrace_json(rtrace_path, obs::rtrace::trace_log());
+    std::printf("rtrace written to %s\n", rtrace_path.c_str());
+  }
+  if (!rtrace_chrome.empty()) {
+    obs::rtrace::write_rtrace_chrome_json(rtrace_chrome,
+                                          obs::rtrace::trace_log());
+    std::printf("rtrace chrome trace written to %s\n", rtrace_chrome.c_str());
+  }
+  if (!flight_path.empty()) {
+    obs::rtrace::write_flight_json(flight_path, obs::rtrace::flight_log());
+    std::printf("flight recorder dumped to %s\n", flight_path.c_str());
   }
   return 0;
 }
