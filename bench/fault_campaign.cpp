@@ -6,7 +6,7 @@
 //
 //   fault_campaign [--quick] [--dataset=FACE] [--bw=8] [--trials=5]
 //                  [--seed=64023] [--degrade] [--out=campaign.json]
-//                  [--threads=N] [--target=class|level|id_seed]
+//                  [--threads=N] [--target=class|level|id_seed] [--remat]
 //                  [--trace=out.json] [--metrics=out.json]
 //
 // The qualitative claim this reproduces: HDC accuracy degrades gracefully
@@ -18,8 +18,12 @@
 // --target selects which datapath SRAM the campaign corrupts: the class
 // memory (default, run_campaign) or the encoder's level memory / rotating
 // id seed (run_encoder_campaign, which re-encodes every trial through the
-// damaged memory). --threads fans Monte Carlo trials (class memory) or the
-// per-trial re-encoding (encoder targets) across a pool; the JSON is
+// damaged memory). --remat builds the encoder with rematerialized level
+// memory (PR 7): its level rows physically do not exist, so a --target=level
+// sweep sits at baseline in every cell — the campaign-shaped proof of the
+// remat immunity claim — while --target=id_seed still bites (the seed row is
+// stored in both modes). --threads fans Monte Carlo trials (class memory) or
+// the per-trial re-encoding (encoder targets) across a pool; the JSON is
 // byte-identical for any thread count.
 #include <cstdio>
 #include <vector>
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
       std::stoull(flags.value("--seed", "64023")));
   const std::string out_path = flags.value("--out", "");
   const std::string target_name = flags.value("--target", "class");
+  const bool remat = flags.has("--remat");
   const bool degrade = flags.has("--degrade");
   const std::size_t threads = flags.threads();
   obs::Session obs_session(flags.value("--trace", ""),
@@ -64,6 +69,7 @@ int main(int argc, char** argv) {
   const auto ds = data::make_benchmark(name);
   enc::EncoderConfig cfg;
   cfg.dims = dims;
+  cfg.remat = remat;
   enc::GenericEncoder encoder(cfg);
   encoder.fit(ds.train_x);
   const auto train = model::encode_all(encoder, ds.train_x);
@@ -86,10 +92,15 @@ int main(int argc, char** argv) {
                                              ds.test_y, cc, target);
 
   std::printf("Fault campaign: %s, D=%zu, %db model, %zu trials/cell, "
-              "target=%s%s\n",
+              "target=%s%s%s\n",
               name.c_str(), dims, bw, trials,
               std::string(resilience::fault_target_name(target)).c_str(),
+              remat ? ", remat encoder" : "",
               cc.degrade ? ", detect+mask degradation ON" : "");
+  if (target != resilience::FaultTarget::kClassMemory)
+    std::printf("encoder footprint: %zu bytes (%s)\n",
+                result.encoder_footprint_bytes,
+                result.encoder_remat ? "rematerialized" : "stored");
   std::printf("baseline accuracy: %.2f%%\n\n", 100.0 * result.baseline_accuracy);
   std::printf("%-12s", "rate");
   for (auto k : cc.kinds)

@@ -1,0 +1,128 @@
+#include "chaos/encoder_chaos.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "resilience/fault_model.h"
+
+namespace generic::chaos {
+
+namespace {
+
+using serve::EncoderUpdate;
+using serve::ScriptedEncoderFaults;
+
+/// encode_masked fanned across the pool in deterministic index order, the
+/// masked twin of Encoder::encode_batch.
+std::vector<hdc::IntHV> encode_all_masked(
+    const enc::GenericEncoder& encoder,
+    std::span<const std::vector<float>> samples,
+    const std::vector<bool>& level_ok, bool id_ok, ThreadPool& pool) {
+  std::vector<hdc::IntHV> out(samples.size());
+  pool.parallel_for(samples.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i)
+                        out[i] = encoder.encode_masked(samples[i], level_ok,
+                                                       id_ok);
+                    });
+  return out;
+}
+
+/// First scrub tick strictly after `vt` (the guard scans on a period, not
+/// on the burst itself — damage sits undetected until the next pass).
+std::uint64_t next_tick(std::uint64_t vt, std::uint64_t every) {
+  return (vt / every + 1) * every;
+}
+
+}  // namespace
+
+std::vector<ScriptedEncoderFaults::Entry> script_encoder_incident(
+    enc::GenericEncoder& encoder, std::span<const std::vector<float>> samples,
+    std::span<const hdc::IntHV> clean, const EncoderIncidentSpec& spec,
+    ThreadPool& pool) {
+  if (spec.scrub_every_us == 0)
+    throw std::invalid_argument("script_encoder_incident: zero scrub period");
+  if (clean.size() != samples.size())
+    throw std::invalid_argument(
+        "script_encoder_incident: clean table / sample count mismatch");
+
+  const auto guard =
+      resilience::EncoderGuard::commission(encoder, spec.seed_available);
+  auto bursts = spec.bursts;
+  std::stable_sort(bursts.begin(), bursts.end(),
+                   [](const FaultBurst& a, const FaultBurst& b) {
+                     return a.vt_us < b.vt_us;
+                   });
+
+  std::vector<ScriptedEncoderFaults::Entry> entries;
+  for (std::size_t b = 0; b < bursts.size(); ++b) {
+    const FaultBurst& burst = bursts[b];
+    // Same per-burst stream derivation as ChaosHook: the pattern of burst i
+    // is independent of every other burst.
+    Rng rng(spec.seed ^ (0x9E3779B97F4A7C15ULL * (b + 1)));
+
+    // -- Inject: one hit draw per level row, then one for the id seed row.
+    auto& levels = encoder.mutable_level_memory();
+    const auto rows = resilience::sample_faulty_rows(levels.num_levels(),
+                                                     burst.fault.rate, rng);
+    const bool hit_id = rng.bernoulli(burst.fault.rate);
+    resilience::inject_encoder_rows(levels, rows, burst.fault.kind,
+                                    burst.fault.burst_rate, rng);
+    if (hit_id)
+      resilience::inject_id_seed(encoder.mutable_id_memory(), burst.fault.kind,
+                                 burst.fault.burst_rate, rng);
+
+    const auto scan = guard.scan(encoder);
+    const std::size_t faulty = scan.num_faulty();
+
+    // -- kCorrupt at the burst vt: serving flips to the poisoned table.
+    ScriptedEncoderFaults::Entry corrupt;
+    corrupt.meta.phase = EncoderUpdate::Phase::kCorrupt;
+    corrupt.meta.vt = burst.vt_us;
+    corrupt.meta.faulty_rows = faulty;
+    corrupt.meta.id_seed_faulty = !scan.id_ok;
+    corrupt.table = encoder.encode_batch(samples, pool);
+    entries.push_back(std::move(corrupt));
+    if (faulty == 0) continue;  // burst drew no rows: nothing to repair
+
+    // -- Detection at the next scrub tick.
+    const std::uint64_t t1 = next_tick(burst.vt_us, spec.scrub_every_us);
+    const bool can_scrub =
+        spec.policy == resilience::RepairPolicy::kScrub && spec.seed_available;
+    ScriptedEncoderFaults::Entry react;
+    react.meta.vt = t1;
+    react.meta.faulty_rows = faulty;
+    react.meta.id_seed_faulty = !scan.id_ok;
+    if (spec.policy == resilience::RepairPolicy::kDetect) {
+      react.meta.phase = EncoderUpdate::Phase::kDetect;  // table unchanged
+    } else {
+      // kMask, and the first (masking) half of kScrub: serve degraded-but-
+      // sane encodings while the (modeled) rematerialization runs. With no
+      // seed to scrub from this is the terminal state — step the ladder.
+      react.meta.phase = EncoderUpdate::Phase::kMask;
+      react.meta.step_ladder =
+          spec.policy == resilience::RepairPolicy::kScrub &&
+          !spec.seed_available;
+      react.table =
+          encode_all_masked(encoder, samples, scan.level_ok, scan.id_ok, pool);
+    }
+    entries.push_back(std::move(react));
+    if (!can_scrub) continue;  // damage persists into the next burst
+
+    // -- Scrub one tick later: rows come back bit-identical or we throw.
+    ScriptedEncoderFaults::Entry scrubbed;
+    scrubbed.meta.phase = EncoderUpdate::Phase::kScrub;
+    scrubbed.meta.vt = t1 + spec.scrub_every_us;
+    scrubbed.meta.scrubbed_rows = guard.scrub(encoder);
+    scrubbed.meta.scrub_verified = true;  // scrub() threw otherwise
+    scrubbed.table = encoder.encode_batch(samples, pool);
+    if (!std::equal(scrubbed.table.begin(), scrubbed.table.end(),
+                    clean.begin(), clean.end()))
+      throw std::runtime_error(
+          "script_encoder_incident: scrubbed encodings differ from clean");
+    entries.push_back(std::move(scrubbed));
+  }
+  return entries;
+}
+
+}  // namespace generic::chaos

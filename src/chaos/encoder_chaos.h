@@ -1,0 +1,72 @@
+// Encoder-memory incident scripting for chaos campaigns (docs/chaos.md).
+//
+// The serve engine never sees the encoder — it serves pre-encoded query
+// tables through the EncoderMemory seam (serve/encoder_hook.h). This module
+// is the concrete producer behind that seam: it owns a real GenericEncoder
+// plus a commissioned resilience::EncoderGuard and plays a scenario's
+// encoder fault bursts through them BEFORE the engine starts, precomputing
+// the full corrupt -> detect/mask -> scrub timeline as ScriptedEncoderFaults
+// entries:
+//
+//   burst.vt          kCorrupt  table re-encoded through the damaged rows;
+//                               the engine serves garbage until detection.
+//   T1 = next scrub   kDetect   (policy kDetect) scan counts the damage,
+//        tick after             serving stays on the corrupt table; or
+//        burst.vt     kMask     (policies kMask / kScrub) table re-encoded
+//                               around the flagged rows via encode_masked —
+//                               degraded but no longer poisoned. With no
+//                               generation seed to scrub from the entry also
+//                               steps the serve dims ladder one rung down
+//                               (graceful degradation, ISSUE 9).
+//   T2 = T1 + tick    kScrub    (policy kScrub, seed available) the guard
+//                               rematerializes every faulty row from its
+//                               seed, verifies the commissioned CRCs, and
+//                               the table swaps back to the clean encodings
+//                               — bit-identical to the pre-burst table.
+//
+// After a verified scrub the encoder is pristine again, so repeated bursts
+// (the multi_burst scenario) compose naturally. Everything is precomputed
+// from (spec, seed): the resulting timeline is a pure value and the chaos
+// report stays byte-identical across --threads and kernel backends.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "common/thread_pool.h"
+#include "encoding/encoders.h"
+#include "resilience/encoder_guard.h"
+#include "serve/encoder_hook.h"
+
+namespace generic::chaos {
+
+/// Everything script_encoder_incident needs beyond the encoder itself.
+struct EncoderIncidentSpec {
+  /// Encoder-targeted bursts: fault.rate is the per-row hit probability
+  /// (levels + the id seed row), fault.burst_rate the per-bit rate inside a
+  /// hit row, fault.kind the corruption model (kDeadBlock = whole row dead).
+  std::vector<FaultBurst> bursts;
+  std::uint64_t scrub_every_us = 100000;  ///< detect/scrub tick period
+  resilience::RepairPolicy policy = resilience::RepairPolicy::kScrub;
+  /// false models a deployment whose generation seeds stayed at the
+  /// factory: the timeline masks and steps the ladder instead of scrubbing.
+  bool seed_available = true;
+  std::uint64_t seed = 0;  ///< rng root for the per-burst fault draws
+};
+
+/// Play `spec.bursts` through `encoder` (stored-mode level memory required
+/// when any burst can hit level rows) and return the full precomputed
+/// timeline. `samples` are the raw query features; `clean` must be their
+/// encodings through the pristine encoder (the scrub target — the kScrub
+/// entry's table is re-encoded and verified equal to it). The encoder is
+/// left in its post-script state: pristine under kScrub with seeds, damaged
+/// otherwise. Throws std::runtime_error if a scrub fails to restore the
+/// clean encodings bit-identically.
+std::vector<serve::ScriptedEncoderFaults::Entry> script_encoder_incident(
+    enc::GenericEncoder& encoder, std::span<const std::vector<float>> samples,
+    std::span<const hdc::IntHV> clean, const EncoderIncidentSpec& spec,
+    ThreadPool& pool);
+
+}  // namespace generic::chaos

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "chaos/encoder_chaos.h"
 #include "common/thread_pool.h"
 #include "data/drift.h"
 #include "encoding/encoders.h"
@@ -175,11 +176,27 @@ ChaosReport run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
   lcfg.threads = opt.threads;
   lcfg.initial_version = report.boot.version;
   lcfg.seed = opt.seed ^ 0xC1F3ULL;
+  lcfg.shadow_fault_rate = spec.shadow_fault_rate;
+
+  // Encoder-memory incidents: the whole corrupt -> mask -> scrub timeline
+  // is precomputed against the clean query table before the engine starts
+  // (encoder_chaos.h), so the run stays a pure function of (spec, seed).
+  std::unique_ptr<serve::ScriptedEncoderFaults> encoder_faults;
+  if (!spec.encoder_bursts.empty()) {
+    EncoderIncidentSpec espec;
+    espec.bursts = spec.encoder_bursts;
+    espec.scrub_every_us = spec.scrub_every_us;
+    espec.policy = spec.encoder_repair;
+    espec.seed_available = spec.encoder_seed_available;
+    espec.seed = opt.seed ^ 0xE2C0DE5ULL;
+    encoder_faults = std::make_unique<serve::ScriptedEncoderFaults>(
+        script_encoder_incident(encoder, xs, queries, espec, pool));
+  }
 
   lifecycle::Manager manager(serving, queries, labels, lcfg, store.get());
   ChaosHook hook(&manager, serving, spec.bursts, opt.seed ^ 0xFA017ULL);
   serve::ServeEngine engine(*serving, queries, labels, scfg, pool, {},
-                            &hook);
+                            &hook, encoder_faults.get());
 
   std::vector<serve::ResponseFuture> futures;
   futures.reserve(spec.requests);
@@ -242,6 +259,24 @@ ChaosReport run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
                    double bound, bool passed) {
     report.invariants.push_back(
         InvariantResult{name, enabled, !enabled || passed, value, bound});
+  };
+
+  // Canary accuracy over served requests with arrivals in [lo, hi).
+  auto window_canary_acc = [&](std::uint64_t lo, std::uint64_t hi,
+                               std::uint64_t& total_out) {
+    std::uint64_t total = 0, correct = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      if (i % spec.canary_every != 0) continue;
+      if (arrivals[i] < lo || arrivals[i] >= hi) continue;
+      const auto r = futures[i].try_get();
+      if (!r.has_value() || !served_outcome(r->outcome)) continue;
+      ++total;
+      if (r->predicted == labels[i]) ++correct;
+    }
+    total_out = total;
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
   };
 
   check("futures_resolved", true, static_cast<double>(unresolved), 0.0,
@@ -325,6 +360,70 @@ ChaosReport run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
   check("checkpoint_quarantine", spec.invariants.expect_quarantine,
         static_cast<double>(report.boot.quarantined), 1.0,
         report.boot.from_checkpoint && report.boot.quarantined >= 1);
+
+  // Sabotaged shadows must be caught by the holdout gate, not installed.
+  check("rollbacks", spec.invariants.min_rollbacks > 0,
+        static_cast<double>(report.lifecycle.rolled_back),
+        static_cast<double>(spec.invariants.min_rollbacks),
+        report.lifecycle.rolled_back >= spec.invariants.min_rollbacks);
+
+  check("encoder_scrub", spec.invariants.min_scrubbed_rows > 0,
+        static_cast<double>(report.serve.scrubbed_rows),
+        static_cast<double>(spec.invariants.min_scrubbed_rows),
+        report.serve.scrubbed_rows >= spec.invariants.min_scrubbed_rows);
+
+  if (spec.invariants.masked_accuracy_below > 0.0) {
+    // The masked interval [first mask, first scrub after it) must cost
+    // measurable accuracy — otherwise the scenario is not demonstrating
+    // the degradation the scrub later repairs.
+    std::uint64_t m0 = 0, m1 = report.serve.makespan_us;
+    bool have_mask = false;
+    for (const auto& e : report.serve.encoder_faults) {
+      if (!have_mask && e.phase == serve::EncoderUpdate::Phase::kMask) {
+        m0 = e.vt;
+        have_mask = true;
+      } else if (have_mask &&
+                 e.phase == serve::EncoderUpdate::Phase::kScrub) {
+        m1 = e.vt;
+        break;
+      }
+    }
+    std::uint64_t total = 0;
+    const double masked_acc =
+        have_mask ? window_canary_acc(m0, m1, total) : 0.0;
+    check("encoder_degraded", true, masked_acc,
+          spec.invariants.masked_accuracy_below,
+          have_mask && total > 0 &&
+              masked_acc <= spec.invariants.masked_accuracy_below);
+  } else {
+    check("encoder_degraded", false, 0.0, 0.0, true);
+  }
+
+  if (spec.invariants.encoder_recovery_window_us > 0) {
+    // Accuracy must fully recover after the LAST verified encoder scrub.
+    std::uint64_t scrub_vt = 0;
+    bool have_scrub = false;
+    for (const auto& e : report.serve.encoder_faults)
+      if (e.phase == serve::EncoderUpdate::Phase::kScrub &&
+          e.scrub_verified) {
+        scrub_vt = e.vt;
+        have_scrub = true;
+      }
+    std::uint64_t total = 0;
+    const double recovered =
+        have_scrub
+            ? window_canary_acc(
+                  scrub_vt,
+                  scrub_vt + spec.invariants.encoder_recovery_window_us,
+                  total)
+            : 0.0;
+    check("encoder_recovery", true, recovered,
+          spec.invariants.encoder_recovery_accuracy,
+          have_scrub && total > 0 &&
+              recovered >= spec.invariants.encoder_recovery_accuracy);
+  } else {
+    check("encoder_recovery", false, 0.0, 0.0, true);
+  }
 
   report.passed = true;
   for (const auto& inv : report.invariants)
@@ -420,7 +519,25 @@ std::string chaos_report_to_json(const ChaosReport& report) {
            ", \"served\": " + u64(s.versions[i].served) +
            ", \"correct\": " + u64(s.versions[i].correct) + "}";
   }
-  out += "]\n  },\n";
+  out += "],\n";
+  out += "    \"encoder_faults\": [";
+  for (std::size_t i = 0; i < s.encoder_faults.size(); ++i) {
+    const serve::EncoderFaultEvent& e = s.encoder_faults[i];
+    if (i != 0) out += ", ";
+    out += "{\"vt_us\": " + u64(e.vt) + ", \"phase\": \"" +
+           std::string(serve::encoder_phase_name(e.phase)) +
+           "\", \"faulty_rows\": " + u64(e.faulty_rows) +
+           ", \"id_seed_faulty\": ";
+    out += e.id_seed_faulty ? "true" : "false";
+    out += ", \"scrubbed_rows\": " + u64(e.scrubbed_rows) +
+           ", \"scrub_verified\": ";
+    out += e.scrub_verified ? "true" : "false";
+    out += ", \"stepped_ladder\": ";
+    out += e.stepped_ladder ? "true" : "false";
+    out += "}";
+  }
+  out += "],\n";
+  out += "    \"scrubbed_rows\": " + u64(s.scrubbed_rows) + "\n  },\n";
 
   const lifecycle::LifecycleReport& l = report.lifecycle;
   out += "  \"lifecycle\": {\"alarms\": " + u64(l.alarms) +

@@ -7,7 +7,7 @@
 // failure script it carries the invariant bounds the run must satisfy —
 // the scenario is both the attack and the acceptance test.
 //
-// The registry (all_scenarios) ships the five named campaigns:
+// The registry (all_scenarios) ships the eight named campaigns:
 //
 //   diurnal                — day/night sine across the capacity line; the
 //                            ladder must absorb the crest (bounded shed).
@@ -22,6 +22,14 @@
 //   corrupt_checkpoint_boot— the newest checkpoint on disk is garbage; boot
 //                            must quarantine it and serve from the older
 //                            known-good version.
+//   encoder_corruption     — a burst corrupts level/id encoder memory
+//                            mid-run; the guard masks around the damage and
+//                            the seed scrub must restore accuracy in full.
+//   multi_burst            — repeated class-memory AND encoder bursts on a
+//                            schedule; every repair loop must close, twice.
+//   shadow_fault_under_load— every retrained shadow is corrupted before
+//                            validation; the holdout gate must reject them
+//                            all and roll back instead of swapping garbage.
 //
 // Every spec is a pure value: (spec, seed) fully determines the run and its
 // generic.chaos.v1 report, byte-identical across --threads.
@@ -33,6 +41,7 @@
 #include <vector>
 
 #include "chaos/load_shape.h"
+#include "resilience/encoder_guard.h"
 #include "resilience/fault_model.h"
 
 namespace generic::chaos {
@@ -55,6 +64,17 @@ struct InvariantSpec {
   std::uint64_t recovery_window_us = 0;
   double recovery_accuracy = 0.0;
   bool expect_quarantine = false;  ///< boot must quarantine >= 1 checkpoint
+  std::size_t min_rollbacks = 0;   ///< rejected-shadow rollbacks required
+  std::size_t min_scrubbed_rows = 0;  ///< encoder rows the scrub must repair
+  /// Degradation demonstration: windowed canary accuracy between the first
+  /// encoder mask and the first scrub after it must stay BELOW this ceiling
+  /// (the masked encodings measurably cost accuracy). 0 disables.
+  double masked_accuracy_below = 0.0;
+  /// Encoder recovery: windowed canary accuracy over [last scrub vt,
+  /// last scrub vt + encoder_recovery_window_us] must reach
+  /// encoder_recovery_accuracy. 0 disables.
+  std::uint64_t encoder_recovery_window_us = 0;
+  double encoder_recovery_accuracy = 0.0;
 };
 
 struct ScenarioSpec {
@@ -79,6 +99,18 @@ struct ScenarioSpec {
   // Scheduled mid-run fault bursts, injected through the ChaosHook.
   std::vector<FaultBurst> bursts;
 
+  // Scheduled encoder-memory bursts (level rows + id seed), played through
+  // the serve-side EncoderMemory seam with a periodic virtual-time
+  // detect/scrub pass; see chaos/encoder_chaos.h for the timeline model.
+  std::vector<FaultBurst> encoder_bursts;
+  std::uint64_t scrub_every_us = 100000;
+  resilience::RepairPolicy encoder_repair = resilience::RepairPolicy::kScrub;
+  bool encoder_seed_available = true;
+
+  // Shadow-model sabotage: corrupt every retrained shadow at this bit-flip
+  // rate before validation (lifecycle's holdout gate must catch them).
+  double shadow_fault_rate = 0.0;
+
   // Boot-time checkpoint corruption: the store is pre-seeded with two
   // checkpoints and the newest one's bytes are flipped before boot.
   bool corrupt_boot = false;
@@ -91,7 +123,7 @@ struct ScenarioSpec {
   InvariantSpec invariants;
 };
 
-/// The five named campaigns. `quick` shrinks requests/dims for tests and CI
+/// The eight named campaigns. `quick` shrinks requests/dims for tests and CI
 /// smoke runs; golden fixtures are generated from the quick specs.
 std::vector<ScenarioSpec> all_scenarios(bool quick);
 

@@ -110,11 +110,99 @@ ScenarioSpec corrupt_checkpoint_boot(bool quick) {
   return s;
 }
 
+ScenarioSpec encoder_corruption(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "encoder_corruption";
+  s.description =
+      "a burst corrupts level rows and the id seed of the encoder memory "
+      "mid-run; the guard masks around the damage at the next scrub tick "
+      "and the seed-rematerialization scrub must restore the clean "
+      "encodings bit-identically, with accuracy recovering in full";
+  s.load.kind = LoadKind::kPoisson;
+  s.load.base_rps = 1200.0;
+  FaultBurst burst;
+  burst.vt_us = quick ? 400'000 : 1'000'000;
+  burst.fault.kind = resilience::FaultKind::kTransient;
+  burst.fault.rate = 0.35;        // per-row hit probability
+  burst.fault.burst_rate = 0.30;  // per-bit flip rate inside a hit row
+  s.encoder_bursts.push_back(burst);
+  s.scrub_every_us = quick ? 150'000 : 300'000;
+  s.encoder_repair = resilience::RepairPolicy::kScrub;
+  s.invariants.max_shed_frac = 0.05;
+  s.invariants.min_scrubbed_rows = 1;
+  s.invariants.masked_accuracy_below = 0.85;
+  s.invariants.encoder_recovery_window_us = quick ? 400'000 : 800'000;
+  s.invariants.encoder_recovery_accuracy = 0.60;
+  return s;
+}
+
+ScenarioSpec multi_burst(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "multi_burst";
+  s.description =
+      "repeated class-memory AND encoder-memory bursts on a schedule; the "
+      "retrain loop must heal the class damage and the scrub loop the "
+      "encoder damage, every time";
+  s.requests = quick ? 2000 : 4500;
+  s.load.kind = LoadKind::kPoisson;
+  s.load.base_rps = 1200.0;
+  FaultBurst bank1;
+  bank1.vt_us = quick ? 250'000 : 600'000;
+  bank1.fault.kind = resilience::FaultKind::kBankCorrelated;
+  bank1.fault.rate = 0.5;
+  bank1.fault.burst_rate = 0.05;
+  FaultBurst bank2 = bank1;
+  bank2.vt_us = quick ? 800'000 : 2'000'000;
+  s.bursts = {bank1, bank2};
+  FaultBurst enc1;
+  enc1.vt_us = quick ? 400'000 : 1'000'000;
+  enc1.fault.kind = resilience::FaultKind::kTransient;
+  enc1.fault.rate = 0.3;
+  enc1.fault.burst_rate = 0.25;
+  FaultBurst enc2 = enc1;
+  enc2.vt_us = quick ? 900'000 : 2'200'000;
+  s.encoder_bursts = {enc1, enc2};
+  s.scrub_every_us = quick ? 150'000 : 300'000;
+  s.encoder_repair = resilience::RepairPolicy::kScrub;
+  s.min_fresh = quick ? 100 : 160;
+  s.invariants.max_shed_frac = 0.05;
+  s.invariants.min_swaps = 1;
+  s.invariants.min_scrubbed_rows = 1;
+  s.invariants.encoder_recovery_window_us = quick ? 300'000 : 600'000;
+  s.invariants.encoder_recovery_accuracy = 0.55;
+  return s;
+}
+
+ScenarioSpec shadow_fault_under_load(bool quick) {
+  ScenarioSpec s = base(quick);
+  s.name = "shadow_fault_under_load";
+  s.description =
+      "concept shift under sustained load while every retrained shadow is "
+      "corrupted before validation; the holdout gate must reject the "
+      "faulty shadows and roll back instead of installing garbage";
+  s.load.kind = LoadKind::kPoisson;
+  s.load.base_rps = 2000.0;
+  s.drift_enabled = true;
+  s.shift_at = s.requests * 2 / 5;
+  s.severity = 0.75;
+  s.shadow_fault_rate = 0.25;
+  s.min_fresh = quick ? 100 : 160;
+  s.invariants.max_shed_frac = 0.35;
+  s.invariants.min_rollbacks = 1;
+  return s;
+}
+
 }  // namespace
 
 std::vector<ScenarioSpec> all_scenarios(bool quick) {
-  return {diurnal(quick), flash_crowd(quick), bank_faults(quick),
-          drift_under_overload(quick), corrupt_checkpoint_boot(quick)};
+  return {diurnal(quick),
+          flash_crowd(quick),
+          bank_faults(quick),
+          drift_under_overload(quick),
+          corrupt_checkpoint_boot(quick),
+          encoder_corruption(quick),
+          multi_burst(quick),
+          shadow_fault_under_load(quick)};
 }
 
 std::optional<ScenarioSpec> find_scenario(const std::string& name,

@@ -218,6 +218,40 @@ hdc::IntHV GenericEncoder::encode(std::span<const float> sample) const {
   return acc;
 }
 
+hdc::IntHV GenericEncoder::encode_masked(std::span<const float> sample,
+                                         const std::vector<bool>& level_ok,
+                                         bool id_ok) const {
+  if (level_ok.size() != levels_.num_levels())
+    throw std::invalid_argument(
+        "encode_masked: level_ok must have one flag per level row");
+  const auto bins = quantize(sample);
+  const std::size_t n = cfg_.window;
+  hdc::IntHV acc(cfg_.dims, 0);
+  if (bins.size() < n) return acc;
+  hdc::BinaryHV window_hv(cfg_.dims);
+  hdc::BinaryHV scratch;
+  const bool bind_ids = cfg_.use_ids && id_ok;
+  hdc::BinaryHV id = bind_ids ? ids_.seed_id() : hdc::BinaryHV();
+  for (std::size_t i = 0; i + n <= bins.size(); ++i) {
+    bool ok = true;
+    for (std::size_t j = 0; j < n && ok; ++j) ok = level_ok[bins[i + j]];
+    if (ok) {
+      window_hv = level_row(levels_, bins[i], scratch);
+      for (std::size_t j = 1; j < n; ++j)
+        window_hv ^= level_row(levels_, bins[i + j], scratch).rotated(j);
+      if (bind_ids) window_hv ^= id;
+      window_hv.accumulate_into(acc);
+    }
+    // Skipped or not, id_i must track the window index i.
+    if (bind_ids) id = id.rotated(1);
+  }
+  return acc;
+}
+
+hdc::BinaryHV GenericEncoder::materialize_id_seed() const {
+  return hdc::SeededItemMemory(cfg_.dims, cfg_.seed ^ 0x6E2E21CULL).seed_id();
+}
+
 // ---------------------------------------------------------------- sym-ngram
 
 SymbolNgramEncoder::SymbolNgramEncoder(const EncoderConfig& cfg)

@@ -76,6 +76,24 @@ class GenericEncoder final : public Encoder {
   std::string_view name() const override { return "generic"; }
   std::size_t memory_footprint_bytes() const override;
 
+  /// Degraded encode around corrupted encoder rows, the encoder-side
+  /// mirror of predict_masked: any window that reads a level row with
+  /// `level_ok[bin] == false` is skipped entirely (its garbage never
+  /// enters the accumulator), and `id_ok == false` drops the id binding —
+  /// reducing to pure subsequence statistics, exactly the use_ids = false
+  /// encoding. The id rotation still advances once per window position so
+  /// surviving windows bind the same id_i the clean encode would.
+  /// `level_ok` must have one flag per level row
+  /// (resilience::EncoderGuard::scan supplies it).
+  hdc::IntHV encode_masked(std::span<const float> sample,
+                           const std::vector<bool>& level_ok,
+                           bool id_ok) const;
+
+  /// The pristine id seed row for this config, regenerated from the seed —
+  /// bit-identical to what the constructor produced, independent of any
+  /// in-place corruption since. The scrub source for the id memory.
+  hdc::BinaryHV materialize_id_seed() const;
+
   const hdc::SeededItemMemory& id_memory() const { return ids_; }
   const hdc::LevelMemory& level_memory() const { return levels_; }
 

@@ -117,10 +117,10 @@ LoadedCheckpoint parse_checkpoint(const std::string& path) {
   return out;
 }
 
-std::optional<std::uint64_t> version_from_name(const std::string& name) {
-  // ckpt-%08llu.gckp — tolerate more digits than 8.
+std::optional<std::uint64_t> version_from_suffixed(const std::string& name,
+                                                   const std::string& suffix) {
+  // ckpt-%08llu<suffix> — tolerate more digits than 8.
   const std::string prefix = "ckpt-";
-  const std::string suffix = ".gckp";
   if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
   if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
   if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
@@ -131,6 +131,14 @@ std::optional<std::uint64_t> version_from_name(const std::string& name) {
     v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
   }
   return v;
+}
+
+std::optional<std::uint64_t> version_from_name(const std::string& name) {
+  return version_from_suffixed(name, ".gckp");
+}
+
+std::optional<std::uint64_t> version_from_quarantined(const std::string& name) {
+  return version_from_suffixed(name, ".gckp.quarantined");
 }
 
 }  // namespace
@@ -198,10 +206,18 @@ std::string CheckpointStore::save(const model::HdcClassifier& model,
 
 void CheckpointStore::prune() {
   std::vector<CheckpointInfo> all = list();
-  if (all.size() <= keep_last_) return;
   for (std::size_t i = 0; i + keep_last_ < all.size(); ++i) {
     fs::remove(all[i].path);
     ++pruned_;
+  }
+  prune_quarantined();
+}
+
+void CheckpointStore::prune_quarantined() {
+  std::vector<CheckpointInfo> all = list_quarantined();
+  for (std::size_t i = 0; i + keep_last_ < all.size(); ++i) {
+    fs::remove(all[i].path);
+    ++pruned_quarantined_;
   }
 }
 
@@ -220,11 +236,29 @@ std::vector<CheckpointInfo> CheckpointStore::list() const {
   return out;
 }
 
+std::vector<CheckpointInfo> CheckpointStore::list_quarantined() const {
+  std::vector<CheckpointInfo> out;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const auto version =
+        version_from_quarantined(entry.path().filename().string());
+    if (!version) continue;
+    out.push_back(CheckpointInfo{*version, entry.path().string()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.version < b.version;
+            });
+  return out;
+}
+
 std::optional<LoadedCheckpoint> CheckpointStore::load_latest() {
   std::vector<CheckpointInfo> all = list();
-  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+  std::optional<LoadedCheckpoint> loaded;
+  bool quarantined_any = false;
+  for (auto it = all.rbegin(); it != all.rend() && !loaded; ++it) {
     try {
-      return parse_checkpoint(it->path);
+      loaded = parse_checkpoint(it->path);
     } catch (const model::UnsupportedVersionError&) {
       // Intact bytes from a newer writer: not our file to read, but not
       // damage either — leave it alone for the newer reader.
@@ -232,9 +266,13 @@ std::optional<LoadedCheckpoint> CheckpointStore::load_latest() {
     } catch (const std::invalid_argument&) {
       fs::rename(it->path, it->path + ".quarantined");
       ++quarantined_;
+      quarantined_any = true;
     }
   }
-  return std::nullopt;
+  // Cap the evidence pile: repeated corrupt boots must not accumulate
+  // .quarantined files without bound.
+  if (quarantined_any) prune_quarantined();
+  return loaded;
 }
 
 }  // namespace generic::lifecycle

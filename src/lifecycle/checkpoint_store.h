@@ -23,6 +23,12 @@
 //    the next-older version. A file that is intact but written by a NEWER
 //    schema (model::UnsupportedVersionError) is skipped WITHOUT quarantine:
 //    the bytes are fine, this reader is just too old for them.
+//  * Quarantined files are kept for post-mortem inspection but capped under
+//    the same keep_last policy as live checkpoints: whenever pruning runs
+//    (after save() and after a load_latest() that quarantined anything),
+//    only the newest keep_last ".gckp.quarantined" files survive — a node
+//    that keeps tripping over corruption must not fill its flash with the
+//    evidence.
 #pragma once
 
 #include <cstdint>
@@ -62,21 +68,27 @@ class CheckpointStore {
   /// ascending version.
   std::vector<CheckpointInfo> list() const;
 
+  /// Quarantined files currently on disk, sorted by ascending version.
+  std::vector<CheckpointInfo> list_quarantined() const;
+
   const std::string& dir() const { return dir_; }
   std::uint64_t saved() const { return saved_; }
   std::uint64_t pruned() const { return pruned_; }
   std::uint64_t quarantined() const { return quarantined_; }
+  std::uint64_t pruned_quarantined() const { return pruned_quarantined_; }
   std::uint64_t skipped_newer() const { return skipped_newer_; }
 
  private:
   std::string path_for(std::uint64_t version) const;
   void prune();
+  void prune_quarantined();
 
   std::string dir_;
   std::size_t keep_last_;
   std::uint64_t saved_ = 0;
   std::uint64_t pruned_ = 0;
   std::uint64_t quarantined_ = 0;
+  std::uint64_t pruned_quarantined_ = 0;
   std::uint64_t skipped_newer_ = 0;
 };
 

@@ -30,6 +30,10 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kCheckpointSave: return "checkpoint_save";
     case EventKind::kFaultInject: return "fault_inject";
     case EventKind::kSloAlert: return "slo_alert";
+    case EventKind::kEncoderFault: return "encoder_fault";
+    case EventKind::kEncoderDetect: return "encoder_detect";
+    case EventKind::kEncoderMask: return "encoder_mask";
+    case EventKind::kEncoderScrub: return "encoder_scrub";
   }
   return "unknown";
 }

@@ -66,9 +66,17 @@ enum class EventKind : std::uint8_t {
                    ///< (detail: burst index)
   kSloAlert,       ///< burn-rate alert edge (detail: milli fast burn;
                    ///< rung field carries fired=1 / cleared=0)
+  kEncoderFault,   ///< burst corrupted encoder item/level memory
+                   ///< (detail: faulty rows incl. id seed)
+  kEncoderDetect,  ///< guard scan flagged corrupted encoder rows
+                   ///< (detail: faulty rows incl. id seed)
+  kEncoderMask,    ///< serving switched to masked encodings
+                   ///< (detail: faulty rows masked around)
+  kEncoderScrub,   ///< corrupted rows rematerialized from seed
+                   ///< (detail: rows scrubbed; rung carries verified=1/0)
 };
 
-inline constexpr std::size_t kNumEventKinds = 19;
+inline constexpr std::size_t kNumEventKinds = 23;
 
 /// Stable short name used in generic.rtrace.v1 ("admit", "enqueue", ...).
 std::string_view event_kind_name(EventKind kind);

@@ -192,6 +192,9 @@ CampaignResult run_encoder_campaign(enc::GenericEncoder& encoder,
   res.degrade = false;
   res.target = target;
   res.samples = samples.size();
+  res.encoder_remat = encoder.level_memory().storage() ==
+                      hdc::ItemStorage::kRematerialized;
+  res.encoder_footprint_bytes = encoder.memory_footprint_bytes();
 
   auto evaluate_encoder = [&] {
     const auto encoded = encoder.encode_batch(samples, pool);
@@ -206,13 +209,18 @@ CampaignResult run_encoder_campaign(enc::GenericEncoder& encoder,
   }
 
   // Commissioned (golden) encoder memory contents, restored after every
-  // trial so faults never accumulate across the sweep.
+  // trial so faults never accumulate across the sweep. A kRematerialized
+  // level memory stores no rows: nothing to snapshot, nothing to corrupt —
+  // its kLevelMemory cells measure exactly that immunity. The id seed row
+  // is stored in both modes, so kIdSeed campaigns bite either way.
   auto& levels = encoder.mutable_level_memory();
   auto& ids = encoder.mutable_id_memory();
   std::vector<hdc::BinaryHV> golden_levels;
-  golden_levels.reserve(levels.num_levels());
-  for (std::size_t l = 0; l < levels.num_levels(); ++l)
-    golden_levels.push_back(levels.level(l));
+  if (!res.encoder_remat) {
+    golden_levels.reserve(levels.num_levels());
+    for (std::size_t l = 0; l < levels.num_levels(); ++l)
+      golden_levels.push_back(levels.level(l));
+  }
   const hdc::BinaryHV golden_seed = ids.seed_id();
 
   for (std::size_t ki = 0; ki < cfg.kinds.size(); ++ki) {
@@ -230,14 +238,16 @@ CampaignResult run_encoder_campaign(enc::GenericEncoder& encoder,
         Rng rng(trial_seed(cfg.seed, ki, ri, t));
         const FaultSpec spec{kind, rate};
         if (target == FaultTarget::kLevelMemory) {
-          for (std::size_t l = 0; l < levels.num_levels(); ++l)
-            inject(levels.mutable_level(l), spec, rng);
+          if (!res.encoder_remat)
+            for (std::size_t l = 0; l < levels.num_levels(); ++l)
+              inject(levels.mutable_level(l), spec, rng);
         } else {
           inject(ids.mutable_seed_id(), spec, rng);
         }
         trials[t].accuracy = evaluate_encoder();
-        for (std::size_t l = 0; l < levels.num_levels(); ++l)
-          levels.mutable_level(l) = golden_levels[l];
+        if (!res.encoder_remat)
+          for (std::size_t l = 0; l < levels.num_levels(); ++l)
+            levels.mutable_level(l) = golden_levels[l];
         ids.mutable_seed_id() = golden_seed;
       }
       res.cells.push_back(aggregate_cell(kind, rate, trials));
@@ -263,6 +273,14 @@ std::string campaign_to_json(const CampaignResult& result) {
   out += fault_target_name(result.target);
   out += "\",\n";
   out += "  \"samples\": " + std::to_string(result.samples) + ",\n";
+  if (result.target != FaultTarget::kClassMemory) {
+    // Encoder-only block, absent from class-memory reports so their
+    // committed goldens keep rendering byte-identically.
+    out += std::string("  \"encoder\": {\"remat\": ") +
+           (result.encoder_remat ? "true" : "false") +
+           ", \"footprint_bytes\": " +
+           std::to_string(result.encoder_footprint_bytes) + "},\n";
+  }
   out += "  \"baseline_accuracy\": ";
   append_double(out, result.baseline_accuracy);
   out += ",\n  \"cells\": [\n";

@@ -93,6 +93,13 @@ struct CampaignResult {
   bool degrade = false;
   FaultTarget target = FaultTarget::kClassMemory;
   std::size_t samples = 0;
+  /// Encoder-campaign gauges (encoder targets only; zero otherwise): the
+  /// storage mode and live item/level payload of the encoder under test.
+  /// A kRematerialized encoder holds ~one seed row, which is also why its
+  /// level-memory cells sit exactly at baseline — there are no stored rows
+  /// for the fault population to bite.
+  bool encoder_remat = false;
+  std::size_t encoder_footprint_bytes = 0;
   double baseline_accuracy = 0.0;  ///< fault-free accuracy of the model
   std::vector<CampaignCell> cells;  ///< kinds x rates, kind-major order
 };

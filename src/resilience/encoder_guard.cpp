@@ -1,0 +1,115 @@
+#include "resilience/encoder_guard.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "model/model_io.h"
+
+namespace generic::resilience {
+namespace {
+
+/// CRC32 over the packed words of one row. Tail bits beyond dims are kept
+/// zero by every BinaryHV operation, so the digest is well defined.
+std::uint32_t row_crc(const hdc::BinaryHV& hv) {
+  const auto words = hv.words();
+  return model::crc32(reinterpret_cast<const std::uint8_t*>(words.data()),
+                      words.size() * sizeof(std::uint64_t));
+}
+
+}  // namespace
+
+std::string_view repair_policy_name(RepairPolicy policy) {
+  switch (policy) {
+    case RepairPolicy::kDetect:
+      return "detect";
+    case RepairPolicy::kMask:
+      return "mask";
+    case RepairPolicy::kScrub:
+      return "scrub";
+  }
+  throw std::invalid_argument("repair_policy_name: unknown policy");
+}
+
+RepairPolicy repair_policy_from_name(std::string_view name) {
+  for (RepairPolicy p :
+       {RepairPolicy::kDetect, RepairPolicy::kMask, RepairPolicy::kScrub})
+    if (name == repair_policy_name(p)) return p;
+  throw std::invalid_argument("unknown repair policy: " + std::string(name));
+}
+
+std::size_t EncoderGuard::ScanResult::num_faulty() const {
+  std::size_t n = id_ok ? 0 : 1;
+  for (bool ok : level_ok)
+    if (!ok) ++n;
+  return n;
+}
+
+EncoderGuard EncoderGuard::commission(const enc::GenericEncoder& encoder,
+                                      bool seed_available) {
+  const auto& levels = encoder.level_memory();
+  EncoderGuard g;
+  g.dims_ = levels.dims();
+  g.num_levels_ = levels.num_levels();
+  g.stored_levels_ = levels.storage() == hdc::ItemStorage::kStored;
+  g.seed_available_ = seed_available;
+  if (g.stored_levels_) {
+    g.level_crcs_.reserve(g.num_levels_);
+    for (std::size_t l = 0; l < g.num_levels_; ++l)
+      g.level_crcs_.push_back(row_crc(levels.level(l)));
+  }
+  g.id_crc_ = row_crc(encoder.id_memory().seed_id());
+  return g;
+}
+
+EncoderGuard::ScanResult EncoderGuard::scan(
+    const enc::GenericEncoder& encoder) const {
+  const auto& levels = encoder.level_memory();
+  if (levels.dims() != dims_ || levels.num_levels() != num_levels_ ||
+      (levels.storage() == hdc::ItemStorage::kStored) != stored_levels_)
+    throw std::invalid_argument("EncoderGuard::scan: geometry mismatch");
+  ScanResult r;
+  // Rematerialized level memories store nothing, so there is nothing a
+  // fault could have landed in — every row scans clean by construction.
+  r.level_ok.assign(num_levels_, true);
+  if (stored_levels_)
+    for (std::size_t l = 0; l < num_levels_; ++l)
+      r.level_ok[l] = row_crc(levels.level(l)) == level_crcs_[l];
+  r.id_ok = row_crc(encoder.id_memory().seed_id()) == id_crc_;
+  return r;
+}
+
+std::size_t EncoderGuard::count_faulty(
+    const enc::GenericEncoder& encoder) const {
+  return scan(encoder).num_faulty();
+}
+
+std::size_t EncoderGuard::scrub(enc::GenericEncoder& encoder) const {
+  if (!seed_available_)
+    throw std::logic_error(
+        "EncoderGuard::scrub: no generation seed available — mask and step "
+        "the dims ladder instead");
+  const ScanResult before = scan(encoder);
+  std::size_t repaired = 0;
+  auto& levels = encoder.mutable_level_memory();
+  for (std::size_t l = 0; l < num_levels_; ++l) {
+    if (before.level_ok[l]) continue;
+    levels.mutable_level(l) = levels.materialize(l);
+    if (row_crc(levels.level(l)) != level_crcs_[l])
+      throw std::runtime_error(
+          "EncoderGuard::scrub: rematerialized level row failed CRC "
+          "verification");
+    ++repaired;
+  }
+  if (!before.id_ok) {
+    encoder.mutable_id_memory().mutable_seed_id() =
+        encoder.materialize_id_seed();
+    if (row_crc(encoder.id_memory().seed_id()) != id_crc_)
+      throw std::runtime_error(
+          "EncoderGuard::scrub: rematerialized id seed failed CRC "
+          "verification");
+    ++repaired;
+  }
+  return repaired;
+}
+
+}  // namespace generic::resilience

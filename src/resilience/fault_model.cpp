@@ -189,4 +189,49 @@ void inject_bank_correlated(model::HdcClassifier& clf,
   // Norms stay stale on purpose, like every class-memory injector.
 }
 
+std::vector<std::size_t> sample_faulty_rows(std::size_t num_rows, double rate,
+                                            Rng& rng) {
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < num_rows; ++r)
+    if (rng.bernoulli(rate)) rows.push_back(r);
+  return rows;
+}
+
+namespace {
+
+/// The shared per-row corruption rule: dead row reads all-zero, per-bit
+/// kinds walk the row in bit order.
+void corrupt_row(hdc::BinaryHV& row, FaultKind kind, double bit_rate,
+                 Rng& rng) {
+  if (kind == FaultKind::kBankCorrelated)
+    throw std::invalid_argument(
+        "inject_encoder_rows: bank-correlated faults target class memory "
+        "only");
+  if (kind == FaultKind::kDeadBlock) {
+    for (std::size_t i = 0; i < row.dims(); ++i) row.set(i, false);
+    return;
+  }
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.rate = bit_rate;
+  inject(row, spec, rng);
+}
+
+}  // namespace
+
+void inject_encoder_rows(hdc::LevelMemory& levels,
+                         const std::vector<std::size_t>& rows, FaultKind kind,
+                         double bit_rate, Rng& rng) {
+  for (std::size_t r : rows) {
+    if (r >= levels.num_levels())
+      throw std::out_of_range("inject_encoder_rows: row index");
+    corrupt_row(levels.mutable_level(r), kind, bit_rate, rng);
+  }
+}
+
+void inject_id_seed(hdc::SeededItemMemory& ids, FaultKind kind,
+                    double bit_rate, Rng& rng) {
+  corrupt_row(ids.mutable_seed_id(), kind, bit_rate, rng);
+}
+
 }  // namespace generic::resilience

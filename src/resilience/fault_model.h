@@ -43,6 +43,7 @@
 
 #include "common/rng.h"
 #include "hdc/hypervector.h"
+#include "hdc/item_memory.h"
 #include "model/hdc_classifier.h"
 
 namespace generic::resilience {
@@ -125,5 +126,31 @@ std::vector<std::size_t> sample_faulty_banks(double rate, Rng& rng);
 void inject_bank_correlated(model::HdcClassifier& clf,
                             const std::vector<std::size_t>& banks,
                             double bit_rate, Rng& rng);
+
+/// The per-row decision for encoder-memory bursts: one Bernoulli(rate) draw
+/// per row, in row order — the encoder-SRAM analogue of
+/// sample_faulty_banks(). Exposed so callers (EncoderGuard tests, the chaos
+/// encoder script) can learn the ground-truth hit set by replaying the same
+/// rng state.
+std::vector<std::size_t> sample_faulty_rows(std::size_t num_rows, double rate,
+                                            Rng& rng);
+
+/// Deterministically corrupt an explicit set of level-memory rows (rows
+/// ascending, bits in order — bit-exact for a fixed rng state). kDeadBlock
+/// models a dead SRAM row: the whole row reads 0. The per-bit kinds flip /
+/// stick each bit of a listed row with probability `bit_rate`. Stored mode
+/// only — a kRematerialized LevelMemory holds no rows to corrupt (that
+/// immunity is the point of PR 7) and mutable_level() throws.
+void inject_encoder_rows(hdc::LevelMemory& levels,
+                         const std::vector<std::size_t>& rows, FaultKind kind,
+                         double bit_rate, Rng& rng);
+
+/// Corrupt the rotating-id seed row of a SeededItemMemory with the same
+/// per-row semantics as inject_encoder_rows(). The seed row is always
+/// stored (it IS the rematerialization source), so this works in both
+/// storage modes — which is why id_seed campaigns still bite a remat
+/// encoder.
+void inject_id_seed(hdc::SeededItemMemory& ids, FaultKind kind,
+                    double bit_rate, Rng& rng);
 
 }  // namespace generic::resilience

@@ -28,13 +28,14 @@ ServeEngine::ServeEngine(const model::HdcClassifier& model,
                          std::span<const hdc::IntHV> queries,
                          std::span<const int> labels, const ServeConfig& cfg,
                          ThreadPool& pool, std::vector<bool> chunk_ok,
-                         ModelLifecycle* lifecycle)
+                         ModelLifecycle* lifecycle, EncoderMemory* encoder)
     : model_(&model),
       queries_(queries),
       labels_(labels),
       cfg_(cfg),
       pool_(pool),
       lifecycle_(lifecycle),
+      encoder_(encoder),
       ingress_(cfg.queue_capacity),
       free_servers_(cfg.servers),
       backoff_(cfg.backoff_base_us, cfg.backoff_jitter),
@@ -138,13 +139,84 @@ void ServeEngine::control_loop() {
     advance_to(item->first.arrival_us);
     // Lifecycle installs happen at arrival boundaries: a deterministic
     // trace point with a deterministic virtual clock, so the swap position
-    // in the served stream is identical for any --threads.
+    // in the served stream is identical for any --threads. Encoder-memory
+    // incidents land at the same points for the same reason.
     poll_lifecycle(std::max(clock_us_, item->first.arrival_us));
+    poll_encoder(std::max(clock_us_, item->first.arrival_us));
     on_arrival(std::move(*item));
   }
   advance_to(~0ull);  // drain every scheduled completion and retry
   poll_lifecycle(clock_us_);
+  poll_encoder(clock_us_);
   for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
+}
+
+void ServeEngine::poll_encoder(std::uint64_t now) {
+  if (encoder_ == nullptr) return;
+  while (auto upd = encoder_->poll(now)) {
+    const std::uint64_t vt = std::max(now, upd->vt);
+    if (!upd->queries.empty()) {
+      if (upd->queries.size() != queries_.size())
+        throw std::invalid_argument(
+            "ServeEngine: swapped-in encoder table size mismatch");
+      // Same invariant as a model swap: flush every deferred batch against
+      // the outgoing query table first, then bump the epoch so flush_rung
+      // can assert no batch straddled the swap.
+      std::size_t deferred = 0;
+      for (const auto& b : batch_) deferred += b.size();
+      rtrace::record(rtrace::EventKind::kSwapFlush, vt, rtrace::kNoRequest,
+                     model_version_,
+                     static_cast<std::uint32_t>(controller_.rung()),
+                     static_cast<std::int64_t>(deferred));
+      for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
+      queries_ = upd->queries;
+      ++model_epoch_;
+    }
+    const auto faulty = static_cast<std::int64_t>(upd->faulty_rows);
+    switch (upd->phase) {
+      case EncoderUpdate::Phase::kCorrupt:
+        GENERIC_COUNTER_ADD("serve.encoder_faults", 1);
+        rtrace::record(rtrace::EventKind::kEncoderFault, vt,
+                       rtrace::kNoRequest, model_version_,
+                       static_cast<std::uint32_t>(controller_.rung()), faulty);
+        break;
+      case EncoderUpdate::Phase::kDetect:
+        rtrace::record(rtrace::EventKind::kEncoderDetect, vt,
+                       rtrace::kNoRequest, model_version_,
+                       static_cast<std::uint32_t>(controller_.rung()), faulty);
+        break;
+      case EncoderUpdate::Phase::kMask:
+        rtrace::record(rtrace::EventKind::kEncoderDetect, vt,
+                       rtrace::kNoRequest, model_version_,
+                       static_cast<std::uint32_t>(controller_.rung()), faulty);
+        rtrace::record(rtrace::EventKind::kEncoderMask, vt,
+                       rtrace::kNoRequest, model_version_,
+                       static_cast<std::uint32_t>(controller_.rung()), faulty);
+        break;
+      case EncoderUpdate::Phase::kScrub:
+        GENERIC_COUNTER_ADD("serve.encoder_scrubs", 1);
+        rtrace::record(rtrace::EventKind::kEncoderScrub, vt,
+                       rtrace::kNoRequest, model_version_,
+                       upd->scrub_verified ? 1u : 0u,
+                       static_cast<std::int64_t>(upd->scrubbed_rows));
+        report_.scrubbed_rows += upd->scrubbed_rows;
+        break;
+    }
+    EncoderFaultEvent ev;
+    ev.vt = vt;
+    ev.phase = upd->phase;
+    ev.faulty_rows = upd->faulty_rows;
+    ev.id_seed_faulty = upd->id_seed_faulty;
+    ev.scrubbed_rows = upd->scrubbed_rows;
+    ev.scrub_verified = upd->scrub_verified;
+    if (upd->step_ladder && controller_.force_step_down()) {
+      ev.stepped_ladder = true;
+      rtrace::record(rtrace::EventKind::kDegradeStep, vt, rtrace::kNoRequest,
+                     model_version_,
+                     static_cast<std::uint32_t>(controller_.rung()), 1);
+    }
+    report_.encoder_faults.push_back(ev);
+  }
 }
 
 void ServeEngine::poll_lifecycle(std::uint64_t now) {
@@ -623,7 +695,27 @@ std::string serve_report_to_json(const ServeReport& rep) {
     out += "}";
   }
   out += rep.versions.empty() ? "]" : "\n    ]";
-  out += "\n  }\n";
+  out += "\n  },\n";
+
+  out += "  \"encoder_faults\": [";
+  for (std::size_t i = 0; i < rep.encoder_faults.size(); ++i) {
+    const EncoderFaultEvent& e = rep.encoder_faults[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"vt_us\": " + std::to_string(e.vt);
+    out += ", \"phase\": \"";
+    out += encoder_phase_name(e.phase);
+    out += "\", \"faulty_rows\": " + std::to_string(e.faulty_rows);
+    out += ", \"id_seed_faulty\": ";
+    out += e.id_seed_faulty ? "true" : "false";
+    out += ", \"scrubbed_rows\": " + std::to_string(e.scrubbed_rows);
+    out += ", \"scrub_verified\": ";
+    out += e.scrub_verified ? "true" : "false";
+    out += ", \"stepped_ladder\": ";
+    out += e.stepped_ladder ? "true" : "false";
+    out += "}";
+  }
+  out += rep.encoder_faults.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"scrubbed_rows\": " + std::to_string(rep.scrubbed_rows) + "\n";
   out += "}\n";
   return out;
 }

@@ -45,6 +45,7 @@
 #include "obs/obs.h"
 #include "serve/bounded_queue.h"
 #include "serve/burn_monitor.h"
+#include "serve/encoder_hook.h"
 #include "serve/lifecycle_hook.h"
 #include "serve/policy.h"
 #include "serve/types.h"
@@ -74,6 +75,18 @@ struct VersionStats {
   std::uint64_t correct = 0;
 };
 
+/// One encoder-memory incident phase on the virtual timeline, as applied
+/// by the control thread (the report-side mirror of EncoderUpdate).
+struct EncoderFaultEvent {
+  std::uint64_t vt = 0;
+  EncoderUpdate::Phase phase = EncoderUpdate::Phase::kDetect;
+  std::size_t faulty_rows = 0;    ///< rows flagged faulty (incl. id seed)
+  bool id_seed_faulty = false;
+  std::size_t scrubbed_rows = 0;  ///< rows rematerialized (scrub phases)
+  bool scrub_verified = false;    ///< scrubbed rows passed CRC verification
+  bool stepped_ladder = false;    ///< forced one rung down on apply
+};
+
 /// Everything generic.serve.v1 reports. Deliberately free of wall-clock and
 /// thread-count fields: equal inputs render to equal bytes.
 struct ServeReport {
@@ -94,6 +107,9 @@ struct ServeReport {
   std::vector<SwapEvent> swaps;        ///< hot-swaps/rollbacks, virtual order
   std::vector<VersionStats> versions;  ///< per-model-version tallies
   std::vector<BurnAlert> slo_alerts;   ///< burn-rate alert edges, virtual order
+  std::vector<EncoderFaultEvent> encoder_faults;  ///< encoder incidents,
+                                                  ///< virtual order
+  std::uint64_t scrubbed_rows = 0;     ///< encoder rows rematerialized, total
 };
 
 /// Render as schema `generic.serve.v1`: fixed field order, "%.9g" doubles.
@@ -114,11 +130,17 @@ class ServeEngine {
   /// ServedObservation per served request and is polled for validated model
   /// updates at deterministic virtual-time points; see lifecycle_hook.h.
   /// Installed models must match the initial model's geometry exactly.
+  ///
+  /// `encoder` (optional, not owned, must outlive the engine) is polled at
+  /// the same virtual-time points for encoder-memory incidents; a delivered
+  /// update may swap the serving query table (corrupt / masked / scrubbed
+  /// re-encodings of the same query set; see encoder_hook.h).
   ServeEngine(const model::HdcClassifier& model,
               std::span<const hdc::IntHV> queries, std::span<const int> labels,
               const ServeConfig& cfg, ThreadPool& pool,
               std::vector<bool> chunk_ok = {},
-              ModelLifecycle* lifecycle = nullptr);
+              ModelLifecycle* lifecycle = nullptr,
+              EncoderMemory* encoder = nullptr);
   ~ServeEngine();
 
   ServeEngine(const ServeEngine&) = delete;
@@ -176,6 +198,7 @@ class ServeEngine {
   void feed_controller(std::uint64_t now, std::uint64_t latency_us);
   void feed_burn(std::uint64_t vt, bool good);
   void poll_lifecycle(std::uint64_t now);
+  void poll_encoder(std::uint64_t now);
 
   /// Current serving model. Starts at the constructor-provided reference;
   /// after a hot-swap it points into owned_model_ (the engine co-owns every
@@ -187,6 +210,7 @@ class ServeEngine {
   ServeConfig cfg_;
   ThreadPool& pool_;
   ModelLifecycle* lifecycle_ = nullptr;
+  EncoderMemory* encoder_ = nullptr;
 
   std::vector<std::size_t> ladder_;
   /// Per rung: combined chunk mask (ok AND inside the rung prefix) plus the

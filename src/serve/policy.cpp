@@ -83,4 +83,12 @@ void DegradeController::on_completion(std::uint64_t latency_us,
   }
 }
 
+bool DegradeController::force_step_down() {
+  if (rung_ + 1 >= ladder_.size()) return false;
+  ++rung_;
+  ++steps_down_;
+  since_change_ = 0;
+  return true;
+}
+
 }  // namespace generic::serve

@@ -61,6 +61,13 @@ class DegradeController {
   /// moment of the decision; may move the rung.
   void on_completion(std::uint64_t latency_us, std::size_t queue_depth);
 
+  /// Step one rung down regardless of EWMA or cooldown — the graceful
+  /// degradation override for events latency cannot see (an encoder that
+  /// must serve masked encodings with no seed to scrub from). Resets the
+  /// cooldown so the latency path does not immediately re-step. Returns
+  /// false when already at the bottom rung.
+  bool force_step_down();
+
   std::uint64_t steps_down() const { return steps_down_; }
   std::uint64_t steps_up() const { return steps_up_; }
   double ewma_us() const { return ewma_us_; }

@@ -127,6 +127,26 @@ TEST(LifecycleCheckpointStore, CorruptNewestIsQuarantinedOlderLoads) {
   EXPECT_EQ(all[0].version, 1u);
 }
 
+TEST(LifecycleCheckpointStore, QuarantinedFilesAreCappedAtKeepLast) {
+  // Repeated corrupt boots must not grow the evidence pile without bound:
+  // .quarantined files obey the same keep-last budget as live checkpoints.
+  CheckpointStore store(fresh_dir("qcap"), 2);
+  for (std::uint64_t v = 1; v <= 5; ++v) {
+    const std::string p = store.save(make_model(v), v, v * 100);
+    auto buf = slurp(p);
+    buf[buf.size() / 2] ^= 0x40;
+    spit(p, buf);
+    EXPECT_FALSE(store.load_latest().has_value()) << v;
+  }
+  EXPECT_EQ(store.quarantined(), 5u);
+  const auto q = store.list_quarantined();
+  ASSERT_EQ(q.size(), 2u) << "cap at keep_last";
+  EXPECT_EQ(q[0].version, 4u);
+  EXPECT_EQ(q[1].version, 5u);
+  EXPECT_EQ(store.pruned_quarantined(), 3u);
+  for (const auto& info : q) EXPECT_TRUE(fs::exists(info.path));
+}
+
 TEST(LifecycleCheckpointStore, NewerFormatIsSkippedWithoutQuarantine) {
   CheckpointStore store(fresh_dir("newer"), 4);
   store.save(make_model(1), 1, 100);

@@ -267,6 +267,68 @@ TEST(EncoderCampaign, JsonCarriesTargetField) {
   EXPECT_NE(cjson.find("\"target\": \"class_memory\""), std::string::npos);
 }
 
+TEST(EncoderCampaign, RematLevelMemoryIsImmuneToLevelFaults) {
+  // A kRematerialized level memory stores no rows, so a level-memory sweep
+  // cannot bite: every cell sits exactly at baseline — the campaign-shaped
+  // proof of the PR 7 immunity claim — and the report's footprint gauge
+  // shows the storage the immunity costs nothing to give up.
+  enc::EncoderConfig ecfg;
+  ecfg.dims = 1024;
+  ecfg.remat = true;
+  enc::GenericEncoder remat(ecfg);
+  remat.fit(rig().ds.train_x);
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kStuckAt1};
+  cfg.rates = {0.5};  // saturating on a stored encoder (see HighRate test)
+  cfg.trials = 2;
+  cfg.seed = 7;
+  const auto res =
+      run_encoder_campaign(remat, rig().clf, rig().ds.test_x, rig().ds.test_y,
+                           cfg, FaultTarget::kLevelMemory);
+  EXPECT_TRUE(res.encoder_remat);
+  EXPECT_LT(res.encoder_footprint_bytes,
+            rig().encoder->memory_footprint_bytes());
+  for (const auto& cell : res.cells) {
+    EXPECT_DOUBLE_EQ(cell.mean_accuracy, res.baseline_accuracy);
+    EXPECT_DOUBLE_EQ(cell.stddev_accuracy, 0.0);
+  }
+  const auto json = campaign_to_json(res);
+  EXPECT_NE(json.find("\"encoder\": {\"remat\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"footprint_bytes\": "), std::string::npos);
+}
+
+TEST(EncoderCampaign, RematIdSeedStillBites) {
+  // The seed row is stored in both modes (it IS the remat source), so an
+  // id_seed campaign must still damage accuracy on a remat encoder.
+  enc::EncoderConfig ecfg;
+  ecfg.dims = 1024;
+  ecfg.remat = true;
+  enc::GenericEncoder remat(ecfg);
+  remat.fit(rig().ds.train_x);
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kStuckAt1};
+  cfg.rates = {0.5};
+  cfg.trials = 2;
+  cfg.seed = 7;
+  const auto res =
+      run_encoder_campaign(remat, rig().clf, rig().ds.test_x, rig().ds.test_y,
+                           cfg, FaultTarget::kIdSeed);
+  EXPECT_TRUE(res.encoder_remat);
+  EXPECT_LT(res.cells[0].mean_accuracy, res.baseline_accuracy);
+}
+
+TEST(EncoderCampaign, ClassMemoryJsonOmitsEncoderBlock) {
+  // The encoder gauges must not leak into class-memory reports: their
+  // committed goldens (fault_campaign_page.json) predate the block.
+  CampaignConfig cfg;
+  cfg.kinds = {FaultKind::kTransient};
+  cfg.rates = {0.0};
+  cfg.trials = 1;
+  const auto json = campaign_to_json(
+      run_campaign(rig().clf, rig().test, rig().ds.test_y, cfg));
+  EXPECT_EQ(json.find("\"encoder\""), std::string::npos);
+}
+
 TEST(EncoderCampaign, RejectsUnsupportedModes) {
   auto cfg = encoder_cfg();
   EXPECT_THROW(

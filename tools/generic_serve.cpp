@@ -6,6 +6,9 @@
 //                 [--max-attempts=3] [--min-dims=512]
 //                 [--service-base-us=900] [--fault-rate=P]
 //                 [--fault-bit-rate=P] [--dead-chunks=K] [--seed=S]
+//                 [--encoder-fault-rate=P] [--encoder-fault-bit-rate=P]
+//                 [--encoder-fault-at-us=T] [--scrub-every-us=T]
+//                 [--encoder-repair=detect|mask|scrub]
 //                 [--threads=N] [--checkpoint-dir=DIR] [--out=serve.json]
 //                 [--trace=out.json] [--metrics=out.json]
 //                 [--metrics-every=SECONDS] [--rtrace=out.json]
@@ -35,6 +38,17 @@
 // that verifies (corrupt files are quarantined and the walk falls back to
 // the next-older version), skipping the training phase entirely; a cold
 // store trains as usual and saves the fresh model for the next boot.
+//
+// --encoder-fault-rate > 0 schedules one encoder-memory burst at
+// --encoder-fault-at-us: each level row (and the rotating id seed) is hit
+// with that probability and corrupted at --encoder-fault-bit-rate per bit.
+// Both timing flags default to 0 = auto-placed against the expected
+// makespan, so the whole corrupt -> mask -> scrub arc fits in the run.
+// The EncoderGuard scans on the --scrub-every-us virtual tick and repairs
+// per --encoder-repair: "detect" reports and serves through the damage,
+// "mask" re-encodes around the corrupted rows, "scrub" masks one tick and
+// then rematerializes the rows from their seeds (CRC-verified, the
+// docs/resilience.md self-healing path).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -43,6 +57,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "chaos/encoder_chaos.h"
 #include "common/thread_pool.h"
 #include "data/benchmarks.h"
 #include "encoding/encoders.h"
@@ -50,6 +65,7 @@
 #include "model/pipeline.h"
 #include "obs/export.h"
 #include "obs/rtrace.h"
+#include "resilience/encoder_guard.h"
 #include "resilience/fault_model.h"
 #include "serve/engine.h"
 
@@ -79,6 +95,25 @@ int main(int argc, char** argv) {
   cfg.seed = flags.size("--seed", cfg.seed);
 
   const std::size_t dead_chunks = flags.size("--dead-chunks", 0);
+  const double enc_fault_rate = flags.real("--encoder-fault-rate", 0.0);
+  const double enc_fault_bit_rate =
+      flags.real("--encoder-fault-bit-rate", 0.25);
+  // 0 = auto-place against the expected makespan (requests / rate): the
+  // burst lands ~2/5 in and the scrub period is ~1/5, so every phase of
+  // the incident fits inside the run at any --requests/--rate sizing.
+  const std::size_t horizon_us = requests * 1'000'000 / rate_rps;
+  std::size_t enc_fault_at = flags.size("--encoder-fault-at-us", 0);
+  if (enc_fault_at == 0) enc_fault_at = std::max<std::size_t>(1, horizon_us * 2 / 5);
+  std::size_t scrub_every = flags.size("--scrub-every-us", 0);
+  if (scrub_every == 0) scrub_every = std::max<std::size_t>(1, horizon_us / 5);
+  const std::string repair_name = flags.value("--encoder-repair", "scrub");
+  resilience::RepairPolicy encoder_repair = resilience::RepairPolicy::kScrub;
+  try {
+    encoder_repair = resilience::repair_policy_from_name(repair_name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--encoder-repair: %s\n", e.what());
+    return 2;
+  }
   const std::size_t threads = flags.threads();
   const std::string ckpt_dir = flags.value("--checkpoint-dir", "");
   const std::string out_path = flags.value("--out", "");
@@ -168,7 +203,28 @@ int main(int argc, char** argv) {
     resilience::inject_dead_blocks(clf, dead);
   }
 
-  serve::ServeEngine engine(clf, test, ds.test_y, cfg, pool, chunk_ok);
+  // Optional encoder-memory incident: one scheduled burst, detected and
+  // repaired on the scrub tick per --encoder-repair (chaos/encoder_chaos.h
+  // precomputes the whole corrupt -> mask -> scrub timeline up front).
+  std::unique_ptr<serve::ScriptedEncoderFaults> encoder_hook;
+  if (enc_fault_rate > 0.0) {
+    chaos::EncoderIncidentSpec espec;
+    chaos::FaultBurst burst;
+    burst.vt_us = enc_fault_at;
+    burst.fault.kind = resilience::FaultKind::kTransient;
+    burst.fault.rate = enc_fault_rate;
+    burst.fault.burst_rate = enc_fault_bit_rate;
+    espec.bursts.push_back(burst);
+    espec.scrub_every_us = scrub_every;
+    espec.policy = encoder_repair;
+    espec.seed = cfg.seed ^ 0xE2C0DE5ULL;
+    encoder_hook = std::make_unique<serve::ScriptedEncoderFaults>(
+        chaos::script_encoder_incident(encoder, ds.test_x, test, espec,
+                                       pool));
+  }
+
+  serve::ServeEngine engine(clf, test, ds.test_y, cfg, pool, chunk_ok,
+                            nullptr, encoder_hook.get());
 
   // Seeded open-loop Poisson load: exponential inter-arrival gaps on the
   // virtual clock, query drawn uniformly from the test set.
@@ -243,6 +299,17 @@ int main(int argc, char** argv) {
                 r.served == 0 ? 0.0
                               : static_cast<double>(r.correct) /
                                     static_cast<double>(r.served));
+  if (!report.encoder_faults.empty()) {
+    std::printf("encoder incident (%llu rows scrubbed total):\n",
+                static_cast<unsigned long long>(report.scrubbed_rows));
+    for (const auto& e : report.encoder_faults)
+      std::printf("  vt=%-8llu %-7s faulty=%zu%s scrubbed=%zu%s%s\n",
+                  static_cast<unsigned long long>(e.vt),
+                  std::string(serve::encoder_phase_name(e.phase)).c_str(),
+                  e.faulty_rows, e.id_seed_faulty ? " (incl id seed)" : "",
+                  e.scrubbed_rows, e.scrub_verified ? " verified" : "",
+                  e.stepped_ladder ? " [ladder stepped]" : "");
+  }
 
   obs_session.set_pool_stats(pool.stats());
   if (!out_path.empty()) {
