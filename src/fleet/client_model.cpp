@@ -1,0 +1,79 @@
+#include "fleet/client_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace generic::fleet {
+
+namespace {
+
+/// Client stream seed: golden-ratio mix of (fleet seed, tenant, client) so
+/// every client draws an independent stream whose identity is stable under
+/// topology edits to OTHER tenants.
+std::uint64_t client_seed(std::uint64_t seed, std::uint16_t tenant,
+                          std::uint16_t client) {
+  std::uint64_t s = seed;
+  s ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(tenant) + 1);
+  s ^= 0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(client) + 1);
+  return s;
+}
+
+}  // namespace
+
+ClientModel::ClientModel(const FleetConfig& cfg, std::uint16_t tenant,
+                         std::uint16_t client,
+                         std::vector<std::uint32_t> model_queries)
+    : tenant_(tenant),
+      client_(client),
+      priority_(cfg.tenants.at(tenant).priority),
+      model_pin_(cfg.tenants.at(tenant).model_pin),
+      think_mean_us_(cfg.tenants.at(tenant).think_mean_us),
+      remaining_(cfg.tenants.at(tenant).requests_per_client),
+      num_models_(cfg.models.size()),
+      model_queries_(std::move(model_queries)),
+      rng_(client_seed(cfg.seed, tenant, client)) {
+  if (model_queries_.size() != num_models_)
+    throw std::invalid_argument("ClientModel: model_queries size mismatch");
+  model_deadline_us_.reserve(num_models_);
+  for (const ModelSpec& m : cfg.models)
+    model_deadline_us_.push_back(m.serve.deadline_us);
+}
+
+std::uint64_t ClientModel::think() {
+  // Exponential think time, same draw shape as the serve tool's Poisson
+  // trace: -ln(1-u) * mean, floored at 1us so time always advances.
+  const double u = rng_.uniform();
+  const double t = -std::log(1.0 - u) * static_cast<double>(think_mean_us_);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(t));
+}
+
+Send ClientModel::make_send(std::uint64_t send_us) {
+  // Frozen draw order: model choice, then query choice. model_pin skips
+  // the model draw entirely (it must not perturb the query stream of a
+  // pinned tenant when other tenants change).
+  Send s;
+  s.send_us = send_us;
+  s.tenant = tenant_;
+  s.client = client_;
+  s.model = model_pin_ >= 0
+                ? static_cast<std::uint16_t>(model_pin_)
+                : static_cast<std::uint16_t>(rng_.below(num_models_));
+  s.query = static_cast<std::uint32_t>(rng_.below(model_queries_[s.model]));
+  s.deadline_rel_us = model_deadline_us_[s.model];
+  s.id = next_id_++;
+  return s;
+}
+
+std::optional<Send> ClientModel::start() {
+  if (remaining_ == 0) return std::nullopt;
+  --remaining_;
+  return make_send(think());  // staggered start: one think before first send
+}
+
+std::optional<Send> ClientModel::on_response(const FleetResponse& resp) {
+  if (remaining_ == 0) return std::nullopt;
+  --remaining_;
+  return make_send(resp.finish_us + think());
+}
+
+}  // namespace generic::fleet

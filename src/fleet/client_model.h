@@ -1,0 +1,54 @@
+// Deterministic closed-loop client trace model (docs/fleet.md).
+//
+// Each ClientModel is one tenant's client in the closed loop: it keeps at
+// most ONE request outstanding, and produces its next send a think time
+// after the previous response's virtual finish. Every draw (first think,
+// per-request model choice, query choice, think times) comes from a per-
+// client Rng seeded from (fleet seed, tenant, client) with a FROZEN draw
+// order — so the same config produces the same trace whether the client
+// runs inside the simulator or inside a real generic_fleet_client process
+// talking over a socket. That shared trace is the determinism contract
+// that lets CI compare the two ingress paths byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "fleet/types.h"
+
+namespace generic::fleet {
+
+class ClientModel {
+ public:
+  /// `model_queries[m]` is model m's servable query-set size (the HELLO_ACK
+  /// payload on the socket path).
+  ClientModel(const FleetConfig& cfg, std::uint16_t tenant,
+              std::uint16_t client, std::vector<std::uint32_t> model_queries);
+
+  /// The client's first send (nullopt when requests_per_client == 0).
+  std::optional<Send> start();
+
+  /// Deliver the response of the outstanding request; returns the next
+  /// send, or nullopt when this client is done.
+  std::optional<Send> on_response(const FleetResponse& resp);
+
+ private:
+  Send make_send(std::uint64_t send_us);
+  std::uint64_t think();
+
+  std::uint16_t tenant_;
+  std::uint16_t client_;
+  PriorityClass priority_;
+  int model_pin_;
+  std::uint64_t think_mean_us_;
+  std::size_t remaining_;
+  std::size_t num_models_;
+  std::vector<std::uint32_t> model_queries_;
+  std::vector<std::uint64_t> model_deadline_us_;
+  std::uint64_t next_id_ = 0;
+  Rng rng_;
+};
+
+}  // namespace generic::fleet

@@ -1,0 +1,465 @@
+#include "fleet/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "data/drift.h"
+#include "encoding/encoders.h"
+#include "model/pipeline.h"
+#include "obs/rtrace.h"
+
+namespace generic::fleet {
+
+namespace rtrace = obs::rtrace;
+
+std::string_view priority_name(PriorityClass p) {
+  switch (p) {
+    case PriorityClass::kCritical: return "critical";
+    case PriorityClass::kStandard: return "standard";
+    case PriorityClass::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+std::string_view fleet_status_name(FleetStatus s) {
+  switch (s) {
+    case FleetStatus::kOk: return "ok";
+    case FleetStatus::kRetried: return "retried";
+    case FleetStatus::kDegraded: return "degraded";
+    case FleetStatus::kShed: return "shed";
+    case FleetStatus::kTimeout: return "timeout";
+    case FleetStatus::kFailed: return "failed";
+    case FleetStatus::kQuotaRejected: return "quota_rejected";
+    case FleetStatus::kPriorityShed: return "priority_shed";
+  }
+  return "unknown";
+}
+
+FleetConfig default_fleet_config(bool quick) {
+  FleetConfig cfg;
+  cfg.seed = 0xF1EE7;
+
+  // Three models with distinct shapes: a small fast one, a mid one, and a
+  // wider, slower one — enough contrast that routing and per-model ladders
+  // tell different stories in the report.
+  const struct {
+    const char* id;
+    std::size_t dims, classes, features;
+    std::uint64_t service_base_us;
+    std::size_t servers;
+    std::uint64_t world_seed;
+  } kModels[] = {
+      {"face", 1024, 4, 48, 700, 2, 0xFACE01},
+      {"digits", 2048, 10, 64, 900, 2, 0xD16175},
+      {"pages", 1536, 5, 56, 800, 1, 0x9A6E5},
+  };
+  for (const auto& m : kModels) {
+    ModelSpec spec;
+    spec.id = m.id;
+    spec.dims = quick ? m.dims / 2 : m.dims;
+    spec.classes = m.classes;
+    spec.features = m.features;
+    spec.train_samples = quick ? 400 : 900;
+    spec.queries = quick ? 160 : 320;
+    spec.epochs = quick ? 3 : 6;
+    spec.world_seed = m.world_seed;
+    spec.serve.model_id = m.id;
+    spec.serve.servers = m.servers;
+    spec.serve.service_base_us = m.service_base_us;
+    spec.serve.seed = cfg.seed ^ m.world_seed;
+    spec.serve.min_dims = spec.dims >= 1024 ? 512 : 256;
+    cfg.models.push_back(std::move(spec));
+  }
+
+  // Three tenants spanning the priority ladder. gold is critical and
+  // modest; silver is the bulk; bronze is batch traffic that sheds first.
+  TenantSpec gold;
+  gold.name = "gold";
+  gold.priority = PriorityClass::kCritical;
+  gold.quota_rps = 1500;
+  gold.quota_burst = 8;
+  gold.clients = 2;
+  gold.think_mean_us = 2500;
+  gold.requests_per_client = quick ? 40 : 120;
+
+  TenantSpec silver;
+  silver.name = "silver";
+  silver.priority = PriorityClass::kStandard;
+  silver.quota_rps = 2500;
+  silver.quota_burst = 12;
+  silver.clients = 4;
+  silver.think_mean_us = 1800;
+  silver.requests_per_client = quick ? 40 : 120;
+
+  TenantSpec bronze;
+  bronze.name = "bronze";
+  bronze.priority = PriorityClass::kBatch;
+  bronze.quota_rps = 1200;
+  bronze.quota_burst = 6;
+  bronze.clients = 3;
+  bronze.think_mean_us = 1200;
+  bronze.requests_per_client = quick ? 40 : 120;
+
+  cfg.tenants = {gold, silver, bronze};
+  return cfg;
+}
+
+ModelWorld build_world(const ModelSpec& spec, ThreadPool& pool) {
+  data::DriftStreamSpec dspec;
+  dspec.classes = spec.classes;
+  dspec.features = spec.features;
+  dspec.seed = spec.world_seed;
+  data::DriftStream stream(dspec);
+  const auto ds = stream.make_dataset(spec.train_samples, spec.queries, false);
+
+  enc::EncoderConfig ecfg;
+  ecfg.dims = spec.dims;
+  ecfg.seed = spec.world_seed ^ 0xE2C0DE;
+  enc::GenericEncoder encoder(ecfg);
+  encoder.fit(ds.train_x);
+
+  ModelWorld world;
+  const auto train = model::encode_all(encoder, ds.train_x, pool);
+  world.classifier =
+      std::make_shared<model::HdcClassifier>(spec.dims, spec.classes);
+  world.classifier->fit_parallel(train, ds.train_y, spec.epochs, pool);
+  world.queries = model::encode_all(encoder, ds.test_x, pool);
+  world.labels = ds.test_y;
+  return world;
+}
+
+FleetEngine::FleetEngine(const FleetConfig& cfg, std::vector<ModelWorld> worlds,
+                         ThreadPool& pool)
+    : cfg_(cfg), worlds_(std::move(worlds)), burn_(serve::ServeConfig{}) {
+  if (cfg_.models.empty()) throw std::invalid_argument("FleetEngine: no models");
+  if (cfg_.tenants.empty())
+    throw std::invalid_argument("FleetEngine: no tenants");
+  if (worlds_.size() != cfg_.models.size())
+    throw std::invalid_argument("FleetEngine: worlds/models size mismatch");
+
+  engines_.reserve(cfg_.models.size());
+  for (std::size_t m = 0; m < cfg_.models.size(); ++m) {
+    const ModelWorld& w = worlds_[m];
+    serve::ServeConfig scfg = cfg_.models[m].serve;
+    if (scfg.model_id.empty()) scfg.model_id = cfg_.models[m].id;
+    engines_.push_back(std::make_unique<serve::ServeEngine>(
+        *w.classifier, w.queries, w.labels, scfg, pool));
+    Model st;
+    // Backlog cost estimate: mean full-dims service time spread over the
+    // model's virtual lanes. An ESTIMATOR for shedding, not the engine's
+    // actual (jittered, rung-dependent) cost — but a deterministic one.
+    st.cost_us = std::max<std::uint64_t>(
+        1, scfg.service_base_us / std::max<std::size_t>(1, scfg.servers));
+    models_.push_back(st);
+  }
+  next_event_.assign(engines_.size(), serve::ServeEngine::kNoEvent);
+
+  tenants_.reserve(cfg_.tenants.size());
+  for (const TenantSpec& t : cfg_.tenants) {
+    Tenant st;
+    st.quota_rps = t.quota_rps;
+    st.cap_micro = t.quota_burst * 1000000ull;
+    st.tokens_micro = st.cap_micro;  // full bucket at t = 0
+    st.priority = t.priority;
+    tenants_.push_back(st);
+  }
+  tenant_tally_ = std::vector<Tally>(cfg_.tenants.size());
+  model_tally_ = std::vector<Tally>(cfg_.models.size());
+}
+
+std::optional<serve::ResponseFuture> FleetEngine::route(const Send& s,
+                                                        FleetResponse& rej) {
+  if (s.tenant >= tenants_.size())
+    throw std::invalid_argument("FleetEngine: tenant out of range");
+  if (s.model >= engines_.size())
+    throw std::invalid_argument("FleetEngine: model out of range");
+  Tenant& t = tenants_[s.tenant];
+  Model& m = models_[s.model];
+  const std::uint32_t prio = static_cast<std::uint32_t>(t.priority);
+  ++report_.requests;
+  ++tenant_tally_[s.tenant].requests;
+  ++model_tally_[s.model].requests;
+
+  // Gate 1: tenant token bucket (integer micro-tokens).
+  const std::uint64_t delta_us = s.send_us - t.last_refill_us;
+  t.last_refill_us = s.send_us;
+  t.tokens_micro = std::min(t.cap_micro, t.tokens_micro + delta_us * t.quota_rps);
+  if (t.tokens_micro < 1000000ull) {
+    rej = FleetResponse{};
+    rej.id = s.id;
+    rej.status = FleetStatus::kQuotaRejected;
+    rej.finish_us = s.send_us;
+    rtrace::record(rtrace::EventKind::kFleetQuota, s.send_us, s.id, 0, prio,
+                   static_cast<std::int64_t>(s.tenant));
+    tally(tenant_tally_[s.tenant], rej.status, false, false, 0);
+    tally(model_tally_[s.model], rej.status, false, false, 0);
+    ++report_.statuses[static_cast<std::size_t>(rej.status)];
+    if (auto a = burn_.observe(s.send_us, false)) report_.slo_alerts.push_back(*a);
+    return std::nullopt;
+  }
+
+  // Gate 2: weighted shedding on the projected model backlog.
+  const std::uint64_t backlog_start = std::max(m.busy_until_us, s.send_us);
+  const std::uint64_t projected_delay = backlog_start - s.send_us;
+  if (projected_delay > cfg_.shed_budget_us[prio]) {
+    rej = FleetResponse{};
+    rej.id = s.id;
+    rej.status = FleetStatus::kPriorityShed;
+    rej.finish_us = s.send_us;
+    rtrace::record(rtrace::EventKind::kFleetShed, s.send_us, s.id, 0, prio,
+                   static_cast<std::int64_t>(s.model));
+    tally(tenant_tally_[s.tenant], rej.status, false, false, 0);
+    tally(model_tally_[s.model], rej.status, false, false, 0);
+    ++report_.statuses[static_cast<std::size_t>(rej.status)];
+    if (auto a = burn_.observe(s.send_us, false)) report_.slo_alerts.push_back(*a);
+    return std::nullopt;
+  }
+
+  // Gate 3: admit into the model engine.
+  t.tokens_micro -= 1000000ull;
+  m.busy_until_us = backlog_start + m.cost_us;
+  rtrace::record(rtrace::EventKind::kFleetRoute, s.send_us, s.id, 0, prio,
+                 static_cast<std::int64_t>(s.model));
+  serve::Request req;
+  req.id = next_engine_id_++;
+  req.arrival_us = s.send_us;
+  req.deadline_us = s.send_us + s.deadline_rel_us;
+  req.query = s.query;
+  return engines_[s.model]->submit(req);
+}
+
+FleetResponse FleetEngine::complete(const Send& s, const serve::Response& r) {
+  FleetResponse resp;
+  resp.id = s.id;
+  resp.status = static_cast<FleetStatus>(r.outcome);
+  resp.predicted = r.predicted;
+  resp.margin_micro = static_cast<std::int64_t>(std::llround(r.margin * 1e6));
+  resp.dims_used = static_cast<std::uint32_t>(r.dims_used);
+  resp.attempts = r.attempts;
+  resp.finish_us = r.finish_us;
+  resp.latency_us = r.latency_us;
+  resp.version = r.version;
+  resp.rung = r.rung;
+
+  const bool served = r.outcome == serve::Outcome::kOk ||
+                      r.outcome == serve::Outcome::kRetried ||
+                      r.outcome == serve::Outcome::kDegraded;
+  const bool correct =
+      served && r.predicted == worlds_[s.model].labels[s.query];
+  tally(tenant_tally_[s.tenant], resp.status, served, correct, r.latency_us);
+  tally(model_tally_[s.model], resp.status, served, correct, r.latency_us);
+  ++report_.statuses[static_cast<std::size_t>(resp.status)];
+  report_.makespan_us = std::max(report_.makespan_us, r.finish_us);
+
+  // Fleet-level burn: good == served within the model's latency SLO.
+  const bool good =
+      served && r.latency_us <= cfg_.models[s.model].serve.slo_us;
+  if (auto a = burn_.observe(r.finish_us, good))
+    report_.slo_alerts.push_back(*a);
+  return resp;
+}
+
+void FleetEngine::tick_model(std::size_t m, std::uint64_t vt) {
+  next_event_[m] = engines_[m]->tick(vt);
+}
+
+std::vector<std::uint32_t> FleetEngine::model_queries() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(worlds_.size());
+  for (const ModelWorld& w : worlds_)
+    out.push_back(static_cast<std::uint32_t>(w.queries.size()));
+  return out;
+}
+
+void FleetEngine::tally(Tally& t, FleetStatus s, bool served, bool correct,
+                        std::uint64_t latency_us) {
+  ++t.statuses[static_cast<std::size_t>(s)];
+  if (served) {
+    ++t.served;
+    t.latency.record(latency_us);
+    if (correct) ++t.correct;
+  }
+}
+
+PartyStats FleetEngine::snapshot(const Tally& t) {
+  PartyStats s;
+  s.requests = t.requests;
+  s.statuses = t.statuses;
+  s.served = t.served;
+  s.correct = t.correct;
+  s.latency = t.latency.snapshot();
+  return s;
+}
+
+FleetReport FleetEngine::finish() {
+  if (finished_) throw std::logic_error("FleetEngine::finish called twice");
+  finished_ = true;
+  report_.config = cfg_;
+  for (auto& e : engines_) report_.model_reports.push_back(e->finish());
+  for (const Tally& t : tenant_tally_) report_.tenants.push_back(snapshot(t));
+  for (const Tally& t : model_tally_) report_.models.push_back(snapshot(t));
+  return report_;
+}
+
+// ---- generic.fleet.v1 -----------------------------------------------------
+
+namespace {
+
+/// Shortest lossless %.9g rendering, matching every other generic.*.v1
+/// exporter so goldens stay byte-stable across platforms.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void append_party_json(std::string& out, const PartyStats& s,
+                       const char* indent) {
+  out += "{\"requests\": " + std::to_string(s.requests);
+  out += ", \"statuses\": {";
+  for (std::size_t i = 0; i < kNumFleetStatuses; ++i) {
+    out += i == 0 ? "" : ", ";
+    out += '"';
+    out += fleet_status_name(static_cast<FleetStatus>(i));
+    out += "\": " + std::to_string(s.statuses[i]);
+  }
+  out += "},\n";
+  out += indent;
+  out += " \"served\": " + std::to_string(s.served);
+  out += ", \"correct\": " + std::to_string(s.correct);
+  out += ", \"accuracy\": ";
+  append_double(out, s.served == 0 ? 0.0
+                                   : static_cast<double>(s.correct) /
+                                         static_cast<double>(s.served));
+  out += ", \"latency_us\": {\"count\": " + std::to_string(s.latency.count);
+  out += ", \"p50\": " + std::to_string(s.latency.percentile(0.50));
+  out += ", \"p95\": " + std::to_string(s.latency.percentile(0.95));
+  out += ", \"p99\": " + std::to_string(s.latency.percentile(0.99));
+  out += "}}";
+}
+
+
+
+std::string fleet_report_to_json(const FleetReport& rep) {
+  std::string out;
+  out.reserve(1 << 14);
+  out += "{\n  \"schema\": \"generic.fleet.v1\",\n";
+
+  out += "  \"config\": {\n";
+  out += "    \"seed\": " + std::to_string(rep.config.seed) + ",\n";
+  out += "    \"shed_budget_us\": {";
+  for (std::size_t p = 0; p < kNumPriorities; ++p) {
+    out += p == 0 ? "" : ", ";
+    out += '"';
+    out += priority_name(static_cast<PriorityClass>(p));
+    out += "\": " + std::to_string(rep.config.shed_budget_us[p]);
+  }
+  out += "},\n";
+  out += "    \"models\": [";
+  for (std::size_t m = 0; m < rep.config.models.size(); ++m) {
+    const ModelSpec& s = rep.config.models[m];
+    out += m == 0 ? "\n" : ",\n";
+    out += "      {\"id\": \"" + s.id + "\"";
+    out += ", \"dims\": " + std::to_string(s.dims);
+    out += ", \"classes\": " + std::to_string(s.classes);
+    out += ", \"queries\": " + std::to_string(s.queries);
+    out += ", \"servers\": " + std::to_string(s.serve.servers);
+    out += ", \"service_base_us\": " + std::to_string(s.serve.service_base_us);
+    out += ", \"deadline_us\": " + std::to_string(s.serve.deadline_us);
+    out += ", \"slo_us\": " + std::to_string(s.serve.slo_us);
+    out += "}";
+  }
+  out += rep.config.models.empty() ? "],\n" : "\n    ],\n";
+  out += "    \"tenants\": [";
+  for (std::size_t t = 0; t < rep.config.tenants.size(); ++t) {
+    const TenantSpec& s = rep.config.tenants[t];
+    out += t == 0 ? "\n" : ",\n";
+    out += "      {\"name\": \"" + s.name + "\"";
+    out += ", \"priority\": \"";
+    out += priority_name(s.priority);
+    out += "\", \"quota_rps\": " + std::to_string(s.quota_rps);
+    out += ", \"quota_burst\": " + std::to_string(s.quota_burst);
+    out += ", \"clients\": " + std::to_string(s.clients);
+    out += ", \"think_mean_us\": " + std::to_string(s.think_mean_us);
+    out += ", \"requests_per_client\": " +
+           std::to_string(s.requests_per_client);
+    out += ", \"model_pin\": " + std::to_string(s.model_pin);
+    out += "}";
+  }
+  out += rep.config.tenants.empty() ? "]\n" : "\n    ]\n";
+  out += "  },\n";
+
+  out += "  \"requests\": " + std::to_string(rep.requests) + ",\n";
+  out += "  \"makespan_us\": " + std::to_string(rep.makespan_us) + ",\n";
+  out += "  \"statuses\": {";
+  for (std::size_t i = 0; i < kNumFleetStatuses; ++i) {
+    out += i == 0 ? "" : ", ";
+    out += '"';
+    out += fleet_status_name(static_cast<FleetStatus>(i));
+    out += "\": " + std::to_string(rep.statuses[i]);
+  }
+  out += "},\n";
+
+  out += "  \"tenants\": [";
+  for (std::size_t t = 0; t < rep.tenants.size(); ++t) {
+    out += t == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + rep.config.tenants[t].name + "\", \"stats\": ";
+    append_party_json(out, rep.tenants[t], "    ");
+    out += "}";
+  }
+  out += rep.tenants.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"models\": [";
+  for (std::size_t m = 0; m < rep.models.size(); ++m) {
+    out += m == 0 ? "\n" : ",\n";
+    out += "    {\"id\": \"" + rep.config.models[m].id + "\", \"stats\": ";
+    append_party_json(out, rep.models[m], "    ");
+    if (m < rep.model_reports.size()) {
+      const serve::ServeReport& sr = rep.model_reports[m];
+      out += ",\n     \"engine\": {\"requests\": " +
+             std::to_string(sr.requests);
+      out += ", \"served\": " + std::to_string(sr.served);
+      out += ", \"correct\": " + std::to_string(sr.correct);
+      out += ", \"attempts\": " + std::to_string(sr.attempts);
+      out += ", \"retries\": " + std::to_string(sr.retries);
+      out += ", \"steps_down\": " + std::to_string(sr.steps_down);
+      out += ", \"steps_up\": " + std::to_string(sr.steps_up);
+      out += ", \"final_rung\": " + std::to_string(sr.final_rung);
+      out += ", \"makespan_us\": " + std::to_string(sr.makespan_us);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += rep.models.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"slo_alerts\": [";
+  for (std::size_t i = 0; i < rep.slo_alerts.size(); ++i) {
+    const serve::BurnAlert& a = rep.slo_alerts[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"vt_us\": " + std::to_string(a.vt);
+    out += ", \"kind\": \"";
+    out += a.fired ? "fire" : "clear";
+    out += "\", \"fast_burn\": ";
+    append_double(out, a.fast_burn);
+    out += ", \"slow_burn\": ";
+    append_double(out, a.slow_burn);
+    out += "}";
+  }
+  out += rep.slo_alerts.empty() ? "]\n" : "\n  ]\n";
+
+  out += "}\n";
+  return out;
+}
+
+void write_fleet_json(const std::string& path, const FleetReport& report) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_fleet_json: cannot open " + path);
+  f << fleet_report_to_json(report);
+}
+
+}  // namespace generic::fleet

@@ -1,0 +1,135 @@
+#include "fleet/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace generic::fleet {
+
+namespace {
+
+struct PendingSend {
+  Send send;
+  std::size_t port = 0;
+};
+
+/// Min-heap order on (send_us, tenant, client): simultaneous sends resolve
+/// in tenant/client order on both ingress paths.
+struct SendAfter {
+  bool operator()(const PendingSend& a, const PendingSend& b) const {
+    if (a.send.send_us != b.send.send_us) return a.send.send_us > b.send.send_us;
+    if (a.send.tenant != b.send.tenant) return a.send.tenant > b.send.tenant;
+    return a.send.client > b.send.client;
+  }
+};
+
+struct Outstanding {
+  Send send;
+  serve::ResponseFuture future;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<ClientPort>> make_sim_ports(
+    const FleetConfig& cfg, const FleetEngine& fleet) {
+  const std::vector<std::uint32_t> queries = fleet.model_queries();
+  std::vector<std::unique_ptr<ClientPort>> ports;
+  for (std::size_t t = 0; t < cfg.tenants.size(); ++t)
+    for (std::size_t c = 0; c < cfg.tenants[t].clients; ++c)
+      ports.push_back(std::make_unique<SimClientPort>(
+          cfg, static_cast<std::uint16_t>(t), static_cast<std::uint16_t>(c),
+          queries));
+  return ports;
+}
+
+std::size_t run_closed_loop(FleetEngine& fleet,
+                            const std::vector<ClientPort*>& ports) {
+  std::vector<PendingSend> heap;
+  std::vector<std::optional<Outstanding>> outstanding(ports.size());
+  std::size_t delivered = 0;
+
+  auto push_send = [&](std::size_t port, const Send& s) {
+    heap.push_back(PendingSend{s, port});
+    std::push_heap(heap.begin(), heap.end(), SendAfter{});
+  };
+
+  // Deliver every future resolved by the tick that just ran, in
+  // (finish_us, tenant, client) order, and push each client's next send.
+  auto harvest = [&] {
+    std::vector<std::size_t> ready;
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      if (!outstanding[p]) continue;
+      if (outstanding[p]->future.try_get()) ready.push_back(p);
+    }
+    std::sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+      const serve::Response ra = *outstanding[a]->future.try_get();
+      const serve::Response rb = *outstanding[b]->future.try_get();
+      if (ra.finish_us != rb.finish_us) return ra.finish_us < rb.finish_us;
+      if (outstanding[a]->send.tenant != outstanding[b]->send.tenant)
+        return outstanding[a]->send.tenant < outstanding[b]->send.tenant;
+      return outstanding[a]->send.client < outstanding[b]->send.client;
+    });
+    for (std::size_t p : ready) {
+      const Send s = outstanding[p]->send;
+      const serve::Response r = *outstanding[p]->future.try_get();
+      outstanding[p].reset();
+      const FleetResponse resp = fleet.complete(s, r);
+      ++delivered;
+      if (auto next = ports[p]->on_response(resp)) push_send(p, *next);
+    }
+  };
+
+  for (std::size_t p = 0; p < ports.size(); ++p)
+    if (auto first = ports[p]->start()) push_send(p, *first);
+
+  for (;;) {
+    // Earliest engine event across the fleet (ties: lowest model index).
+    std::size_t next_model = 0;
+    std::uint64_t te = serve::ServeEngine::kNoEvent;
+    for (std::size_t m = 0; m < fleet.num_models(); ++m) {
+      if (fleet.next_event(m) < te) {
+        te = fleet.next_event(m);
+        next_model = m;
+      }
+    }
+    const std::uint64_t ts =
+        heap.empty() ? serve::ServeEngine::kNoEvent : heap.front().send.send_us;
+
+    if (te == serve::ServeEngine::kNoEvent &&
+        ts == serve::ServeEngine::kNoEvent) {
+      bool idle = true;
+      for (const auto& o : outstanding) idle = idle && !o;
+      if (idle) break;
+      // Outstanding futures with no scheduled engine event cannot happen:
+      // every in-flight request has a completion or retry on some heap.
+      throw std::logic_error("run_closed_loop: stalled with futures pending");
+    }
+
+    if (te <= ts) {
+      // Engine events run before sends at the same instant, so a send at T
+      // always sees the post-event queue/backlog state — the same order
+      // the engines themselves use (advance_to before on_arrival).
+      fleet.tick_model(next_model, te);
+      harvest();
+      continue;
+    }
+
+    std::pop_heap(heap.begin(), heap.end(), SendAfter{});
+    const PendingSend ps = heap.back();
+    heap.pop_back();
+    FleetResponse rejection;
+    if (auto future = fleet.route(ps.send, rejection)) {
+      outstanding[ps.port] = Outstanding{ps.send, std::move(*future)};
+      // Re-sync the engine: flush everything the submission made ready at
+      // its arrival instant and refresh the next-event cache.
+      fleet.tick_model(ps.send.model, ps.send.send_us);
+      harvest();
+    } else {
+      ++delivered;
+      if (auto next = ports[ps.port]->on_response(rejection))
+        push_send(ps.port, *next);
+    }
+  }
+  return delivered;
+}
+
+}  // namespace generic::fleet

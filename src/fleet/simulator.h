@@ -1,0 +1,75 @@
+// Deterministic closed-loop fleet coordinator (docs/fleet.md).
+//
+// run_closed_loop() is a discrete-event simulation over VIRTUAL time that
+// interleaves two event sources into one global order:
+//
+//   * client sends — a min-heap keyed by (send_us, tenant, client), so
+//     simultaneous sends always resolve in the same tenant/client order;
+//   * model-engine events — each serve::ServeEngine's next scheduled
+//     completion/retry, via the synchronous ServeEngine::tick() handle
+//     (ties against sends go to the engines, lowest model index first).
+//
+// The loop advances strictly in virtual-time order: before a send at time
+// T is routed, every engine event < T (and at T) has been ticked through,
+// and every future resolving <= T has been harvested and delivered back to
+// its ClientPort in (finish_us, tenant, client) order. Each delivery
+// produces the client's next send at finish + think — never in the global
+// past — so the whole schedule is a pure function of (FleetConfig, seed).
+//
+// ClientPort abstracts where the clients live: SimClientPort runs the
+// ClientModel in-process (goldens, CI determinism sweeps); the socket
+// driver (fleet/socket_driver.h) runs the same loop against real
+// generic_fleet_client processes, replaying the identical schedule.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fleet/client_model.h"
+#include "fleet/engine.h"
+#include "fleet/types.h"
+
+namespace generic::fleet {
+
+/// One closed-loop client as the coordinator sees it: a first send, then
+/// exactly one next send (or done) per delivered response. on_response MAY
+/// block (the socket driver waits for the remote client's next frame) —
+/// the coordinator is single-threaded by design.
+class ClientPort {
+ public:
+  virtual ~ClientPort() = default;
+  virtual std::optional<Send> start() = 0;
+  virtual std::optional<Send> on_response(const FleetResponse& resp) = 0;
+};
+
+/// In-process port: the ClientModel runs right here.
+class SimClientPort : public ClientPort {
+ public:
+  SimClientPort(const FleetConfig& cfg, std::uint16_t tenant,
+                std::uint16_t client, std::vector<std::uint32_t> model_queries)
+      : model_(cfg, tenant, client, std::move(model_queries)) {}
+
+  std::optional<Send> start() override { return model_.start(); }
+  std::optional<Send> on_response(const FleetResponse& resp) override {
+    return model_.on_response(resp);
+  }
+
+ private:
+  ClientModel model_;
+};
+
+/// Build one SimClientPort per configured client, ordered (tenant-major,
+/// client ordinal) — the same deterministic order the socket driver
+/// reconstructs from HELLO identities.
+std::vector<std::unique_ptr<ClientPort>> make_sim_ports(
+    const FleetConfig& cfg, const FleetEngine& fleet);
+
+/// Drive the closed loop to completion: every port's requests routed,
+/// every response delivered. Returns the number of responses delivered.
+/// Call fleet.finish() afterwards for the report.
+std::size_t run_closed_loop(FleetEngine& fleet,
+                            const std::vector<ClientPort*>& ports);
+
+}  // namespace generic::fleet

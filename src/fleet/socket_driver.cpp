@@ -1,0 +1,166 @@
+#include "fleet/socket_driver.h"
+
+#include <chrono>
+
+namespace generic::fleet {
+
+class SocketFleetDriver::Port : public ClientPort {
+ public:
+  Port(SocketFleetDriver& driver, PortState& state)
+      : driver_(driver), state_(state) {}
+
+  std::optional<Send> start() override { return driver_.pull(state_); }
+
+  std::optional<Send> on_response(const FleetResponse& resp) override {
+    net::WireResponse wire;
+    wire.id = resp.id;
+    wire.status = static_cast<std::uint8_t>(resp.status);
+    wire.predicted = resp.predicted;
+    wire.margin_micro = resp.margin_micro;
+    wire.dims_used = resp.dims_used;
+    wire.attempts = resp.attempts;
+    wire.finish_us = resp.finish_us;
+    wire.latency_us = resp.latency_us;
+    wire.version = resp.version;
+    wire.rung = resp.rung;
+    if (!driver_.server_.send_response(state_.conn, wire)) {
+      state_.closed = true;
+      driver_.ok_ = false;
+      return std::nullopt;
+    }
+    return driver_.pull(state_);
+  }
+
+ private:
+  SocketFleetDriver& driver_;
+  PortState& state_;
+};
+
+SocketFleetDriver::SocketFleetDriver(net::Server& server,
+                                     const FleetConfig& cfg, int io_timeout_ms)
+    : server_(server), cfg_(cfg), io_timeout_ms_(io_timeout_ms) {
+  for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+    for (std::size_t c = 0; c < cfg_.tenants[t].clients; ++c) {
+      PortState s;
+      s.tenant = static_cast<std::uint16_t>(t);
+      s.client = static_cast<std::uint16_t>(c);
+      states_.push_back(s);
+    }
+  }
+  ports_.reserve(states_.size());
+  for (PortState& s : states_)
+    ports_.push_back(std::make_unique<Port>(*this, s));
+}
+
+SocketFleetDriver::~SocketFleetDriver() = default;
+
+std::vector<ClientPort*> SocketFleetDriver::ports() {
+  std::vector<ClientPort*> out;
+  out.reserve(ports_.size());
+  for (auto& p : ports_) out.push_back(p.get());
+  return out;
+}
+
+void SocketFleetDriver::dispatch(const net::ServerEvent& ev) {
+  using Kind = net::ServerEvent::Kind;
+  switch (ev.kind) {
+    case Kind::kAccept:
+      break;  // identity arrives with the HELLO
+    case Kind::kHello: {
+      // Map the connection to its declared (tenant, client) slot. The
+      // server already validated the tenant against the topology; the
+      // client ordinal and uniqueness are fleet-level invariants.
+      std::size_t idx = states_.size();
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].tenant == ev.tenant && states_[i].client == ev.client) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == states_.size()) {  // client ordinal out of range
+        server_.kick(ev.conn, net::ProtoError::kBadPayload);
+        ok_ = false;
+        break;
+      }
+      if (states_[idx].connected) {  // duplicate identity
+        server_.kick(ev.conn, net::ProtoError::kBadSequence);
+        ok_ = false;
+        break;
+      }
+      states_[idx].conn = ev.conn;
+      states_[idx].connected = true;
+      by_conn_[ev.conn] = idx;
+      break;
+    }
+    case Kind::kRequest: {
+      auto it = by_conn_.find(ev.conn);
+      if (it == by_conn_.end()) {
+        // Request from a connection that never mapped: protocol-level
+        // HELLO passed but identity registration failed — kick it.
+        server_.kick(ev.conn, net::ProtoError::kBadSequence);
+        ok_ = false;
+        break;
+      }
+      PortState& s = states_[it->second];
+      Send send;
+      send.send_us = ev.req.send_us;
+      send.tenant = s.tenant;
+      send.client = s.client;
+      send.model = ev.req.model;
+      send.id = ev.req.id;
+      send.query = ev.req.query;
+      send.deadline_rel_us = ev.req.deadline_rel_us;
+      s.inbox.push_back(send);
+      break;
+    }
+    case Kind::kBye:
+    case Kind::kClosed: {
+      auto it = by_conn_.find(ev.conn);
+      if (it != by_conn_.end()) states_[it->second].closed = true;
+      if (ev.error != net::ProtoError::kNone) ok_ = false;
+      break;
+    }
+  }
+}
+
+std::optional<Send> SocketFleetDriver::pull(PortState& state) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(io_timeout_ms_);
+  for (;;) {
+    if (!state.inbox.empty()) {
+      Send s = state.inbox.front();
+      state.inbox.pop_front();
+      return s;
+    }
+    if (state.closed) return std::nullopt;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      ok_ = false;
+      state.closed = true;
+      return std::nullopt;
+    }
+    for (const net::ServerEvent& ev :
+         server_.wait_conn(state.conn, static_cast<int>(left.count())))
+      dispatch(ev);
+  }
+}
+
+bool SocketFleetDriver::wait_ready(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool all = true;
+    for (const PortState& s : states_)
+      all = all && s.connected && !s.inbox.empty();
+    if (all) return true;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return false;
+    for (const net::ServerEvent& ev :
+         server_.poll_once(static_cast<int>(std::min<long long>(50, left.count()))))
+      dispatch(ev);
+  }
+}
+
+}  // namespace generic::fleet

@@ -1,0 +1,76 @@
+// Socket-backed ClientPorts: the bridge between net::Server and the fleet
+// coordinator (docs/fleet.md).
+//
+// Each expected closed-loop client — identified by its (tenant, client)
+// HELLO — maps to one SocketClientPort. start() hands the coordinator the
+// client's first buffered request; on_response() writes the response frame
+// and then BLOCKS pumping the server until that connection's next request
+// (or BYE) arrives. Because every client keeps at most one request
+// outstanding and computes its own virtual send times, holding the
+// coordinator at each delivery until the client's next frame arrives makes
+// the socket run replay the exact discrete-event schedule of the simulated
+// run — same admissions, same sheds, same generic.fleet.v1 bytes.
+//
+// Wall-clock waits here only bound how long we tolerate a silent peer;
+// they never influence a serving decision. A timeout or early disconnect
+// marks the driver failed (ok() == false) and finishes that client's loop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fleet/simulator.h"
+#include "fleet/types.h"
+#include "net/server.h"
+
+namespace generic::fleet {
+
+class SocketFleetDriver {
+ public:
+  /// `server` must outlive the driver. Expected population is read from
+  /// cfg.tenants[*].clients.
+  SocketFleetDriver(net::Server& server, const FleetConfig& cfg,
+                    int io_timeout_ms = 30000);
+  ~SocketFleetDriver();  // out of line: Port is incomplete here
+
+  /// Pump until every expected client has connected, HELLO'd and sent its
+  /// first request (closed-loop start barrier). False on timeout.
+  bool wait_ready(int timeout_ms);
+
+  /// Ports in (tenant-major, client) order — valid after wait_ready().
+  std::vector<ClientPort*> ports();
+
+  /// False once any peer timed out, violated the protocol, or vanished
+  /// mid-loop; the fleet report of a failed run is not comparable.
+  bool ok() const { return ok_; }
+
+ private:
+  struct PortState {
+    std::uint16_t tenant = 0;
+    std::uint16_t client = 0;
+    std::uint64_t conn = 0;
+    bool connected = false;
+    bool closed = false;
+    std::deque<Send> inbox;  ///< validated requests not yet consumed
+  };
+
+  class Port;
+
+  void dispatch(const net::ServerEvent& ev);
+  /// Pump the server until `state` has an inboxed send or closed.
+  std::optional<Send> pull(PortState& state);
+
+  net::Server& server_;
+  FleetConfig cfg_;
+  int io_timeout_ms_;
+  bool ok_ = true;
+  std::vector<PortState> states_;               ///< (tenant, client) order
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::map<std::uint64_t, std::size_t> by_conn_;  ///< conn id -> state index
+};
+
+}  // namespace generic::fleet

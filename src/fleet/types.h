@@ -1,0 +1,129 @@
+// Vocabulary of the multi-model, multi-tenant serving fleet (docs/fleet.md).
+//
+// Like the serving layer underneath, fleet time is VIRTUAL: every send,
+// admission verdict, shed, and completion is stamped in microseconds on the
+// seeded trace clock, never the wall clock. The fleet adds two layers of
+// identity on top of serve::Request: the TENANT (who pays — admission
+// quotas and priority class) and the MODEL (which per-model ServeEngine
+// serves it). Every decision is a pure function of (FleetConfig, seed), so
+// the generic.fleet.v1 report is byte-identical for any --threads value and
+// kernel backend, and the real-socket ingress replays the same schedule.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace generic::fleet {
+
+/// Priority classes, strongest first. Under overload the fleet sheds
+/// weakest-first: each class tolerates a different projected model backlog
+/// (FleetConfig::shed_budget_us) before its requests are turned away.
+enum class PriorityClass : std::uint8_t {
+  kCritical = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// Stable short name ("critical", "standard", "batch").
+std::string_view priority_name(PriorityClass p);
+
+/// Terminal status of one fleet request: the six serve::Outcome values
+/// (same numeric codes) plus the fleet's own admission verdicts.
+enum class FleetStatus : std::uint8_t {
+  kOk = 0,
+  kRetried = 1,
+  kDegraded = 2,
+  kShed = 3,      ///< shed by the model engine's own high-water mark
+  kTimeout = 4,
+  kFailed = 5,
+  kQuotaRejected = 6,  ///< tenant token bucket empty at send
+  kPriorityShed = 7,   ///< projected backlog over the class's shed budget
+};
+
+inline constexpr std::size_t kNumFleetStatuses = 8;
+
+/// Stable short name ("ok", ..., "quota_rejected", "priority_shed").
+std::string_view fleet_status_name(FleetStatus s);
+
+/// One tenant: a priority class, an admission quota, and a closed-loop
+/// client population. Quotas are exact integer token buckets: the bucket
+/// holds micro-tokens (1e6 per request, capped at quota_burst requests)
+/// and refills at exactly quota_rps micro-tokens per virtual microsecond —
+/// all-integer math, so the verdict stream is exactly reproducible.
+struct TenantSpec {
+  std::string name;
+  PriorityClass priority = PriorityClass::kStandard;
+  std::uint64_t quota_rps = 1000;  ///< sustained admissions per virtual second
+  std::uint64_t quota_burst = 16;  ///< bucket capacity, in requests
+  std::size_t clients = 4;         ///< closed-loop client population
+  std::uint64_t think_mean_us = 2000;  ///< mean exponential think time
+  std::size_t requests_per_client = 50;
+  int model_pin = -1;  ///< >= 0: every request targets that model;
+                       ///< -1: per-request seeded choice over all models
+};
+
+/// One model in the fleet: a synthetic world (seeded drift-stream dataset,
+/// encoder, classifier) plus the ServeConfig of its dedicated ServeEngine.
+/// `id` labels the engine's registry metrics and the report.
+struct ModelSpec {
+  std::string id;
+  std::size_t dims = 1024;
+  std::size_t classes = 6;
+  std::size_t features = 64;
+  std::size_t train_samples = 600;
+  std::size_t queries = 200;  ///< servable query-set size
+  std::size_t epochs = 3;
+  std::uint64_t world_seed = 0xD21F7;
+  serve::ServeConfig serve;
+};
+
+struct FleetConfig {
+  std::vector<ModelSpec> models;
+  std::vector<TenantSpec> tenants;
+  /// Per-priority-class weighted-shedding budget: a request is shed when
+  /// its model's projected backlog delay exceeds its class's budget, so
+  /// batch traffic sheds ~16x earlier than critical traffic.
+  std::array<std::uint64_t, kNumPriorities> shed_budget_us{64000, 16000,
+                                                           4000};
+  std::uint64_t seed = 0xF1EE7;
+};
+
+/// The reference three-model / three-tenant topology used by the tool
+/// defaults, the golden fixture, and CI. `quick` shrinks dims/volumes for
+/// test-speed runs.
+FleetConfig default_fleet_config(bool quick);
+
+/// One closed-loop client send on the virtual timeline.
+struct Send {
+  std::uint64_t send_us = 0;
+  std::uint16_t tenant = 0;
+  std::uint16_t client = 0;  ///< ordinal within the tenant (tie-break id)
+  std::uint16_t model = 0;
+  std::uint64_t id = 0;      ///< client-side request ordinal (echoed back)
+  std::uint32_t query = 0;
+  std::uint64_t deadline_rel_us = 0;
+};
+
+/// Terminal answer delivered back to the sending client.
+struct FleetResponse {
+  std::uint64_t id = 0;  ///< echo of Send::id
+  FleetStatus status = FleetStatus::kFailed;
+  int predicted = -1;
+  std::int64_t margin_micro = 0;  ///< winning margin, fixed-point 1e-6
+  std::uint32_t dims_used = 0;
+  std::uint32_t attempts = 0;
+  std::uint64_t finish_us = 0;
+  std::uint64_t latency_us = 0;
+  std::uint64_t version = 0;
+  std::uint32_t rung = 0;
+};
+
+}  // namespace generic::fleet

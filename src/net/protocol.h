@@ -1,0 +1,188 @@
+// Length-prefixed framed wire protocol of the fleet ingress (docs/fleet.md).
+//
+// Every frame on the wire is
+//
+//     u32 LE length | u8 kind | body[length - 1]
+//
+// where `length` counts the kind byte plus the body, so the smallest legal
+// frame is length == 1 (a bare kind). All multi-byte integers are little
+// endian. The protocol is strictly client-initiated request/response over
+// one TCP connection:
+//
+//     client                         server
+//       | -- kHello (tenant) ---------> |
+//       | <------------ kHelloAck ----- |   per-model query counts
+//       | -- kRequest ----------------> |
+//       | <------------ kResponse ----- |   (or kError, closing)
+//       |        ... repeat ...         |
+//       | -- kBye --------------------> |
+//       |        (server closes)        |
+//
+// Parsing is incremental (FrameParser) and total: every possible byte
+// stream either yields well-formed frames or lands in exactly one typed
+// ProtoError, after which the parser is sticky-failed and the connection
+// must close. No input may invoke UB — the parser is exercised under
+// ASan/UBSan by the fuzz-ish corpus in tests/net/protocol_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace generic::net {
+
+/// Frame kinds. Values are wire bytes — never renumber; append only.
+enum class FrameKind : std::uint8_t {
+  kHello = 1,     ///< client -> server: tenant id, protocol version
+  kHelloAck = 2,  ///< server -> client: accepted; per-model query counts
+  kRequest = 3,   ///< client -> server: one inference request
+  kResponse = 4,  ///< server -> client: terminal outcome of one request
+  kBye = 5,       ///< client -> server: done; drain and close
+  kError = 6,     ///< server -> client: typed protocol error, closing
+};
+
+/// Typed protocol violations. Each maps to exactly one detection site in
+/// FrameParser / the body decoders; the numeric value is the wire payload
+/// of a kError frame and the rtrace kNetError detail.
+enum class ProtoError : std::uint8_t {
+  kNone = 0,
+  kZeroLength = 1,     ///< length prefix == 0 (frames carry >= the kind byte)
+  kOversized = 2,      ///< length prefix > kMaxFrameLen
+  kUnknownKind = 3,    ///< kind byte outside FrameKind
+  kShortBody = 4,      ///< body too small for the kind's fixed fields
+  kTrailingBytes = 5,  ///< body longer than the kind's encoding
+  kBadVersion = 6,     ///< HELLO with an unsupported protocol version
+  kBadSequence = 7,    ///< frame kind illegal in the connection state
+  kUnknownModel = 8,   ///< request names a model index out of range
+  kUnknownTenant = 9,  ///< hello/request names a tenant out of range
+  kBadPayload = 10,    ///< request payload fails its own invariants
+};
+
+/// Stable short name ("zero_length", ...) used in reports and logs.
+std::string_view proto_error_name(ProtoError e);
+
+/// Hard frame bound: a length prefix above this is kOversized — the server
+/// never buffers unbounded input on one connection.
+inline constexpr std::uint32_t kMaxFrameLen = 64 * 1024;
+
+/// Protocol version spoken by this build (HELLO field).
+inline constexpr std::uint16_t kProtoVersion = 1;
+
+/// One parsed frame: the kind byte plus a view-free copy of the body.
+struct Frame {
+  FrameKind kind = FrameKind::kError;
+  std::vector<std::uint8_t> body;
+};
+
+// ---- Typed frame bodies ---------------------------------------------------
+
+/// kHello body: u16 version | u16 tenant | u16 client.
+/// `client` is the closed-loop client's ordinal within its tenant — the
+/// deterministic identity the fleet coordinator orders ties by, so the
+/// socket path replays the simulated schedule regardless of accept order.
+struct Hello {
+  std::uint16_t version = kProtoVersion;
+  std::uint16_t tenant = 0;
+  std::uint16_t client = 0;
+};
+
+/// kHelloAck body: u16 num_models | num_models x u32 query count. The
+/// client uses the counts to build valid query indices without sharing the
+/// dataset out of band.
+struct HelloAck {
+  std::vector<std::uint32_t> model_queries;
+};
+
+/// kRequest body:
+///   u64 id | u64 send_us | u16 model | u8 priority | u64 deadline_rel_us |
+///   u16 payload_len | payload
+/// Payload v1 is a u32 query index into the named model's query set (so
+/// payload_len is 4); the length field keeps the frame self-describing for
+/// future feature payloads. `send_us` is the client's VIRTUAL send time —
+/// clients own the virtual clock of their own trace, which is what lets
+/// the socket path replay the simulated schedule exactly (docs/fleet.md).
+/// `deadline_rel_us` is relative to send_us.
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::uint64_t send_us = 0;
+  std::uint16_t model = 0;
+  std::uint8_t priority = 0;
+  std::uint64_t deadline_rel_us = 0;
+  std::uint32_t query = 0;
+};
+
+/// kResponse body:
+///   u64 id | u8 status | i32 predicted | i64 margin_micro | u32 dims_used |
+///   u32 attempts | u64 finish_us | u64 latency_us | u64 version | u32 rung
+/// `status` is serve::Outcome (0..5) extended with the fleet's admission
+/// verdicts: 6 = quota_rejected, 7 = priority_shed. `margin_micro` is the
+/// winning-class margin (confidence) in fixed-point millionths.
+struct WireResponse {
+  std::uint64_t id = 0;
+  std::uint8_t status = 0;
+  std::int32_t predicted = -1;
+  std::int64_t margin_micro = 0;
+  std::uint32_t dims_used = 0;
+  std::uint32_t attempts = 0;
+  std::uint64_t finish_us = 0;
+  std::uint64_t latency_us = 0;
+  std::uint64_t version = 0;
+  std::uint32_t rung = 0;
+};
+
+inline constexpr std::uint8_t kStatusQuotaRejected = 6;
+inline constexpr std::uint8_t kStatusPriorityShed = 7;
+
+// ---- Encoding -------------------------------------------------------------
+//
+// Each encode_* appends one complete frame (length prefix included) to
+// `out`, so a socket writer can batch frames into one buffer.
+
+void encode_hello(const Hello& h, std::vector<std::uint8_t>& out);
+void encode_hello_ack(const HelloAck& a, std::vector<std::uint8_t>& out);
+void encode_request(const WireRequest& r, std::vector<std::uint8_t>& out);
+void encode_response(const WireResponse& r, std::vector<std::uint8_t>& out);
+void encode_bye(std::vector<std::uint8_t>& out);
+void encode_error(ProtoError e, std::vector<std::uint8_t>& out);
+
+// ---- Decoding -------------------------------------------------------------
+//
+// Body decoders take a parsed Frame and either fill the typed struct or
+// return the ProtoError that rejects it (kShortBody / kTrailingBytes /
+// kBadVersion / kBadPayload). They never read out of bounds.
+
+ProtoError decode_hello(const Frame& f, Hello& out);
+ProtoError decode_hello_ack(const Frame& f, HelloAck& out);
+ProtoError decode_request(const Frame& f, WireRequest& out);
+ProtoError decode_response(const Frame& f, WireResponse& out);
+ProtoError decode_error(const Frame& f, ProtoError& out);
+
+/// Incremental frame assembler. Feed bytes as they arrive; next() yields
+/// completed frames in order. The first violation (zero/oversized length,
+/// unknown kind) latches error() and next() returns nothing forever after
+/// — the connection owner must send kError and close.
+class FrameParser {
+ public:
+  /// Append raw bytes from the wire. Safe to call after an error (bytes
+  /// are discarded).
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Pop the next completed frame, if any.
+  std::optional<Frame> next();
+
+  ProtoError error() const { return error_; }
+  bool failed() const { return error_ != ProtoError::kNone; }
+
+  /// Bytes buffered but not yet consumed as a frame (diagnostics).
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  ///< prefix of buf_ already turned into frames
+  ProtoError error_ = ProtoError::kNone;
+};
+
+}  // namespace generic::net

@@ -1,0 +1,262 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "obs/rtrace.h"
+
+namespace generic::net {
+
+namespace rtrace = obs::rtrace;
+
+Server::Server(const ServerConfig& cfg) : cfg_(cfg) {
+  listen_ = listen_loopback(cfg_.port, port_);
+  if (listen_.valid()) set_nonblocking(listen_.get());
+}
+
+void Server::accept_ready(std::vector<ServerEvent>& events) {
+  for (;;) {
+    const int fd = ::accept(listen_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN / EWOULDBLOCK: drained the backlog
+    }
+    if (!accepting_ || conns_.size() >= cfg_.max_connections) {
+      ::close(fd);
+      ++stats_.rejected_at_limit;
+      continue;
+    }
+    set_nonblocking(fd);
+    const std::uint64_t id = next_conn_++;
+    Conn& c = conns_[id];
+    c.fd = Fd(fd);
+    ++stats_.accepted;
+    stats_.peak_connections = std::max(stats_.peak_connections, conns_.size());
+    rtrace::record(rtrace::EventKind::kNetAccept, trace_vt_, id);
+    events.push_back({ServerEvent::Kind::kAccept, id, 0, 0, {}, ProtoError::kNone});
+  }
+}
+
+bool Server::flush_outbox(Conn& c) {
+  while (!c.outbox.empty()) {
+    const ::ssize_t n =
+        ::write(c.fd.get(), c.outbox.data(), c.outbox.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // retry later
+      return false;  // peer gone
+    }
+    c.outbox.erase(c.outbox.begin(), c.outbox.begin() + n);
+  }
+  return true;
+}
+
+void Server::close_conn(std::uint64_t id, ProtoError e,
+                        std::vector<ServerEvent>& events) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  rtrace::record(rtrace::EventKind::kNetClose, trace_vt_, id, 0, 0,
+                 static_cast<std::int64_t>(it->second.frames));
+  conns_.erase(it);
+  ++stats_.closed;
+  events.push_back({ServerEvent::Kind::kClosed, id, 0, 0, {}, e});
+}
+
+void Server::error_close(std::uint64_t id, Conn& c, ProtoError e,
+                         std::vector<ServerEvent>& events) {
+  ++stats_.protocol_errors;
+  rtrace::record(rtrace::EventKind::kNetError, trace_vt_, id, 0, 0,
+                 static_cast<std::int64_t>(e));
+  // Best-effort: the error frame rides whatever the outbox can still take.
+  encode_error(e, c.outbox);
+  flush_outbox(c);
+  close_conn(id, e, events);
+}
+
+bool Server::process_frames(std::uint64_t id, Conn& c,
+                            std::vector<ServerEvent>& events) {
+  while (auto f = c.parser.next()) {
+    ++c.frames;
+    ++stats_.frames;
+    switch (c.state) {
+      case Conn::State::kAwaitHello: {
+        if (f->kind != FrameKind::kHello) {
+          error_close(id, c, ProtoError::kBadSequence, events);
+          return false;
+        }
+        Hello h;
+        if (ProtoError e = decode_hello(*f, h); e != ProtoError::kNone) {
+          error_close(id, c, e, events);
+          return false;
+        }
+        if (h.tenant >= cfg_.num_tenants) {
+          error_close(id, c, ProtoError::kUnknownTenant, events);
+          return false;
+        }
+        c.tenant = h.tenant;
+        c.client = h.client;
+        c.state = Conn::State::kActive;
+        HelloAck ack;
+        ack.model_queries = cfg_.model_queries;
+        encode_hello_ack(ack, c.outbox);
+        if (!flush_outbox(c)) {
+          close_conn(id, ProtoError::kNone, events);
+          return false;
+        }
+        events.push_back({ServerEvent::Kind::kHello, id, h.tenant,
+                          h.client, {}, ProtoError::kNone});
+        break;
+      }
+      case Conn::State::kActive: {
+        if (f->kind == FrameKind::kBye) {
+          events.push_back({ServerEvent::Kind::kBye, id, c.tenant,
+                            c.client, {}, ProtoError::kNone});
+          flush_outbox(c);
+          close_conn(id, ProtoError::kNone, events);
+          return false;
+        }
+        if (f->kind != FrameKind::kRequest) {
+          error_close(id, c, ProtoError::kBadSequence, events);
+          return false;
+        }
+        WireRequest r;
+        if (ProtoError e = decode_request(*f, r); e != ProtoError::kNone) {
+          error_close(id, c, e, events);
+          return false;
+        }
+        if (r.model >= cfg_.model_queries.size()) {
+          error_close(id, c, ProtoError::kUnknownModel, events);
+          return false;
+        }
+        if (r.query >= cfg_.model_queries[r.model]) {
+          error_close(id, c, ProtoError::kBadPayload, events);
+          return false;
+        }
+        ++stats_.requests;
+        events.push_back({ServerEvent::Kind::kRequest, id, c.tenant,
+                          c.client, r, ProtoError::kNone});
+        break;
+      }
+    }
+  }
+  if (c.parser.failed()) {
+    error_close(id, c, c.parser.error(), events);
+    return false;
+  }
+  return true;
+}
+
+void Server::read_ready(std::uint64_t id, Conn& c,
+                        std::vector<ServerEvent>& events) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ::ssize_t n = ::read(c.fd.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(id, ProtoError::kNone, events);
+      return;
+    }
+    if (n == 0) {  // orderly peer close (without BYE)
+      close_conn(id, ProtoError::kNone, events);
+      return;
+    }
+    c.parser.feed(buf, static_cast<std::size_t>(n));
+    if (!process_frames(id, c, events)) return;
+    if (n < static_cast<::ssize_t>(sizeof(buf))) break;
+  }
+}
+
+std::vector<ServerEvent> Server::poll_once(int timeout_ms) {
+  std::vector<ServerEvent> events;
+  std::vector<::pollfd> fds;
+  std::vector<std::uint64_t> ids;  // ids[i] pairs with fds[i] (after listen)
+  if (accepting_ && listen_.valid())
+    fds.push_back({listen_.get(), POLLIN, 0});
+  const std::size_t first_conn = fds.size();
+  for (auto& [id, c] : conns_) {
+    short ev = POLLIN;
+    if (!c.outbox.empty()) ev |= POLLOUT;
+    fds.push_back({c.fd.get(), ev, 0});
+    ids.push_back(id);
+  }
+  if (fds.empty()) return events;
+  int rc;
+  do {
+    rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return events;
+
+  if (first_conn == 1 && (fds[0].revents & POLLIN) != 0) accept_ready(events);
+  for (std::size_t i = first_conn; i < fds.size(); ++i) {
+    const std::uint64_t id = ids[i - first_conn];
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // closed earlier this iteration
+    Conn& c = it->second;
+    if ((fds[i].revents & POLLOUT) != 0) {
+      if (!flush_outbox(c)) {
+        close_conn(id, ProtoError::kNone, events);
+        continue;
+      }
+    }
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+      read_ready(id, c, events);
+  }
+  return events;
+}
+
+std::vector<ServerEvent> Server::wait_conn(std::uint64_t conn, int timeout_ms) {
+  std::vector<ServerEvent> events;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (conns_.find(conn) == conns_.end()) return events;  // already gone
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return events;
+    auto batch = poll_once(static_cast<int>(left.count()));
+    bool hit = false;
+    for (auto& ev : batch) hit = hit || ev.conn == conn;
+    events.insert(events.end(), batch.begin(), batch.end());
+    if (hit) return events;
+  }
+}
+
+bool Server::send_response(std::uint64_t conn, const WireResponse& r) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return false;
+  encode_response(r, it->second.outbox);
+  return flush_outbox(it->second);
+}
+
+void Server::kick(std::uint64_t conn, ProtoError e) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  std::vector<ServerEvent> discard;
+  error_close(conn, it->second, e, discard);
+}
+
+std::vector<ServerEvent> Server::drain(int timeout_ms) {
+  std::vector<ServerEvent> events;
+  accepting_ = false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!conns_.empty() && std::chrono::steady_clock::now() < deadline) {
+    bool pending = false;
+    for (auto& [id, c] : conns_) pending = pending || !c.outbox.empty();
+    if (!pending) break;
+    auto batch = poll_once(10);
+    events.insert(events.end(), batch.begin(), batch.end());
+  }
+  // Close whatever is left (flushed or not — the deadline bounds us).
+  while (!conns_.empty())
+    close_conn(conns_.begin()->first, ProtoError::kNone, events);
+  listen_.reset();
+  return events;
+}
+
+}  // namespace generic::net

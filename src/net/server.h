@@ -1,0 +1,146 @@
+// Poll-based loopback TCP ingress for the fleet (docs/fleet.md).
+//
+// Single-threaded pump over non-blocking sockets: poll_once() accepts new
+// connections (up to cfg.max_connections), reads whatever bytes arrived,
+// advances each connection's FrameParser and protocol state machine, and
+// returns typed events — accepted HELLOs, validated requests, BYEs, and
+// closes (orderly or protocol-error). Responses queue into per-connection
+// outboxes flushed opportunistically, so the pump never blocks on a slow
+// reader.
+//
+// The server owns the PROTOCOL state machine (handshake sequencing, tenant
+// / model / query-range validation — the checks that only need the static
+// topology); the fleet layer owns every SERVING decision. Any violation
+// sends one kError frame with the typed ProtoError and closes that
+// connection; other connections are untouched, and no input can make the
+// pump crash or read out of bounds (the ASan/UBSan corpus in
+// tests/net/protocol_test.cpp covers the parser; tests/net/server_test.cpp
+// covers the pump).
+//
+// drain() stops accepting, flushes every outbox, and closes what remains —
+// the graceful-shutdown half of the connection lifecycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace generic::net {
+
+struct ServerConfig {
+  std::uint16_t port = 0;          ///< 0: ephemeral, read back via port()
+  std::size_t max_connections = 64;
+  /// Static fleet topology for protocol validation: tenants 0..n-1 are
+  /// valid in HELLO; request model m must be < model_queries.size() and
+  /// its query index < model_queries[m]. Also the HELLO_ACK payload.
+  std::size_t num_tenants = 1;
+  std::vector<std::uint32_t> model_queries;
+};
+
+/// One typed event out of the pump.
+struct ServerEvent {
+  enum class Kind : std::uint8_t {
+    kAccept,   ///< connection accepted (awaiting HELLO)
+    kHello,    ///< HELLO validated; HELLO_ACK queued. `tenant` set
+    kRequest,  ///< request validated against the topology. `req` set
+    kBye,      ///< client finished; connection closed after flush
+    kClosed,   ///< connection closed; `error` != kNone on a violation
+  };
+  Kind kind = Kind::kAccept;
+  std::uint64_t conn = 0;  ///< server-assigned connection id
+  std::uint16_t tenant = 0;
+  std::uint16_t client = 0;  ///< declared client ordinal (kHello)
+  WireRequest req;
+  ProtoError error = ProtoError::kNone;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_at_limit = 0;  ///< accepted then closed: at capacity
+  std::uint64_t closed = 0;
+  std::uint64_t frames = 0;           ///< complete frames parsed
+  std::uint64_t requests = 0;         ///< validated kRequest frames
+  std::uint64_t protocol_errors = 0;  ///< connections closed on a violation
+  std::size_t peak_connections = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1 immediately; listening() reports
+  /// whether that succeeded (no exceptions — callers print and exit).
+  explicit Server(const ServerConfig& cfg);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  bool listening() const { return listen_.valid(); }
+  std::uint16_t port() const { return port_; }
+
+  /// One pump iteration: wait up to timeout_ms for socket readiness, then
+  /// accept / read / parse / flush. Returns every event that surfaced.
+  std::vector<ServerEvent> poll_once(int timeout_ms);
+
+  /// Pump until `conn` yields an event or closes, or timeout_ms elapses.
+  /// Events from OTHER connections surfaced on the way are returned too
+  /// (callers must process all of them). Empty return = timeout.
+  std::vector<ServerEvent> wait_conn(std::uint64_t conn, int timeout_ms);
+
+  /// Queue a response frame on `conn` and flush opportunistically. False
+  /// if the connection is already gone.
+  bool send_response(std::uint64_t conn, const WireResponse& r);
+
+  /// Graceful shutdown: stop accepting, flush every outbox (blocking,
+  /// bounded by timeout_ms), close everything. Returns pending closes.
+  std::vector<ServerEvent> drain(int timeout_ms);
+
+  /// Forcibly close `conn` with a typed error frame — for violations only
+  /// a layer above the protocol state machine can see (e.g. a duplicate
+  /// client identity). No-op if the connection is already gone.
+  void kick(std::uint64_t conn, ProtoError e);
+
+  std::size_t open_connections() const { return conns_.size(); }
+  const ServerStats& stats() const { return stats_; }
+
+  /// Virtual timestamp stamped on kNet* rtrace events. The socket driver
+  /// advances this as its virtual clock moves; purely observational.
+  void set_virtual_time(std::uint64_t vt) { trace_vt_ = vt; }
+
+ private:
+  struct Conn {
+    Fd fd;
+    FrameParser parser;
+    std::vector<std::uint8_t> outbox;  ///< unsent bytes
+    enum class State : std::uint8_t { kAwaitHello, kActive } state =
+        State::kAwaitHello;
+    std::uint16_t tenant = 0;
+    std::uint16_t client = 0;
+    std::uint64_t frames = 0;
+  };
+
+  void accept_ready(std::vector<ServerEvent>& events);
+  void read_ready(std::uint64_t id, Conn& c, std::vector<ServerEvent>& events);
+  /// Run the state machine over every completed frame. True = keep open.
+  bool process_frames(std::uint64_t id, Conn& c,
+                      std::vector<ServerEvent>& events);
+  void error_close(std::uint64_t id, Conn& c, ProtoError e,
+                   std::vector<ServerEvent>& events);
+  void close_conn(std::uint64_t id, ProtoError e,
+                  std::vector<ServerEvent>& events);
+  bool flush_outbox(Conn& c);
+
+  ServerConfig cfg_;
+  Fd listen_;
+  std::uint16_t port_ = 0;
+  bool accepting_ = true;
+  std::uint64_t next_conn_ = 0;
+  std::map<std::uint64_t, Conn> conns_;
+  ServerStats stats_;
+  std::uint64_t trace_vt_ = 0;
+};
+
+}  // namespace generic::net

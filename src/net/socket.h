@@ -1,0 +1,62 @@
+// Thin POSIX socket wrappers for the fleet ingress: an RAII fd plus the
+// handful of loopback TCP helpers the server and the closed-loop client
+// need. Everything here is portable poll()-era POSIX — no epoll/kqueue
+// dependency — because the ingress pump (server.h) multiplexes a bounded
+// connection count where poll() is ample and runs everywhere the CI does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace generic::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+  int release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on 127.0.0.1:`port` (port 0 = ephemeral). Returns an invalid Fd
+/// on failure. `out_port` receives the bound port.
+Fd listen_loopback(std::uint16_t port, std::uint16_t& out_port,
+                   int backlog = 64);
+
+/// Blocking connect to 127.0.0.1:`port`. Invalid Fd on failure.
+Fd connect_loopback(std::uint16_t port);
+
+/// Set O_NONBLOCK. Returns false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// write() the whole buffer on a BLOCKING socket, retrying short writes
+/// and EINTR. Returns false on any hard error.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len);
+
+/// read() up to `len` bytes on a BLOCKING socket, retrying EINTR. Returns
+/// bytes read (0 on orderly peer close), or -1 on hard error.
+std::ptrdiff_t read_some(int fd, std::uint8_t* data, std::size_t len);
+
+}  // namespace generic::net

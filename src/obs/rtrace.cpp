@@ -34,6 +34,12 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kEncoderDetect: return "encoder_detect";
     case EventKind::kEncoderMask: return "encoder_mask";
     case EventKind::kEncoderScrub: return "encoder_scrub";
+    case EventKind::kNetAccept: return "net_accept";
+    case EventKind::kNetClose: return "net_close";
+    case EventKind::kNetError: return "net_error";
+    case EventKind::kFleetRoute: return "fleet_route";
+    case EventKind::kFleetQuota: return "fleet_quota";
+    case EventKind::kFleetShed: return "fleet_shed";
   }
   return "unknown";
 }

@@ -74,9 +74,20 @@ enum class EventKind : std::uint8_t {
                    ///< (detail: faulty rows masked around)
   kEncoderScrub,   ///< corrupted rows rematerialized from seed
                    ///< (detail: rows scrubbed; rung carries verified=1/0)
+  kNetAccept,      ///< ingress connection accepted (request: conn id)
+  kNetClose,       ///< ingress connection closed (request: conn id;
+                   ///< detail: frames parsed on the connection)
+  kNetError,       ///< framed-protocol violation closed the connection
+                   ///< (request: conn id; detail: ProtoError code)
+  kFleetRoute,     ///< fleet admitted a request to a model engine
+                   ///< (rung: priority class; detail: model index)
+  kFleetQuota,     ///< fleet refused a request: tenant quota exhausted
+                   ///< (rung: priority class; detail: tenant id)
+  kFleetShed,      ///< fleet shed a request: weighted priority shedding
+                   ///< (rung: priority class; detail: model index)
 };
 
-inline constexpr std::size_t kNumEventKinds = 23;
+inline constexpr std::size_t kNumEventKinds = 29;
 
 /// Stable short name used in generic.rtrace.v1 ("admit", "enqueue", ...).
 std::string_view event_kind_name(EventKind kind);

@@ -22,6 +22,25 @@ Rng request_rng(std::uint64_t seed, std::uint64_t id) {
   return Rng(seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
 }
 
+/// "serve.<stem>" for the process-global engine, or
+/// "serve.<stem>{model=<id>}" when the config names this instance — the
+/// label that keeps several engines in one process from pooling their
+/// tallies in the shared registry.
+std::string metric_name(const std::string& model_id, const char* stem) {
+  std::string name = "serve.";
+  name += stem;
+  if (!model_id.empty()) {
+    name += "{model=";
+    name += model_id;
+    name += '}';
+  }
+  return name;
+}
+
+void count(obs::Counter* c, std::uint64_t delta = 1) {
+  if (c != nullptr) c->add(delta);
+}
+
 }  // namespace
 
 ServeEngine::ServeEngine(const model::HdcClassifier& model,
@@ -83,6 +102,24 @@ ServeEngine::ServeEngine(const model::HdcClassifier& model,
     report_.rungs[r].active_chunks = rung_active_[r];
   }
 
+#if GENERIC_OBS_ENABLED
+  {
+    obs::Registry& reg = obs::Registry::instance();
+    metrics_.requests = &reg.counter(metric_name(cfg_.model_id, "requests"));
+    metrics_.upsets = &reg.counter(metric_name(cfg_.model_id, "upsets"));
+    metrics_.swaps = &reg.counter(metric_name(cfg_.model_id, "swaps"));
+    metrics_.rollbacks = &reg.counter(metric_name(cfg_.model_id, "rollbacks"));
+    metrics_.slo_alerts =
+        &reg.counter(metric_name(cfg_.model_id, "slo_alerts"));
+    metrics_.encoder_faults =
+        &reg.counter(metric_name(cfg_.model_id, "encoder_faults"));
+    metrics_.encoder_scrubs =
+        &reg.counter(metric_name(cfg_.model_id, "encoder_scrubs"));
+    metrics_.latency_us =
+        &reg.histogram(metric_name(cfg_.model_id, "latency_us"));
+  }
+#endif
+
   control_ = std::thread([this] {
     obs::set_current_thread_name("serve-control");
     control_loop();
@@ -98,7 +135,7 @@ ServeEngine::~ServeEngine() {
 
 ResponseFuture ServeEngine::submit(const Request& req) {
   ResponseFuture future;
-  if (!ingress_.push(Item{req, future})) {
+  if (!ingress_.push(Item{req, future, false})) {
     // Closed engine: resolve as shed so no caller ever blocks forever.
     Response r;
     r.outcome = Outcome::kShed;
@@ -106,6 +143,16 @@ ResponseFuture ServeEngine::submit(const Request& req) {
     future.resolve(r);
   }
   return future;
+}
+
+std::uint64_t ServeEngine::tick(std::uint64_t vt) {
+  ResponseFuture future;
+  Request req;
+  req.arrival_us = vt;
+  if (!ingress_.push(Item{req, future, true})) return kNoEvent;
+  // The control thread smuggles the next scheduled event's virtual time in
+  // finish_us (kNoEvent when its event heap is empty).
+  return future.get().finish_us;
 }
 
 ServeReport ServeEngine::finish() {
@@ -134,21 +181,42 @@ ServeReport ServeEngine::finish() {
 void ServeEngine::control_loop() {
   GENERIC_SPAN("serve.control_loop");
   while (auto item = ingress_.pop()) {
+    if (item->tick) {
+      on_tick(item->req.arrival_us, item->future);
+      continue;
+    }
     // Deterministic interleave: everything already scheduled up to and
     // including the arrival instant happens before the arrival itself.
-    advance_to(item->first.arrival_us);
+    advance_to(item->req.arrival_us);
     // Lifecycle installs happen at arrival boundaries: a deterministic
     // trace point with a deterministic virtual clock, so the swap position
     // in the served stream is identical for any --threads. Encoder-memory
     // incidents land at the same points for the same reason.
-    poll_lifecycle(std::max(clock_us_, item->first.arrival_us));
-    poll_encoder(std::max(clock_us_, item->first.arrival_us));
+    poll_lifecycle(std::max(clock_us_, item->req.arrival_us));
+    poll_encoder(std::max(clock_us_, item->req.arrival_us));
     on_arrival(std::move(*item));
   }
   advance_to(~0ull);  // drain every scheduled completion and retry
   poll_lifecycle(clock_us_);
   poll_encoder(clock_us_);
   for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
+}
+
+void ServeEngine::on_tick(std::uint64_t vt, ResponseFuture& future) {
+  // Same deterministic ordering as an arrival at `vt`, minus the arrival:
+  // run every event scheduled <= vt, poll the hooks there, then flush every
+  // deferred batch so any future finishing <= vt resolves before the
+  // coordinator regains control.
+  advance_to(vt);
+  clock_us_ = std::max(clock_us_, vt);
+  poll_lifecycle(clock_us_);
+  poll_encoder(clock_us_);
+  for (std::size_t r = 0; r < batch_.size(); ++r) flush_rung(r);
+  Response r;
+  r.outcome = Outcome::kOk;
+  // events_ is a min-heap on (vt, seq): front() is the next scheduled event.
+  r.finish_us = events_.empty() ? kNoEvent : events_.front().vt;
+  future.resolve(r);
 }
 
 void ServeEngine::poll_encoder(std::uint64_t now) {
@@ -175,7 +243,7 @@ void ServeEngine::poll_encoder(std::uint64_t now) {
     const auto faulty = static_cast<std::int64_t>(upd->faulty_rows);
     switch (upd->phase) {
       case EncoderUpdate::Phase::kCorrupt:
-        GENERIC_COUNTER_ADD("serve.encoder_faults", 1);
+        count(metrics_.encoder_faults);
         rtrace::record(rtrace::EventKind::kEncoderFault, vt,
                        rtrace::kNoRequest, model_version_,
                        static_cast<std::uint32_t>(controller_.rung()), faulty);
@@ -194,7 +262,7 @@ void ServeEngine::poll_encoder(std::uint64_t now) {
                        static_cast<std::uint32_t>(controller_.rung()), faulty);
         break;
       case EncoderUpdate::Phase::kScrub:
-        GENERIC_COUNTER_ADD("serve.encoder_scrubs", 1);
+        count(metrics_.encoder_scrubs);
         rtrace::record(rtrace::EventKind::kEncoderScrub, vt,
                        rtrace::kNoRequest, model_version_,
                        upd->scrub_verified ? 1u : 0u,
@@ -224,7 +292,7 @@ void ServeEngine::poll_lifecycle(std::uint64_t now) {
   while (auto upd = lifecycle_->poll(now)) {
     const std::uint64_t vt = std::max(now, upd->vt);
     if (upd->rollback) {
-      GENERIC_COUNTER_ADD("serve.rollbacks", 1);
+      count(metrics_.rollbacks);
       rtrace::record(rtrace::EventKind::kRollback, vt, rtrace::kNoRequest,
                      upd->version);
       report_.swaps.push_back(SwapEvent{vt, upd->version, true});
@@ -259,7 +327,7 @@ void ServeEngine::poll_lifecycle(std::uint64_t now) {
                      model_version_,
                      static_cast<std::uint32_t>(controller_.rung()));
     }
-    GENERIC_COUNTER_ADD("serve.swaps", 1);
+    count(metrics_.swaps);
     report_.swaps.push_back(SwapEvent{vt, upd->version, false});
     report_.versions.push_back(VersionStats{upd->version, 0, 0});
   }
@@ -280,13 +348,13 @@ void ServeEngine::advance_to(std::uint64_t vt_limit) {
 }
 
 void ServeEngine::on_arrival(Item&& item) {
-  GENERIC_COUNTER_ADD("serve.requests", 1);
-  clock_us_ = std::max(clock_us_, item.first.arrival_us);
+  count(metrics_.requests);
+  clock_us_ = std::max(clock_us_, item.req.arrival_us);
   ++report_.requests;
   auto owned = std::make_unique<InFlight>();
-  owned->req = item.first;
-  owned->future = std::move(item.second);
-  owned->rng = request_rng(cfg_.seed, item.first.id);
+  owned->req = item.req;
+  owned->future = std::move(item.future);
+  owned->rng = request_rng(cfg_.seed, item.req.id);
   InFlight* f = owned.get();
   inflight_.push_back(std::move(owned));
 
@@ -350,7 +418,7 @@ void ServeEngine::on_completion(InFlight* f, std::uint64_t now) {
     corrupted = copy != queries_[f->req.query];
   }
   if (corrupted) {
-    GENERIC_COUNTER_ADD("serve.upsets", 1);
+    count(metrics_.upsets);
     rtrace::record(rtrace::EventKind::kUpset, now, f->req.id, model_version_,
                    static_cast<std::uint32_t>(f->rung),
                    static_cast<std::int64_t>(f->attempts));
@@ -414,7 +482,7 @@ void ServeEngine::feed_controller(std::uint64_t now, std::uint64_t latency_us) {
 
 void ServeEngine::feed_burn(std::uint64_t vt, bool good) {
   if (auto edge = burn_.observe(vt, good)) {
-    GENERIC_COUNTER_ADD("serve.slo_alerts", 1);
+    count(metrics_.slo_alerts);
     rtrace::record(rtrace::EventKind::kSloAlert, vt, rtrace::kNoRequest,
                    model_version_, edge->fired ? 1u : 0u,
                    std::llround(edge->fast_burn * 1000.0));
@@ -458,7 +526,7 @@ void ServeEngine::defer_served(InFlight* f, std::uint64_t now) {
   feed_burn(now, lat <= cfg_.slo_us);
   latency_.record(lat);
   rung_latency_[f->rung].record(lat);
-  GENERIC_HISTO_RECORD("serve.latency_us", lat);
+  if (metrics_.latency_us != nullptr) metrics_.latency_us->record(lat);
   batch_[f->rung].push_back(f);
   if (batch_[f->rung].size() >= cfg_.compute_batch) flush_rung(f->rung);
 }
@@ -523,6 +591,9 @@ void ServeEngine::flush_rung(std::size_t rung) {
     r.attempts = f->attempts;
     r.finish_us = f->finish_us;
     r.latency_us = f->finish_us - f->req.arrival_us;
+    r.rung = static_cast<std::uint32_t>(rung);
+    r.version = model_version_;
+    r.margin = preds[i].margin;
     f->future.resolve(r);
   }
   b.clear();

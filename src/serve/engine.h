@@ -157,6 +157,21 @@ class ServeEngine {
   /// submit(); every future is resolved when this returns.
   ServeReport finish();
 
+  /// Synchronously advance the engine's virtual clock to `vt`: every
+  /// completion/retry scheduled at or before `vt` is processed, the
+  /// lifecycle/encoder hooks are polled, and every deferred prediction
+  /// batch is flushed (so futures of requests finishing <= vt resolve
+  /// before this returns). Returns the virtual time of the next scheduled
+  /// internal event, or kNoEvent when the engine is idle — the handle a
+  /// discrete-event coordinator (fleet::run_closed_loop) needs to
+  /// interleave several engines deterministically. Requests submitted
+  /// after a tick keep the non-decreasing-arrival contract relative to
+  /// other REQUESTS only; the tick itself imposes no ordering.
+  std::uint64_t tick(std::uint64_t vt);
+
+  /// tick() return value when no internal event is scheduled.
+  static constexpr std::uint64_t kNoEvent = ~0ull;
+
   const std::vector<std::size_t>& ladder() const { return ladder_; }
 
  private:
@@ -183,9 +198,17 @@ class ServeEngine {
       return a.seq > b.seq;  // min-heap on (vt, seq)
     }
   };
-  using Item = std::pair<Request, ResponseFuture>;
+  /// One ingress item: a request, or a synchronous tick barrier whose
+  /// future the control thread resolves with the next-event time
+  /// (smuggled in Response::finish_us).
+  struct Item {
+    Request req;
+    ResponseFuture future;
+    bool tick = false;
+  };
 
   void control_loop();
+  void on_tick(std::uint64_t vt, ResponseFuture& future);
   void advance_to(std::uint64_t vt_limit);
   void on_arrival(Item&& item);
   void start_service(InFlight* f, std::uint64_t now);
@@ -240,6 +263,22 @@ class ServeEngine {
   std::uint64_t model_version_ = 0; // lifecycle version currently serving
   ServeReport report_;
   bool finished_ = false;
+
+  /// Registry metrics resolved once at construction, namespaced by
+  /// cfg.model_id ("serve.requests{model=<id>}"; empty id keeps the legacy
+  /// process-global "serve.requests") so several engines in one process
+  /// tally independently. All null when instrumentation is compiled out.
+  struct Metrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* upsets = nullptr;
+    obs::Counter* swaps = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* slo_alerts = nullptr;
+    obs::Counter* encoder_faults = nullptr;
+    obs::Counter* encoder_scrubs = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace generic::serve

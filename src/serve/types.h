@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace generic::serve {
@@ -58,6 +59,9 @@ struct Response {
   std::uint32_t attempts = 0;  ///< service attempts consumed (0 if never started)
   std::uint64_t finish_us = 0; ///< virtual completion / rejection time
   std::uint64_t latency_us = 0;///< finish_us - arrival_us
+  std::uint32_t rung = 0;      ///< ladder rung that served (0 if unserved)
+  std::uint64_t version = 0;   ///< model version that served
+  double margin = 0.0;         ///< winning-class margin (confidence signal)
 };
 
 /// Write-once future the engine resolves when a request reaches a terminal
@@ -102,6 +106,13 @@ class ResponseFuture {
 /// service lanes, a queue that sheds at 48 pending requests, a 4 ms
 /// deadline with a 2 ms SLO target the degradation ladder defends.
 struct ServeConfig {
+  /// Registry label for this engine's counters/gauges/histograms. Empty
+  /// keeps the legacy process-global names ("serve.requests"); non-empty
+  /// namespaces them as "serve.requests{model=<id>}" so several engines in
+  /// one process (the fleet layer) never collide in the global registry.
+  /// A pure observability label: never read by a serving decision and never
+  /// rendered into generic.serve.v1.
+  std::string model_id;
   std::size_t servers = 2;          ///< virtual service lanes
   std::size_t queue_capacity = 64;  ///< admission queue bound
   std::size_t high_water = 48;      ///< shed arrivals at depth >= high_water

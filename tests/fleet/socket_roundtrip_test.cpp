@@ -1,0 +1,165 @@
+// The ISSUE's sharpest acceptance criterion, in-process: a real-socket
+// closed loop over loopback (net::Server + SocketFleetDriver on this
+// thread, one blocking client thread per configured (tenant, client))
+// produces a generic.fleet.v1 report BYTE-IDENTICAL to the simulated
+// ingress path for the same (config, seed).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fleet/client_model.h"
+#include "fleet/engine.h"
+#include "fleet/simulator.h"
+#include "fleet/socket_driver.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace generic::fleet {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xC4A05;
+
+FleetConfig test_config() {
+  FleetConfig cfg = default_fleet_config(true);
+  cfg.seed = kSeed;
+  return cfg;
+}
+
+std::string run_sim(const FleetConfig& cfg) {
+  ThreadPool pool(2);
+  std::vector<ModelWorld> worlds;
+  for (const ModelSpec& m : cfg.models) worlds.push_back(build_world(m, pool));
+  FleetEngine fleet(cfg, std::move(worlds), pool);
+  auto owned = make_sim_ports(cfg, fleet);
+  std::vector<ClientPort*> ports;
+  for (auto& p : owned) ports.push_back(p.get());
+  run_closed_loop(fleet, ports);
+  return fleet_report_to_json(fleet.finish());
+}
+
+/// The generic_fleet_client loop, inlined: blocking framed closed loop for
+/// one (tenant, client) identity.
+bool run_client(const FleetConfig& cfg, std::uint16_t port,
+                std::uint16_t tenant, std::uint16_t client) {
+  net::Fd fd = net::connect_loopback(port);
+  if (!fd.valid()) return false;
+  net::FrameParser parser;
+  const auto send_frame = [&](const std::vector<std::uint8_t>& f) {
+    return net::write_all(fd.get(), f.data(), f.size());
+  };
+  const auto recv_frame = [&]() -> std::optional<net::Frame> {
+    for (;;) {
+      if (parser.failed()) return std::nullopt;
+      if (auto f = parser.next()) return f;
+      std::uint8_t buf[4096];
+      const std::ptrdiff_t n = net::read_some(fd.get(), buf, sizeof(buf));
+      if (n <= 0) return std::nullopt;
+      parser.feed(buf, static_cast<std::size_t>(n));
+    }
+  };
+
+  net::Hello hello;
+  hello.tenant = tenant;
+  hello.client = client;
+  std::vector<std::uint8_t> out;
+  net::encode_hello(hello, out);
+  if (!send_frame(out)) return false;
+  auto ackf = recv_frame();
+  if (!ackf || ackf->kind != net::FrameKind::kHelloAck) return false;
+  net::HelloAck ack;
+  if (net::decode_hello_ack(*ackf, ack) != net::ProtoError::kNone) return false;
+
+  ClientModel model(cfg, tenant, client, ack.model_queries);
+  std::optional<Send> send = model.start();
+  while (send) {
+    net::WireRequest req;
+    req.id = send->id;
+    req.send_us = send->send_us;
+    req.model = send->model;
+    req.priority = static_cast<std::uint8_t>(cfg.tenants[tenant].priority);
+    req.deadline_rel_us = send->deadline_rel_us;
+    req.query = send->query;
+    out.clear();
+    net::encode_request(req, out);
+    if (!send_frame(out)) return false;
+
+    auto rf = recv_frame();
+    if (!rf || rf->kind != net::FrameKind::kResponse) return false;
+    net::WireResponse wire;
+    if (net::decode_response(*rf, wire) != net::ProtoError::kNone) return false;
+    if (wire.id != send->id) return false;
+
+    FleetResponse resp;
+    resp.id = wire.id;
+    resp.status = static_cast<FleetStatus>(wire.status);
+    resp.predicted = wire.predicted;
+    resp.margin_micro = wire.margin_micro;
+    resp.dims_used = wire.dims_used;
+    resp.attempts = wire.attempts;
+    resp.finish_us = wire.finish_us;
+    resp.latency_us = wire.latency_us;
+    resp.version = wire.version;
+    resp.rung = wire.rung;
+    send = model.on_response(resp);
+  }
+  out.clear();
+  net::encode_bye(out);
+  send_frame(out);
+  return true;
+}
+
+TEST(SocketRoundtrip, LoopbackReportIsByteIdenticalToTheSimulatedRun) {
+  const FleetConfig cfg = test_config();
+  const std::string sim_json = run_sim(cfg);
+
+  ThreadPool pool(2);
+  std::vector<ModelWorld> worlds;
+  for (const ModelSpec& m : cfg.models) worlds.push_back(build_world(m, pool));
+  FleetEngine fleet(cfg, std::move(worlds), pool);
+
+  net::ServerConfig scfg;
+  scfg.port = 0;
+  scfg.num_tenants = cfg.tenants.size();
+  scfg.model_queries = fleet.model_queries();
+  net::Server server(scfg);
+  ASSERT_TRUE(server.listening());
+
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < cfg.tenants.size(); ++t)
+    for (std::size_t c = 0; c < cfg.tenants[t].clients; ++c)
+      clients.emplace_back([&, t, c] {
+        if (!run_client(cfg, server.port(), static_cast<std::uint16_t>(t),
+                        static_cast<std::uint16_t>(c)))
+          ++failed;
+      });
+
+  SocketFleetDriver driver(server, cfg, /*io_timeout_ms=*/30000);
+  ASSERT_TRUE(driver.wait_ready(30000)) << "clients never all arrived";
+  const std::size_t delivered = run_closed_loop(fleet, driver.ports());
+  const std::string socket_json = fleet_report_to_json(fleet.finish());
+  server.drain(1000);
+  for (auto& th : clients) th.join();
+
+  EXPECT_TRUE(driver.ok());
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+
+  std::uint64_t expected = 0;
+  for (const TenantSpec& t : cfg.tenants)
+    expected += t.clients * t.requests_per_client;
+  EXPECT_EQ(delivered, expected);
+  EXPECT_EQ(server.stats().requests, expected);
+
+  EXPECT_EQ(socket_json, sim_json)
+      << "real-socket ingress diverged from the simulated schedule";
+}
+
+}  // namespace
+}  // namespace generic::fleet

@@ -1,0 +1,282 @@
+// Poll-pump server contract (src/net/server.h): accept/HELLO/request/BYE
+// lifecycle over real loopback sockets, per-connection protocol-error
+// isolation, the connection limit, and graceful drain. Client side runs
+// inline on blocking sockets; the pump side is driven by poll_once().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace generic::net {
+namespace {
+
+ServerConfig test_config() {
+  ServerConfig cfg;
+  cfg.port = 0;  // ephemeral
+  cfg.num_tenants = 2;
+  cfg.model_queries = {100, 50};
+  return cfg;
+}
+
+/// Blocking client half for driving the pump from the same thread: the
+/// server is nonblocking, so feed-it / pump-it alternation cannot deadlock.
+struct TestClient {
+  Fd fd;
+  FrameParser parser;
+
+  explicit TestClient(std::uint16_t port) : fd(connect_loopback(port)) {}
+
+  void send(const std::vector<std::uint8_t>& bytes) {
+    ASSERT_TRUE(write_all(fd.get(), bytes.data(), bytes.size()));
+  }
+
+  /// Read until one frame is complete (server must have flushed already).
+  std::optional<Frame> recv() {
+    for (int spin = 0; spin < 1000; ++spin) {
+      if (auto f = parser.next()) return f;
+      std::uint8_t buf[512];
+      const auto n = read_some(fd.get(), buf, sizeof(buf));
+      if (n <= 0) return std::nullopt;
+      parser.feed(buf, static_cast<std::size_t>(n));
+    }
+    return std::nullopt;
+  }
+};
+
+/// Pump until an event of `kind` shows up (collecting everything), or the
+/// poll budget runs out.
+std::vector<ServerEvent> pump_until(Server& server, ServerEvent::Kind kind) {
+  std::vector<ServerEvent> all;
+  for (int spin = 0; spin < 200; ++spin) {
+    for (auto& ev : server.poll_once(50)) {
+      all.push_back(ev);
+      if (ev.kind == kind) return all;
+    }
+  }
+  return all;
+}
+
+bool saw(const std::vector<ServerEvent>& events, ServerEvent::Kind kind) {
+  for (const auto& ev : events)
+    if (ev.kind == kind) return true;
+  return false;
+}
+
+TEST(ServerTest, HelloRequestByeLifecycle) {
+  Server server(test_config());
+  ASSERT_TRUE(server.listening());
+  ASSERT_NE(server.port(), 0);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.fd.valid());
+
+  Hello hello;
+  hello.tenant = 1;
+  hello.client = 3;
+  std::vector<std::uint8_t> bytes;
+  encode_hello(hello, bytes);
+  client.send(bytes);
+
+  auto events = pump_until(server, ServerEvent::Kind::kHello);
+  ASSERT_TRUE(saw(events, ServerEvent::Kind::kAccept));
+  ASSERT_TRUE(saw(events, ServerEvent::Kind::kHello));
+  const ServerEvent& hev = events.back();
+  EXPECT_EQ(hev.tenant, 1);
+  EXPECT_EQ(hev.client, 3);
+
+  // HELLO_ACK carries the topology.
+  auto ack_frame = client.recv();
+  ASSERT_TRUE(ack_frame.has_value());
+  ASSERT_EQ(ack_frame->kind, FrameKind::kHelloAck);
+  HelloAck ack;
+  ASSERT_EQ(decode_hello_ack(*ack_frame, ack), ProtoError::kNone);
+  EXPECT_EQ(ack.model_queries, (std::vector<std::uint32_t>{100, 50}));
+
+  // A validated request surfaces with the connection's identity attached.
+  WireRequest req;
+  req.id = 77;
+  req.model = 1;
+  req.query = 49;
+  bytes.clear();
+  encode_request(req, bytes);
+  client.send(bytes);
+  events = pump_until(server, ServerEvent::Kind::kRequest);
+  ASSERT_TRUE(saw(events, ServerEvent::Kind::kRequest));
+  const ServerEvent& rev = events.back();
+  EXPECT_EQ(rev.tenant, 1);
+  EXPECT_EQ(rev.client, 3);
+  EXPECT_EQ(rev.req.id, 77u);
+  EXPECT_EQ(rev.req.query, 49u);
+
+  // Response comes back on the same connection.
+  WireResponse resp;
+  resp.id = 77;
+  resp.status = 0;
+  ASSERT_TRUE(server.send_response(rev.conn, resp));
+  auto resp_frame = client.recv();
+  ASSERT_TRUE(resp_frame.has_value());
+  ASSERT_EQ(resp_frame->kind, FrameKind::kResponse);
+  WireResponse got;
+  ASSERT_EQ(decode_response(*resp_frame, got), ProtoError::kNone);
+  EXPECT_EQ(got.id, 77u);
+
+  // BYE drains and closes the connection.
+  bytes.clear();
+  encode_bye(bytes);
+  client.send(bytes);
+  events = pump_until(server, ServerEvent::Kind::kClosed);
+  EXPECT_TRUE(saw(events, ServerEvent::Kind::kBye));
+  EXPECT_TRUE(saw(events, ServerEvent::Kind::kClosed));
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_EQ(server.stats().requests, 1u);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(ServerTest, UnknownTenantGetsTypedErrorFrameAndClose) {
+  Server server(test_config());
+  TestClient client(server.port());
+
+  Hello hello;
+  hello.tenant = 9;  // topology has 2 tenants
+  std::vector<std::uint8_t> bytes;
+  encode_hello(hello, bytes);
+  client.send(bytes);
+
+  auto events = pump_until(server, ServerEvent::Kind::kClosed);
+  ASSERT_TRUE(saw(events, ServerEvent::Kind::kClosed));
+  EXPECT_EQ(events.back().error, ProtoError::kUnknownTenant);
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+
+  auto err_frame = client.recv();
+  ASSERT_TRUE(err_frame.has_value());
+  ASSERT_EQ(err_frame->kind, FrameKind::kError);
+  ProtoError code = ProtoError::kNone;
+  ASSERT_EQ(decode_error(*err_frame, code), ProtoError::kNone);
+  EXPECT_EQ(code, ProtoError::kUnknownTenant);
+}
+
+TEST(ServerTest, RequestBeforeHelloIsBadSequence) {
+  Server server(test_config());
+  TestClient client(server.port());
+
+  std::vector<std::uint8_t> bytes;
+  WireRequest req;
+  encode_request(req, bytes);
+  client.send(bytes);
+
+  auto events = pump_until(server, ServerEvent::Kind::kClosed);
+  ASSERT_TRUE(saw(events, ServerEvent::Kind::kClosed));
+  EXPECT_EQ(events.back().error, ProtoError::kBadSequence);
+}
+
+TEST(ServerTest, OutOfRangeModelAndQueryAreTyped) {
+  for (const bool bad_model : {true, false}) {
+    Server server(test_config());
+    TestClient client(server.port());
+    std::vector<std::uint8_t> bytes;
+    encode_hello(Hello{}, bytes);
+    WireRequest req;
+    req.model = bad_model ? 2 : 0;  // 2 models in topology
+    req.query = bad_model ? 0 : 100;  // model 0 has 100 queries
+    encode_request(req, bytes);
+    client.send(bytes);
+
+    auto events = pump_until(server, ServerEvent::Kind::kClosed);
+    ASSERT_TRUE(saw(events, ServerEvent::Kind::kClosed));
+    EXPECT_EQ(events.back().error, bad_model ? ProtoError::kUnknownModel
+                                             : ProtoError::kBadPayload);
+  }
+}
+
+TEST(ServerTest, GarbageBytesCloseOnlyTheOffendingConnection) {
+  Server server(test_config());
+  TestClient good(server.port());
+  TestClient evil(server.port());
+
+  std::vector<std::uint8_t> bytes;
+  encode_hello(Hello{}, bytes);
+  good.send(bytes);
+  pump_until(server, ServerEvent::Kind::kHello);
+
+  const std::uint8_t junk[] = {0, 0, 0, 0};  // zero-length prefix
+  ASSERT_TRUE(write_all(evil.fd.get(), junk, sizeof(junk)));
+  auto events = pump_until(server, ServerEvent::Kind::kClosed);
+  ASSERT_TRUE(saw(events, ServerEvent::Kind::kClosed));
+  EXPECT_EQ(events.back().error, ProtoError::kZeroLength);
+  EXPECT_EQ(server.open_connections(), 1u);  // the good one survives
+}
+
+TEST(ServerTest, ConnectionLimitRejectsTheOverflow) {
+  ServerConfig cfg = test_config();
+  cfg.max_connections = 1;
+  Server server(cfg);
+
+  TestClient first(server.port());
+  ASSERT_TRUE(first.fd.valid());
+  pump_until(server, ServerEvent::Kind::kAccept);
+  ASSERT_EQ(server.open_connections(), 1u);
+
+  TestClient second(server.port());
+  ASSERT_TRUE(second.fd.valid());  // connect() lands in the backlog...
+  for (int spin = 0; spin < 20; ++spin) server.poll_once(10);
+  EXPECT_EQ(server.open_connections(), 1u);  // ...but never becomes a conn
+  EXPECT_EQ(server.stats().rejected_at_limit, 1u);
+  // The overflow peer sees EOF.
+  std::uint8_t buf[16];
+  EXPECT_EQ(read_some(second.fd.get(), buf, sizeof(buf)), 0);
+}
+
+TEST(ServerTest, DrainFlushesAndClosesEverything) {
+  Server server(test_config());
+  TestClient client(server.port());
+  std::vector<std::uint8_t> bytes;
+  encode_hello(Hello{}, bytes);
+  client.send(bytes);
+  auto events = pump_until(server, ServerEvent::Kind::kHello);
+  const std::uint64_t conn = events.back().conn;
+
+  WireResponse resp;
+  resp.id = 123;
+  ASSERT_TRUE(server.send_response(conn, resp));
+
+  auto drained = server.drain(1000);
+  EXPECT_TRUE(saw(drained, ServerEvent::Kind::kClosed));
+  EXPECT_EQ(server.open_connections(), 0u);
+
+  // Queued bytes made it out before the close: HELLO_ACK then response.
+  auto ack = client.recv();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->kind, FrameKind::kHelloAck);
+  auto r = client.recv();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, FrameKind::kResponse);
+  // And the server is really gone: next read is EOF.
+  EXPECT_FALSE(client.recv().has_value());
+}
+
+TEST(ServerTest, KickSendsTypedErrorAndCloses) {
+  Server server(test_config());
+  TestClient client(server.port());
+  std::vector<std::uint8_t> bytes;
+  encode_hello(Hello{}, bytes);
+  client.send(bytes);
+  auto events = pump_until(server, ServerEvent::Kind::kHello);
+  const std::uint64_t conn = events.back().conn;
+
+  server.kick(conn, ProtoError::kBadSequence);
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+
+  auto ack = client.recv();  // HELLO_ACK was queued before the kick
+  ASSERT_TRUE(ack.has_value());
+  auto err = client.recv();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, FrameKind::kError);
+}
+
+}  // namespace
+}  // namespace generic::net

@@ -31,11 +31,13 @@ void record_n(std::size_t n, std::uint64_t base_vt = 0) {
 }
 
 TEST_F(RtraceTest, EventKindNamesCoverTheSchema) {
-  ASSERT_EQ(static_cast<std::size_t>(EventKind::kEncoderScrub) + 1,
+  ASSERT_EQ(static_cast<std::size_t>(EventKind::kFleetShed) + 1,
             kNumEventKinds);
   EXPECT_EQ(event_kind_name(EventKind::kAdmit), "admit");
   EXPECT_EQ(event_kind_name(EventKind::kSloAlert), "slo_alert");
   EXPECT_EQ(event_kind_name(EventKind::kEncoderScrub), "encoder_scrub");
+  EXPECT_EQ(event_kind_name(EventKind::kNetAccept), "net_accept");
+  EXPECT_EQ(event_kind_name(EventKind::kFleetShed), "fleet_shed");
   for (std::size_t i = 0; i < kNumEventKinds; ++i)
     EXPECT_FALSE(event_kind_name(static_cast<EventKind>(i)).empty()) << i;
 }

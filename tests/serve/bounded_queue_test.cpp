@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <thread>
@@ -100,6 +101,55 @@ TEST(BoundedQueueTest, MpmcStressKeepsEveryItem) {
             static_cast<std::size_t>(kProducers) * kPerProducer);
   std::sort(seen.begin(), seen.end());
   for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+// Producers racing close() mid-stream (the ServeEngine::finish path while
+// fleet coordinators are still submitting). Run under TSan this pins the
+// close/push/pop synchronization; under any build it pins the accounting:
+// every push that reported success is popped exactly once, every push
+// after close reports failure, and nobody deadlocks on a full queue.
+TEST(BoundedQueueTest, ProducersRacingCloseNeverLoseAcceptedItems) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  for (int round = 0; round < 8; ++round) {
+    BoundedQueue<std::uint64_t> q(4);  // tiny: close hits blocked pushers
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<bool> go{false};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!go.load(std::memory_order_acquire)) {}
+        for (int i = 0; i < kPerProducer; ++i) {
+          const auto item = static_cast<std::uint64_t>(p) * kPerProducer +
+                            static_cast<std::uint64_t>(i);
+          if (!q.push(item)) {
+            EXPECT_TRUE(q.closed());  // the only legal refusal
+            break;                    // closed: push must refuse forever
+          }
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::uint64_t popped = 0;
+    std::thread consumer([&] {
+      while (q.pop().has_value()) ++popped;
+    });
+
+    go.store(true, std::memory_order_release);
+    // Close from a fourth party while pushes and pops are in flight.
+    std::this_thread::yield();
+    q.close();
+
+    for (auto& t : producers) t.join();
+    consumer.join();
+    EXPECT_TRUE(q.closed());
+    // No accepted item may vanish and none may be duplicated — even the
+    // ones accepted in the instants around close().
+    EXPECT_EQ(popped, accepted.load());
+    EXPECT_FALSE(q.push(1));
+    EXPECT_FALSE(q.pop().has_value());
+  }
 }
 
 }  // namespace

@@ -406,5 +406,83 @@ TEST(ServeEngineTest, SubmitAfterFinishResolvesShed) {
   EXPECT_EQ(r->outcome, Outcome::kShed);
 }
 
+// tick(vt) is the discrete-event coordinator handle (fleet::run_closed_loop):
+// it must resolve every future finishing <= vt before returning, report the
+// next scheduled event exactly, and go kNoEvent when idle.
+TEST(ServeEngineTest, TickResolvesFuturesAndReportsTheNextEvent) {
+  const TinyWorkload w = make_workload(8);
+  ThreadPool pool(1);
+  const ServeConfig cfg = base_config();  // 1 server, 1000us, jitter-free
+  ServeEngine engine(w.clf, w.queries, w.labels, cfg, pool);
+
+  EXPECT_EQ(engine.tick(0), ServeEngine::kNoEvent);  // idle engine
+
+  // Two back-to-back requests on one lane: completions at 2000 and 3000.
+  auto f0 = engine.submit(make_request(0, 1000, cfg.deadline_us, 0));
+  auto f1 = engine.submit(make_request(1, 1000, cfg.deadline_us, 1));
+
+  const std::uint64_t next = engine.tick(1500);
+  EXPECT_EQ(next, 2000u);  // first completion still pending
+  EXPECT_FALSE(f0.try_get().has_value());
+
+  EXPECT_EQ(engine.tick(2000), 3000u);  // first done, second scheduled
+  const auto r0 = f0.try_get();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->outcome, Outcome::kOk);
+  EXPECT_EQ(r0->finish_us, 2000u);
+  EXPECT_FALSE(f1.try_get().has_value());
+
+  EXPECT_EQ(engine.tick(5000), ServeEngine::kNoEvent);  // fully drained
+  const auto r1 = f1.try_get();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->finish_us, 3000u);
+
+  const ServeReport rep = engine.finish();
+  EXPECT_EQ(rep.served, 2u);
+}
+
+#if GENERIC_OBS_ENABLED
+// Several engines in one process must tally into disjoint registry metrics:
+// cfg.model_id namespaces them as "serve.<stem>{model=<id>}", while an
+// empty id keeps the legacy process-global "serve.<stem>" series.
+TEST(ServeEngineTest, RegistryMetricsAreNamespacedPerModel) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& alpha = reg.counter("serve.requests{model=alpha}");
+  obs::Counter& beta = reg.counter("serve.requests{model=beta}");
+  obs::Counter& legacy = reg.counter("serve.requests");
+  alpha.reset_value();
+  beta.reset_value();
+  legacy.reset_value();
+
+  const TinyWorkload w = make_workload(8);
+  ThreadPool pool(2);
+  ServeConfig cfg_a = base_config();
+  cfg_a.model_id = "alpha";
+  ServeConfig cfg_b = base_config();
+  cfg_b.model_id = "beta";
+  ServeEngine ea(w.clf, w.queries, w.labels, cfg_a, pool);
+  ServeEngine eb(w.clf, w.queries, w.labels, cfg_b, pool);
+
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ea.submit(make_request(i, (i + 1) * 2000, 100000, i));
+  for (std::uint64_t i = 0; i < 3; ++i)
+    eb.submit(make_request(i, (i + 1) * 2000, 100000, i));
+  (void)ea.finish();
+  (void)eb.finish();
+
+  EXPECT_EQ(alpha.value(), 5u);
+  EXPECT_EQ(beta.value(), 3u);
+  EXPECT_EQ(legacy.value(), 0u) << "namespaced engines leaked into the "
+                                   "process-global series";
+
+  // An engine with no model_id still feeds the legacy series.
+  ServeEngine legacy_engine(w.clf, w.queries, w.labels, base_config(), pool);
+  legacy_engine.submit(make_request(0, 1000, 100000, 0));
+  (void)legacy_engine.finish();
+  EXPECT_EQ(legacy.value(), 1u);
+  EXPECT_EQ(alpha.value(), 5u);
+}
+#endif  // GENERIC_OBS_ENABLED
+
 }  // namespace
 }  // namespace generic::serve

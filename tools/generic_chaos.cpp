@@ -31,6 +31,7 @@
 
 #include "bench/bench_util.h"
 #include "chaos/orchestrator.h"
+#include "fleet/tenant_storm.h"
 
 using namespace generic;
 
@@ -52,13 +53,20 @@ int main(int argc, char** argv) {
     for (const auto& s : chaos::all_scenarios(quick))
       std::printf("%-24s %zu requests, D=%zu — %s\n", s.name.c_str(),
                   s.requests, s.dims, s.description.c_str());
+    std::printf("%-24s fleet campaign — one batch tenant floods at ~10x "
+                "its quota; the admission pipeline must protect the rest\n",
+                "tenant_storm");
     return 0;
   }
+
+  // The fleet campaign lives beside the serve-layer registry: it runs a
+  // whole multi-model fleet (src/fleet) rather than one ServeEngine.
+  const bool run_storm = which == "all" || which == "tenant_storm";
 
   std::vector<chaos::ScenarioSpec> specs;
   if (which == "all") {
     specs = chaos::all_scenarios(quick);
-  } else {
+  } else if (!run_storm) {
     auto s = chaos::find_scenario(which, quick);
     if (!s.has_value()) {
       std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
@@ -122,5 +130,25 @@ int main(int argc, char** argv) {
                   path.c_str());
     }
   }
+  if (run_storm) {
+    const fleet::StormReport storm =
+        fleet::run_tenant_storm(quick, seed, threads);
+    all_passed = all_passed && storm.passed;
+    std::printf("%-24s %s  (%llu requests, flood tenant %s)\n",
+                "tenant_storm", storm.passed ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(storm.fleet.requests),
+                storm.fleet.config.tenants[storm.flood_tenant].name.c_str());
+    for (const auto& inv : storm.invariants) {
+      if (!inv.enabled) continue;
+      std::printf("  %-22s %s  value=%.4g bound=%.4g\n", inv.name.c_str(),
+                  inv.passed ? "ok" : "VIOLATED", inv.value, inv.bound);
+    }
+    if (!out_dir.empty()) {
+      const std::string path = out_dir + "/tenant_storm.json";
+      fleet::write_storm_json(path, storm);
+      std::printf("  report written to %s\n", path.c_str());
+    }
+  }
+
   return all_passed ? 0 : 1;
 }
